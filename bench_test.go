@@ -1,0 +1,315 @@
+package spjoin
+
+// Benchmarks regenerating every table and figure of the paper (at a reduced
+// workload scale so `go test -bench` stays quick; run cmd/experiments at
+// -scale 1.0 for the full-scale numbers recorded in EXPERIMENTS.md), plus
+// ablation benchmarks for the design choices called out in DESIGN.md.
+//
+// The per-figure benchmarks report the paper's own metric (virtual response
+// time, disk accesses) via b.ReportMetric in addition to wall time.
+
+import (
+	"io"
+	"testing"
+
+	"path/filepath"
+	"spjoin/internal/exp"
+
+	"spjoin/internal/join"
+	"spjoin/internal/pagefile"
+	"spjoin/internal/parjoin"
+	"spjoin/internal/rtree"
+	"spjoin/internal/tiger"
+	"spjoin/internal/zorder"
+)
+
+// benchScale keeps bench iterations in the low-millisecond range.
+const benchScale = 0.02
+
+func benchWorkload(b *testing.B) *exp.Workload {
+	b.Helper()
+	return exp.NewWorkload(benchScale, 42)
+}
+
+// --- one benchmark per paper table/figure -------------------------------
+
+func BenchmarkTable1(b *testing.B) {
+	streets, mixed := tiger.Maps(benchScale, 42)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := rtree.BulkLoadSTR(rtree.DefaultParams(), streets, 0.73)
+		s := rtree.BulkLoadSTR(rtree.DefaultParams(), mixed, 0.73)
+		_ = r.Stats()
+		_ = s.Stats()
+	}
+}
+
+func BenchmarkTable2(b *testing.B) {
+	w := benchWorkload(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		exp.Table2(w, io.Discard)
+	}
+}
+
+func BenchmarkFig5(b *testing.B) {
+	w := benchWorkload(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		exp.Fig5(w, io.Discard)
+	}
+}
+
+func BenchmarkFig7(b *testing.B) {
+	w := benchWorkload(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		exp.Fig7(w, io.Discard)
+	}
+}
+
+func BenchmarkFig8(b *testing.B) {
+	w := benchWorkload(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		exp.Fig8(w, io.Discard)
+	}
+}
+
+func BenchmarkFig9(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		w := benchWorkload(b) // fresh workload: Fig9 memoizes its sweep
+		exp.Fig9(w, io.Discard)
+	}
+}
+
+func BenchmarkFig10(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		w := benchWorkload(b)
+		exp.Fig10(w, io.Discard)
+	}
+}
+
+// --- representative single-configuration benches ------------------------
+
+// BenchmarkSimulatedJoin runs one simulated parallel join per named variant
+// and reports the virtual response time and disk accesses alongside wall
+// time.
+func BenchmarkSimulatedJoin(b *testing.B) {
+	w := benchWorkload(b)
+	for _, v := range []string{"lsr", "gsrr", "gd"} {
+		b.Run(v, func(b *testing.B) {
+			var res parjoin.Result
+			for i := 0; i < b.N; i++ {
+				res = parjoin.Run(w.R, w.S, parjoin.DefaultConfig(8, 8, w.Pages(800, 8)).Variant(v))
+			}
+			b.ReportMetric(res.ResponseTime.Seconds(), "virtual-s")
+			b.ReportMetric(float64(res.DiskAccesses), "disk-accesses")
+		})
+	}
+}
+
+// BenchmarkSequentialJoin measures the pure CPU cost of the [BKS 93] filter
+// join.
+func BenchmarkSequentialJoin(b *testing.B) {
+	w := benchWorkload(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		join.Sequential(w.R, w.S, join.Options{})
+	}
+}
+
+// --- ablation benches (DESIGN.md: design choices) ------------------------
+
+// BenchmarkAblationRestriction compares the sequential join with and
+// without the search-space restriction of §2.2 (technique i).
+func BenchmarkAblationRestriction(b *testing.B) {
+	w := benchWorkload(b)
+	for _, on := range []bool{true, false} {
+		name := map[bool]string{true: "on", false: "off"}[on]
+		b.Run(name, func(b *testing.B) {
+			opts := join.Options{DisableRestriction: !on}
+			comparisons := 0
+			for i := 0; i < b.N; i++ {
+				comparisons = 0
+				root, _ := join.RootPair(w.R, w.S)
+				e := join.Engine{
+					Src:           join.DirectSource{R: w.R, S: w.S},
+					Opts:          opts,
+					OnCandidate:   func(join.Candidate) {},
+					OnComparisons: func(n int) { comparisons += n },
+				}
+				e.Run(root)
+			}
+			b.ReportMetric(float64(comparisons), "comparisons")
+		})
+	}
+}
+
+// BenchmarkAblationSweep compares the plane-sweep node join (technique ii)
+// against nested loops.
+func BenchmarkAblationSweep(b *testing.B) {
+	w := benchWorkload(b)
+	for _, sweep := range []bool{true, false} {
+		name := map[bool]string{true: "plane-sweep", false: "nested-loops"}[sweep]
+		b.Run(name, func(b *testing.B) {
+			opts := join.Options{NestedLoops: !sweep}
+			for i := 0; i < b.N; i++ {
+				join.Sequential(w.R, w.S, opts)
+			}
+		})
+	}
+}
+
+// BenchmarkAblationPathBuffer compares the simulated join with and without
+// the per-processor R*-tree path buffers.
+func BenchmarkAblationPathBuffer(b *testing.B) {
+	w := benchWorkload(b)
+	for _, on := range []bool{true, false} {
+		name := map[bool]string{true: "on", false: "off"}[on]
+		b.Run(name, func(b *testing.B) {
+			cfg := parjoin.DefaultConfig(8, 8, w.Pages(800, 8))
+			cfg.PathBuffer = on
+			var res parjoin.Result
+			for i := 0; i < b.N; i++ {
+				res = parjoin.Run(w.R, w.S, cfg)
+			}
+			b.ReportMetric(res.ResponseTime.Seconds(), "virtual-s")
+			b.ReportMetric(float64(res.Buffer.Accesses()), "buffer-accesses")
+		})
+	}
+}
+
+// BenchmarkAblationTaskDepth varies the task-creation descend threshold
+// (TaskFactor): larger factors split the join into more, smaller tasks.
+func BenchmarkAblationTaskDepth(b *testing.B) {
+	w := benchWorkload(b)
+	for _, factor := range []int{1, 3, 12} {
+		b.Run(map[int]string{1: "factor1", 3: "factor3", 12: "factor12"}[factor], func(b *testing.B) {
+			cfg := parjoin.DefaultConfig(8, 8, w.Pages(800, 8))
+			cfg.TaskFactor = factor
+			var res parjoin.Result
+			for i := 0; i < b.N; i++ {
+				res = parjoin.Run(w.R, w.S, cfg)
+			}
+			b.ReportMetric(res.ResponseTime.Seconds(), "virtual-s")
+			b.ReportMetric(float64(res.TasksCreated), "tasks")
+		})
+	}
+}
+
+// BenchmarkAblationMinSplit varies the minimum work-load size worth
+// splitting during task reassignment.
+func BenchmarkAblationMinSplit(b *testing.B) {
+	w := benchWorkload(b)
+	for _, min := range []int{2, 8, 32} {
+		b.Run(map[int]string{2: "min2", 8: "min8", 32: "min32"}[min], func(b *testing.B) {
+			cfg := parjoin.DefaultConfig(8, 8, w.Pages(800, 8)).Variant("lsr")
+			cfg.Reassign = parjoin.ReassignAll
+			cfg.MinSteal = min
+			var res parjoin.Result
+			for i := 0; i < b.N; i++ {
+				res = parjoin.Run(w.R, w.S, cfg)
+			}
+			b.ReportMetric(res.ResponseTime.Seconds(), "virtual-s")
+			b.ReportMetric(float64(res.Reassignments), "reassignments")
+		})
+	}
+}
+
+// BenchmarkAblationSTR compares tree construction by dynamic insertion
+// against STR bulk loading.
+func BenchmarkAblationSTR(b *testing.B) {
+	streets, _ := tiger.Maps(benchScale, 42)
+	b.Run("insert", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			t := rtree.New(rtree.DefaultParams())
+			for _, it := range streets {
+				t.Insert(it.ID, it.Rect)
+			}
+		}
+	})
+	b.Run("str", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			rtree.BulkLoadSTR(rtree.DefaultParams(), streets, 0.73)
+		}
+	})
+}
+
+// BenchmarkBaselines compares the three filter-join approaches on the same
+// workload: the R*-tree join of this paper, the same join over Guttman
+// R-trees, and the z-ordering merge join of [OM 88].
+func BenchmarkBaselines(b *testing.B) {
+	streets, mixed := tiger.Maps(benchScale, 42)
+	rstarR := rtree.BulkLoadSTR(rtree.DefaultParams(), streets, 0.73)
+	rstarS := rtree.BulkLoadSTR(rtree.DefaultParams(), mixed, 0.73)
+
+	buildGuttman := func(items []rtree.Item) *rtree.Tree {
+		t := rtree.New(rtree.GuttmanParams(rtree.QuadraticSplit))
+		for _, it := range items {
+			t.Insert(it.ID, it.Rect)
+		}
+		return t
+	}
+	guttR := buildGuttman(streets)
+	guttS := buildGuttman(mixed)
+
+	b.Run("rstar-join", func(b *testing.B) {
+		n := 0
+		for i := 0; i < b.N; i++ {
+			n = len(join.Sequential(rstarR, rstarS, join.Options{}))
+		}
+		b.ReportMetric(float64(n), "candidates")
+	})
+	b.Run("guttman-join", func(b *testing.B) {
+		n := 0
+		for i := 0; i < b.N; i++ {
+			n = len(join.Sequential(guttR, guttS, join.Options{}))
+		}
+		b.ReportMetric(float64(n), "candidates")
+	})
+	b.Run("zorder-join", func(b *testing.B) {
+		n := 0
+		for i := 0; i < b.N; i++ {
+			n = len(zorder.JoinItems(streets, mixed, 20))
+		}
+		b.ReportMetric(float64(n), "candidates")
+	})
+}
+
+// BenchmarkOutOfCoreJoin measures the filter join over trees persisted in
+// real page files, through a buffer pool far smaller than the files
+// (actual disk I/O, not the simulator).
+func BenchmarkOutOfCoreJoin(b *testing.B) {
+	streets, mixed := tiger.Maps(benchScale, 42)
+	dir := b.TempDir()
+	save := func(items []rtree.Item, name string) *rtree.PagedTree {
+		pf, err := pagefile.Create(filepath.Join(dir, name))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { pf.Close() })
+		tree := rtree.BulkLoadSTR(rtree.DefaultParams(), items, 0.73)
+		if err := tree.SaveToPageFile(pf); err != nil {
+			b.Fatal(err)
+		}
+		pt, err := rtree.OpenPagedTree(pf, 32)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return pt
+	}
+	r := save(streets, "r.spjf")
+	s := save(mixed, "s.spjf")
+	b.ResetTimer()
+	var reads int64
+	for i := 0; i < b.N; i++ {
+		_, stats, err := join.PagedSequential(r, s, join.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		reads = stats.Reads()
+	}
+	b.ReportMetric(float64(reads), "page-reads")
+}

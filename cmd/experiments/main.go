@@ -1,0 +1,63 @@
+// Command experiments regenerates the tables and figures of the paper's
+// evaluation (§4). Each experiment prints rows comparable to the paper's
+// plots; EXPERIMENTS.md records the paper-vs-measured comparison.
+//
+// Usage:
+//
+//	experiments [-run all|table1,fig5,...] [-scale 1.0] [-seed 42] [-list]
+//
+// At -scale 1.0 the workload matches the paper's cardinalities (131,443 and
+// 127,312 objects); the full suite takes a few minutes. Smaller scales give
+// quick qualitative runs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"spjoin/internal/exp"
+)
+
+func main() {
+	runFlag := flag.String("run", "all", "comma-separated experiment names, or 'all'")
+	scale := flag.Float64("scale", 1.0, "workload scale (1.0 = paper cardinalities)")
+	seed := flag.Int64("seed", 42, "workload generator seed")
+	list := flag.Bool("list", false, "list experiments and exit")
+	flag.Parse()
+
+	if *list {
+		for _, e := range exp.All() {
+			fmt.Printf("%-8s %s\n", e.Name, e.Title)
+		}
+		return
+	}
+
+	var selected []exp.Experiment
+	if *runFlag == "all" {
+		selected = exp.All()
+	} else {
+		for _, name := range strings.Split(*runFlag, ",") {
+			name = strings.TrimSpace(name)
+			e, ok := exp.ByName(name)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q (use -list)\n", name)
+				os.Exit(2)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	start := time.Now()
+	fmt.Printf("building workload at scale %g (seed %d)...\n", *scale, *seed)
+	w := exp.NewWorkload(*scale, *seed)
+	fmt.Printf("workload: %s (built in %v)\n\n", w.Describe(), time.Since(start).Round(time.Millisecond))
+
+	for _, e := range selected {
+		t0 := time.Now()
+		e.Run(w, os.Stdout)
+		fmt.Printf("[%s completed in %v]\n\n", e.Name, time.Since(t0).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,147 @@
+// Command spjoin runs one parallel spatial join — either simulated on the
+// virtual shared-virtual-memory machine (default, reporting the paper's
+// measures) or natively with goroutines (-native).
+//
+// Usage:
+//
+//	spjoin [-scale 0.1] [-seed 42]
+//	       [-procs 8] [-disks 8] [-buffer 800]
+//	       [-variant gd|gsrr|lsr|sn|est] [-reassign none|root|all]
+//	       [-victim loaded|random] [-native]
+//	       [-loadR r.csv -loadS s.csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"spjoin/internal/mapio"
+	"spjoin/internal/parjoin"
+	"spjoin/internal/parnative"
+	"spjoin/internal/rtree"
+	"spjoin/internal/tiger"
+)
+
+func main() {
+	scale := flag.Float64("scale", 0.1, "workload scale (1.0 = paper cardinalities)")
+	seed := flag.Int64("seed", 42, "workload generator seed")
+	procs := flag.Int("procs", 8, "simulated processors (or goroutines with -native)")
+	disks := flag.Int("disks", 8, "simulated disks")
+	bufferPages := flag.Int("buffer", 800, "total LRU buffer size in pages")
+	variant := flag.String("variant", "gd", "lsr | gsrr | gd | sn (shared-nothing) | est (estimated static)")
+	reassign := flag.String("reassign", "all", "task reassignment: none | root | all")
+	victim := flag.String("victim", "loaded", "victim selection: loaded | random")
+	native := flag.Bool("native", false, "run natively with goroutines instead of simulating")
+	loadR := flag.String("loadR", "", "CSV file for relation R (default: generated streets)")
+	loadS := flag.String("loadS", "", "CSV file for relation S (default: generated mixed features)")
+	flag.Parse()
+
+	var streets, mixed []rtree.Item
+	if *loadR != "" || *loadS != "" {
+		if *loadR == "" || *loadS == "" {
+			fmt.Fprintln(os.Stderr, "spjoin: -loadR and -loadS must be given together")
+			os.Exit(2)
+		}
+		var err error
+		if streets, err = loadCSV(*loadR); err != nil {
+			fmt.Fprintf(os.Stderr, "spjoin: %v\n", err)
+			os.Exit(1)
+		}
+		if mixed, err = loadCSV(*loadS); err != nil {
+			fmt.Fprintf(os.Stderr, "spjoin: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("loaded %d + %d objects from %s, %s\n", len(streets), len(mixed), *loadR, *loadS)
+	} else {
+		fmt.Printf("generating maps at scale %g (seed %d)...\n", *scale, *seed)
+		streets, mixed = tiger.Maps(*scale, *seed)
+	}
+	t0 := time.Now()
+	r := rtree.BulkLoadSTR(rtree.DefaultParams(), streets, 0.73)
+	s := rtree.BulkLoadSTR(rtree.DefaultParams(), mixed, 0.73)
+	fmt.Printf("trees built in %v: %d + %d objects, heights %d/%d\n\n",
+		time.Since(t0).Round(time.Millisecond), r.Len(), s.Len(), r.Height(), s.Height())
+
+	if *native {
+		runNative(r, s, *procs)
+		return
+	}
+
+	var cfg parjoin.Config
+	switch *variant {
+	case "sn":
+		cfg = parjoin.DefaultConfig(*procs, *disks, *bufferPages)
+		cfg.Buffer = parjoin.SharedNothingOrg
+	case "est":
+		cfg = parjoin.DefaultConfig(*procs, *disks, *bufferPages)
+		cfg.Buffer = parjoin.LocalOrg
+		cfg.Assign = parjoin.StaticEstimated
+	default:
+		cfg = parjoin.DefaultConfig(*procs, *disks, *bufferPages).Variant(*variant)
+	}
+	switch *reassign {
+	case "none":
+		cfg.Reassign = parjoin.ReassignNone
+	case "root":
+		cfg.Reassign = parjoin.ReassignRoot
+	case "all":
+		cfg.Reassign = parjoin.ReassignAll
+	default:
+		fmt.Fprintf(os.Stderr, "spjoin: unknown -reassign %q\n", *reassign)
+		os.Exit(2)
+	}
+	switch *victim {
+	case "loaded":
+		cfg.Victim = parjoin.MostLoaded
+	case "random":
+		cfg.Victim = parjoin.RandomVictim
+	default:
+		fmt.Fprintf(os.Stderr, "spjoin: unknown -victim %q\n", *victim)
+		os.Exit(2)
+	}
+
+	t0 = time.Now()
+	res := parjoin.Run(r, s, cfg)
+	wall := time.Since(t0)
+
+	fmt.Printf("variant %s (%s buffer, %s assignment), reassignment %s, victim %s\n",
+		*variant, cfg.Buffer, cfg.Assign, cfg.Reassign, cfg.Victim)
+	fmt.Printf("processors %d, disks %d, buffer %d pages\n\n", cfg.Procs, cfg.Disks, cfg.BufferPages)
+	fmt.Printf("tasks created (m):      %d (subtree level %d)\n", res.TasksCreated, res.TaskLevel)
+	fmt.Printf("candidates:             %d\n", res.Candidates)
+	fmt.Printf("response time:          %.1f s (virtual)\n", res.ResponseTime.Seconds())
+	fmt.Printf("first / avg finisher:   %.1f s / %.1f s\n", res.FirstFinish.Seconds(), res.AvgFinish.Seconds())
+	fmt.Printf("total work:             %.1f s\n", res.TotalWork.Seconds())
+	fmt.Printf("disk accesses:          %d (%d data pages)\n", res.DiskAccesses, res.DataDiskAccesses)
+	fmt.Printf("buffer:                 %d local hits, %d remote hits, %d misses (hit rate %.1f%%)\n",
+		res.Buffer.LocalHits, res.Buffer.RemoteHits, res.Buffer.Misses, res.Buffer.HitRate()*100)
+	fmt.Printf("path buffer hits:       %d\n", res.PathBufferHits)
+	fmt.Printf("task reassignments:     %d\n", res.Reassignments)
+	fmt.Printf("simulated in:           %v wall time\n", wall.Round(time.Millisecond))
+}
+
+func loadCSV(path string) ([]rtree.Item, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return mapio.Read(f)
+}
+
+func runNative(r, s *rtree.Tree, workers int) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	t0 := time.Now()
+	res := parnative.Join(r, s, parnative.Config{Workers: workers})
+	wall := time.Since(t0)
+	fmt.Printf("native parallel join with %d goroutines\n", res.Workers)
+	fmt.Printf("tasks (m):    %d\n", res.Tasks)
+	fmt.Printf("candidates:   %d\n", len(res.Candidates))
+	fmt.Printf("wall time:    %v\n", wall.Round(time.Microsecond))
+	fmt.Printf("tasks/worker: %v\n", res.PerWorker)
+}

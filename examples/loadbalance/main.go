@@ -1,0 +1,44 @@
+// Loadbalance demonstrates the paper's §3.4/§4.4 result: with static task
+// assignment, some processors finish long before others; task reassignment
+// lets idle processors take over part of a loaded processor's work, pulling
+// the last finisher in — at almost no extra total work.
+package main
+
+import (
+	"fmt"
+
+	"spjoin"
+)
+
+func main() {
+	streets, features := spjoin.SampleMaps(0.1, 42)
+	r := spjoin.BuildSTR(streets, 0.73)
+	s := spjoin.BuildSTR(features, 0.73)
+
+	fmt.Println("local buffers, static range assignment (lsr), 8 processors / 8 disks")
+	fmt.Printf("%-12s  %10s  %10s  %10s  %12s  %8s\n",
+		"reassign", "first [s]", "avg [s]", "last [s]", "total work", "steals")
+
+	for _, mode := range []struct {
+		name string
+		r    spjoin.Reassign
+	}{
+		{"none", spjoin.ReassignNone},
+		{"root-level", spjoin.ReassignRoot},
+		{"all-levels", spjoin.ReassignAll},
+	} {
+		cfg := spjoin.DefaultSimConfig(8, 8, 80)
+		cfg.Buffer = spjoin.LocalBuffers
+		cfg.Assign = spjoin.StaticRange
+		cfg.Reassign = mode.r
+		res := spjoin.Simulate(r, s, cfg)
+		fmt.Printf("%-12s  %10.1f  %10.1f  %10.1f  %12.1f  %8d\n",
+			mode.name,
+			res.FirstFinish.Seconds(), res.AvgFinish.Seconds(),
+			res.ResponseTime.Seconds(), res.TotalWork.Seconds(),
+			res.Reassignments)
+	}
+
+	fmt.Println("\nthe response time (last finisher) drops as reassignment levels open up,")
+	fmt.Println("while the total work stays nearly constant — load balancing is almost free")
+}

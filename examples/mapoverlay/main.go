@@ -1,0 +1,78 @@
+// Mapoverlay answers the paper's motivating query — "find all forests which
+// are in a city" — over two synthetic relations: city polygons and forest
+// polygons (both approximated by their MBRs in the filter step, refined by
+// an exact area-overlap test afterwards).
+//
+// The example demonstrates the two-step architecture of §2.1: the R*-tree
+// filter join produces candidates; the refinement step eliminates false
+// hits with exact geometry.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"spjoin"
+)
+
+// city and forest carry the "exact geometry" of this example: an
+// axis-parallel polygon approximated here by its rectangle. Real systems
+// would store arbitrary polygons; the refinement logic is the same.
+type region struct {
+	id   spjoin.ID
+	rect spjoin.Rect
+}
+
+func main() {
+	rng := rand.New(rand.NewSource(7))
+
+	// 400 cities: medium rectangles scattered over a 1000×1000 map.
+	cities := make([]region, 400)
+	cityItems := make([]spjoin.Item, len(cities))
+	for i := range cities {
+		x, y := rng.Float64()*1000, rng.Float64()*1000
+		w, h := 5+rng.Float64()*25, 5+rng.Float64()*25
+		cities[i] = region{id: spjoin.ID(i), rect: spjoin.NewRect(x, y, x+w, y+h)}
+		cityItems[i] = spjoin.Item{ID: cities[i].id, Rect: cities[i].rect}
+	}
+
+	// 3000 forests: small patches.
+	forests := make([]region, 3000)
+	forestItems := make([]spjoin.Item, len(forests))
+	for i := range forests {
+		x, y := rng.Float64()*1000, rng.Float64()*1000
+		w, h := 1+rng.Float64()*6, 1+rng.Float64()*6
+		forests[i] = region{id: spjoin.ID(i), rect: spjoin.NewRect(x, y, x+w, y+h)}
+		forestItems[i] = spjoin.Item{ID: forests[i].id, Rect: forests[i].rect}
+	}
+
+	cityTree := spjoin.Build(cityItems)
+	forestTree := spjoin.Build(forestItems)
+
+	// Filter step: candidate (city, forest) pairs with intersecting MBRs.
+	candidates := spjoin.JoinParallel(cityTree, forestTree, 0)
+
+	// Refinement step: a forest is "in" a city when the city polygon fully
+	// contains it. MBR intersection admits false hits (partial overlaps).
+	type answer struct{ city, forest spjoin.ID }
+	var answers []answer
+	falseHits := 0
+	for _, c := range candidates {
+		if cities[c.R].rect.Contains(forests[c.S].rect) {
+			answers = append(answers, answer{city: c.R, forest: c.S})
+		} else {
+			falseHits++
+		}
+	}
+
+	fmt.Printf("cities: %d, forests: %d\n", len(cities), len(forests))
+	fmt.Printf("filter step:     %d candidates\n", len(candidates))
+	fmt.Printf("refinement step: %d answers, %d false hits (%.0f%% filtered)\n",
+		len(answers), falseHits, 100*float64(falseHits)/float64(len(candidates)))
+	for i, a := range answers {
+		if i == 5 {
+			break
+		}
+		fmt.Printf("  forest %4d lies inside city %3d\n", a.forest, a.city)
+	}
+}

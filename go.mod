@@ -1,0 +1,3 @@
+module spjoin
+
+go 1.22

@@ -1,0 +1,179 @@
+// Package buffer implements the buffer organizations compared in §3.2 of the
+// paper: per-processor local LRU buffers, and a global buffer realized on
+// shared virtual memory as the union of the local buffers with a page
+// directory. The LRU replacement policy follows Gray/Reuter [GR 93].
+//
+// Buffers track only page identities and charge virtual-time costs; the
+// actual node data stays in the in-memory node store of package rtree.
+package buffer
+
+import (
+	"fmt"
+
+	"spjoin/internal/storage"
+)
+
+// TreeID distinguishes the two join operands' page spaces.
+type TreeID uint8
+
+// PageKey identifies a page globally: tree file plus page number.
+type PageKey struct {
+	Tree TreeID
+	Page storage.PageID
+}
+
+func (k PageKey) String() string {
+	return fmt.Sprintf("t%d/p%d", k.Tree, k.Page)
+}
+
+// lruEntry is one resident page in an LRU list.
+type lruEntry struct {
+	key        PageKey
+	prev, next *lruEntry
+	pins       int
+}
+
+// LRU is a fixed-capacity page table with least-recently-used replacement
+// and optional pinning. The zero value is unusable; create with NewLRU.
+type LRU struct {
+	capacity int
+	table    map[PageKey]*lruEntry
+	head     *lruEntry // most recently used
+	tail     *lruEntry // least recently used
+}
+
+// NewLRU returns an empty buffer holding at most capacity pages
+// (capacity >= 1).
+func NewLRU(capacity int) *LRU {
+	if capacity < 1 {
+		panic(fmt.Sprintf("buffer: LRU capacity %d < 1", capacity))
+	}
+	return &LRU{capacity: capacity, table: make(map[PageKey]*lruEntry, capacity)}
+}
+
+// Capacity returns the maximum number of resident pages.
+func (b *LRU) Capacity() int { return b.capacity }
+
+// Len returns the number of resident pages.
+func (b *LRU) Len() int { return len(b.table) }
+
+// Contains reports residency without touching the LRU order.
+func (b *LRU) Contains(key PageKey) bool {
+	_, ok := b.table[key]
+	return ok
+}
+
+// Touch promotes key to most-recently-used if resident and reports whether
+// it was a hit.
+func (b *LRU) Touch(key PageKey) bool {
+	e, ok := b.table[key]
+	if !ok {
+		return false
+	}
+	b.moveToFront(e)
+	return true
+}
+
+// Insert makes key resident as the most-recently-used page, evicting the
+// least-recently-used unpinned page if the buffer is full. It returns the
+// evicted key and whether an eviction happened. Inserting a resident key
+// just promotes it. Insert panics if the buffer is full of pinned pages,
+// since that means the caller leaked pins.
+func (b *LRU) Insert(key PageKey) (evicted PageKey, didEvict bool) {
+	if e, ok := b.table[key]; ok {
+		b.moveToFront(e)
+		return PageKey{}, false
+	}
+	if len(b.table) >= b.capacity {
+		victim := b.tail
+		for victim != nil && victim.pins > 0 {
+			victim = victim.prev
+		}
+		if victim == nil {
+			panic("buffer: all pages pinned, cannot evict")
+		}
+		b.remove(victim)
+		evicted, didEvict = victim.key, true
+	}
+	e := &lruEntry{key: key}
+	b.pushFront(e)
+	b.table[key] = e
+	return evicted, didEvict
+}
+
+// Drop removes key from the buffer if resident (regardless of pins);
+// used when an owning partition must invalidate a page.
+func (b *LRU) Drop(key PageKey) bool {
+	e, ok := b.table[key]
+	if !ok {
+		return false
+	}
+	b.remove(e)
+	return true
+}
+
+// Pin marks a resident page non-evictable (counted; callers must unpin as
+// many times as they pinned). It reports whether the page was resident.
+func (b *LRU) Pin(key PageKey) bool {
+	e, ok := b.table[key]
+	if !ok {
+		return false
+	}
+	e.pins++
+	return true
+}
+
+// Unpin releases one pin. It panics if the page is not resident or not
+// pinned, which indicates a caller bug.
+func (b *LRU) Unpin(key PageKey) {
+	e, ok := b.table[key]
+	if !ok || e.pins == 0 {
+		panic("buffer: Unpin of unpinned page " + key.String())
+	}
+	e.pins--
+}
+
+// Keys returns resident keys from most to least recently used (diagnostic,
+// test support).
+func (b *LRU) Keys() []PageKey {
+	out := make([]PageKey, 0, len(b.table))
+	for e := b.head; e != nil; e = e.next {
+		out = append(out, e.key)
+	}
+	return out
+}
+
+func (b *LRU) pushFront(e *lruEntry) {
+	e.prev = nil
+	e.next = b.head
+	if b.head != nil {
+		b.head.prev = e
+	}
+	b.head = e
+	if b.tail == nil {
+		b.tail = e
+	}
+}
+
+func (b *LRU) remove(e *lruEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		b.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		b.tail = e.prev
+	}
+	delete(b.table, e.key)
+}
+
+func (b *LRU) moveToFront(e *lruEntry) {
+	if b.head == e {
+		return
+	}
+	b.remove(e)
+	b.pushFront(e)
+	b.table[e.key] = e
+}

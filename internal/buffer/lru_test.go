@@ -1,0 +1,202 @@
+package buffer
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"spjoin/internal/storage"
+)
+
+func key(tree TreeID, page int) PageKey {
+	return PageKey{Tree: tree, Page: storage.PageID(page)}
+}
+
+func TestLRUBasicEviction(t *testing.T) {
+	b := NewLRU(3)
+	for i := 0; i < 3; i++ {
+		if _, evict := b.Insert(key(0, i)); evict {
+			t.Fatalf("unexpected eviction inserting %d", i)
+		}
+	}
+	if b.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", b.Len())
+	}
+	evicted, didEvict := b.Insert(key(0, 3))
+	if !didEvict || evicted != key(0, 0) {
+		t.Fatalf("evicted %v/%v, want t0/p0", evicted, didEvict)
+	}
+	if b.Contains(key(0, 0)) {
+		t.Fatal("evicted page still resident")
+	}
+}
+
+func TestLRUTouchPromotes(t *testing.T) {
+	b := NewLRU(3)
+	b.Insert(key(0, 0))
+	b.Insert(key(0, 1))
+	b.Insert(key(0, 2))
+	if !b.Touch(key(0, 0)) {
+		t.Fatal("Touch of resident page returned miss")
+	}
+	// Now 1 is least recently used.
+	evicted, _ := b.Insert(key(0, 3))
+	if evicted != key(0, 1) {
+		t.Fatalf("evicted %v, want t0/p1", evicted)
+	}
+}
+
+func TestLRUTouchMiss(t *testing.T) {
+	b := NewLRU(2)
+	if b.Touch(key(0, 9)) {
+		t.Fatal("Touch of absent page returned hit")
+	}
+}
+
+func TestLRUInsertExistingPromotes(t *testing.T) {
+	b := NewLRU(2)
+	b.Insert(key(0, 0))
+	b.Insert(key(0, 1))
+	if _, didEvict := b.Insert(key(0, 0)); didEvict {
+		t.Fatal("re-insert evicted")
+	}
+	evicted, _ := b.Insert(key(0, 2))
+	if evicted != key(0, 1) {
+		t.Fatalf("evicted %v, want t0/p1 after promote", evicted)
+	}
+}
+
+func TestLRUKeysOrder(t *testing.T) {
+	b := NewLRU(3)
+	b.Insert(key(0, 0))
+	b.Insert(key(0, 1))
+	b.Insert(key(0, 2))
+	b.Touch(key(0, 0))
+	want := []PageKey{key(0, 0), key(0, 2), key(0, 1)}
+	if got := b.Keys(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Keys = %v, want %v", got, want)
+	}
+}
+
+func TestLRUDistinctTreesDistinctKeys(t *testing.T) {
+	b := NewLRU(4)
+	b.Insert(key(0, 7))
+	b.Insert(key(1, 7))
+	if b.Len() != 2 {
+		t.Fatalf("Len = %d, want 2 (same page number, different trees)", b.Len())
+	}
+}
+
+func TestLRUPinPreventsEviction(t *testing.T) {
+	b := NewLRU(2)
+	b.Insert(key(0, 0))
+	b.Insert(key(0, 1))
+	if !b.Pin(key(0, 1)) {
+		t.Fatal("Pin of resident page failed")
+	}
+	// p1 would be LRU victim after touching p0... set order: promote 1? No:
+	// current order MRU=1, LRU=0; pin 1, insert 2 evicts 0 normally. Make 1
+	// the LRU by touching 0.
+	b.Touch(key(0, 0))
+	evicted, didEvict := b.Insert(key(0, 2))
+	if !didEvict || evicted != key(0, 0) {
+		t.Fatalf("evicted %v/%v, want unpinned t0/p0", evicted, didEvict)
+	}
+	if !b.Contains(key(0, 1)) {
+		t.Fatal("pinned page was evicted")
+	}
+	b.Unpin(key(0, 1))
+}
+
+func TestLRUAllPinnedPanics(t *testing.T) {
+	b := NewLRU(1)
+	b.Insert(key(0, 0))
+	b.Pin(key(0, 0))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic when evicting from fully pinned buffer")
+		}
+	}()
+	b.Insert(key(0, 1))
+}
+
+func TestLRUUnpinUnpinnedPanics(t *testing.T) {
+	b := NewLRU(1)
+	b.Insert(key(0, 0))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on spurious Unpin")
+		}
+	}()
+	b.Unpin(key(0, 0))
+}
+
+func TestLRUPinAbsent(t *testing.T) {
+	b := NewLRU(1)
+	if b.Pin(key(0, 5)) {
+		t.Fatal("Pin of absent page returned true")
+	}
+}
+
+func TestLRUDrop(t *testing.T) {
+	b := NewLRU(2)
+	b.Insert(key(0, 0))
+	if !b.Drop(key(0, 0)) {
+		t.Fatal("Drop of resident page failed")
+	}
+	if b.Contains(key(0, 0)) || b.Len() != 0 {
+		t.Fatal("page still resident after Drop")
+	}
+	if b.Drop(key(0, 0)) {
+		t.Fatal("Drop of absent page returned true")
+	}
+}
+
+func TestLRUCapacityOnePanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewLRU(0) did not panic")
+		}
+	}()
+	NewLRU(0)
+}
+
+func TestLRUNeverExceedsCapacity(t *testing.T) {
+	f := func(pages []uint8) bool {
+		b := NewLRU(8)
+		for _, p := range pages {
+			b.Insert(key(0, int(p)))
+			if b.Len() > 8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLRUKeysMatchTable(t *testing.T) {
+	f := func(pages []uint8) bool {
+		b := NewLRU(4)
+		for _, p := range pages {
+			b.Insert(key(0, int(p)%16))
+		}
+		keys := b.Keys()
+		if len(keys) != b.Len() {
+			return false
+		}
+		seen := map[PageKey]bool{}
+		for _, k := range keys {
+			if seen[k] || !b.Contains(k) {
+				return false
+			}
+			seen[k] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,250 @@
+package buffer
+
+import (
+	"testing"
+
+	"spjoin/internal/sim"
+	"spjoin/internal/storage"
+)
+
+func newDisk(d int) *storage.DiskArray {
+	return storage.NewDiskArray(d, storage.DefaultDiskParams())
+}
+
+func TestLocalBuffersMissThenHit(t *testing.T) {
+	k := sim.NewKernel()
+	disk := newDisk(4)
+	mgr := NewLocalBuffers(2, 4, disk, DefaultCostParams())
+	var classes []Class
+	k.Spawn("p0", func(p *sim.Proc) {
+		classes = append(classes, mgr.Fetch(p, 0, key(0, 1), storage.DirectoryPage))
+		classes = append(classes, mgr.Fetch(p, 0, key(0, 1), storage.DirectoryPage))
+	})
+	k.Run()
+	if classes[0] != Miss || classes[1] != LocalHit {
+		t.Fatalf("classes = %v, want [miss local-hit]", classes)
+	}
+	if disk.Accesses() != 1 {
+		t.Fatalf("disk accesses = %d, want 1", disk.Accesses())
+	}
+	s := mgr.Stats()
+	if s.LocalHits != 1 || s.Misses != 1 || s.RemoteHits != 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.HitRate() != 0.5 {
+		t.Fatalf("hit rate = %g, want 0.5", s.HitRate())
+	}
+}
+
+func TestLocalBuffersIndependence(t *testing.T) {
+	// The §3.1 pathology: both processors read the same page from disk
+	// because they cannot see each other's buffers.
+	k := sim.NewKernel()
+	disk := newDisk(4)
+	mgr := NewLocalBuffers(2, 4, disk, DefaultCostParams())
+	k.Spawn("p0", func(p *sim.Proc) {
+		mgr.Fetch(p, 0, key(0, 1), storage.DirectoryPage)
+	})
+	k.Spawn("p1", func(p *sim.Proc) {
+		p.Hold(100) // well after p0 finished its read
+		mgr.Fetch(p, 1, key(0, 1), storage.DirectoryPage)
+	})
+	k.Run()
+	if disk.Accesses() != 2 {
+		t.Fatalf("disk accesses = %d, want 2 (independent local buffers)", disk.Accesses())
+	}
+	if !mgr.Resident(0, key(0, 1)) || !mgr.Resident(1, key(0, 1)) {
+		t.Fatal("page should be resident in both local buffers")
+	}
+}
+
+func TestGlobalBufferRemoteHit(t *testing.T) {
+	k := sim.NewKernel()
+	disk := newDisk(4)
+	mgr := NewGlobalBuffer(2, 4, disk, DefaultCostParams())
+	var p1Class Class
+	k.Spawn("p0", func(p *sim.Proc) {
+		mgr.Fetch(p, 0, key(0, 1), storage.DirectoryPage)
+	})
+	k.Spawn("p1", func(p *sim.Proc) {
+		p.Hold(100)
+		p1Class = mgr.Fetch(p, 1, key(0, 1), storage.DirectoryPage)
+	})
+	k.Run()
+	if p1Class != RemoteHit {
+		t.Fatalf("p1 class = %v, want remote-hit", p1Class)
+	}
+	if disk.Accesses() != 1 {
+		t.Fatalf("disk accesses = %d, want 1 (page resident once)", disk.Accesses())
+	}
+	if mgr.Owner(key(0, 1)) != 0 {
+		t.Fatalf("owner = %d, want 0", mgr.Owner(key(0, 1)))
+	}
+}
+
+func TestGlobalBufferCoalescesConcurrentMisses(t *testing.T) {
+	// Two processors request the same absent page at the same virtual time:
+	// only one disk read must happen; the second waits and takes a hit.
+	k := sim.NewKernel()
+	disk := newDisk(4)
+	mgr := NewGlobalBuffer(2, 4, disk, DefaultCostParams())
+	var classes [2]Class
+	for i := 0; i < 2; i++ {
+		i := i
+		k.Spawn("p", func(p *sim.Proc) {
+			classes[i] = mgr.Fetch(p, i, key(0, 1), storage.DirectoryPage)
+		})
+	}
+	k.Run()
+	if disk.Accesses() != 1 {
+		t.Fatalf("disk accesses = %d, want 1 (coalesced)", disk.Accesses())
+	}
+	if classes[0] != Miss {
+		t.Fatalf("first requester class = %v, want miss", classes[0])
+	}
+	if classes[1] != RemoteHit {
+		t.Fatalf("second requester class = %v, want remote-hit", classes[1])
+	}
+}
+
+func TestGlobalBufferPageAtMostOnce(t *testing.T) {
+	// Even with many processors touching the same pages, each page is
+	// resident exactly once.
+	k := sim.NewKernel()
+	disk := newDisk(4)
+	mgr := NewGlobalBuffer(4, 8, disk, DefaultCostParams())
+	for i := 0; i < 4; i++ {
+		i := i
+		k.Spawn("p", func(p *sim.Proc) {
+			for page := 0; page < 8; page++ {
+				mgr.Fetch(p, i, key(0, page), storage.DirectoryPage)
+				p.Hold(1)
+			}
+		})
+	}
+	k.Run()
+	if got := mgr.ResidentPages(); got != 8 {
+		t.Fatalf("resident pages = %d, want 8", got)
+	}
+	if disk.Accesses() != 8 {
+		t.Fatalf("disk accesses = %d, want 8", disk.Accesses())
+	}
+}
+
+func TestGlobalBufferEvictionUpdatesDirectory(t *testing.T) {
+	k := sim.NewKernel()
+	disk := newDisk(4)
+	mgr := NewGlobalBuffer(1, 2, disk, DefaultCostParams())
+	k.Spawn("p0", func(p *sim.Proc) {
+		mgr.Fetch(p, 0, key(0, 0), storage.DirectoryPage)
+		mgr.Fetch(p, 0, key(0, 1), storage.DirectoryPage)
+		mgr.Fetch(p, 0, key(0, 2), storage.DirectoryPage) // evicts page 0
+		if mgr.Owner(key(0, 0)) != -1 {
+			t.Error("evicted page still in directory")
+		}
+		// Re-fetch must be a miss again.
+		if c := mgr.Fetch(p, 0, key(0, 0), storage.DirectoryPage); c != Miss {
+			t.Errorf("refetch class = %v, want miss", c)
+		}
+	})
+	k.Run()
+	if disk.Accesses() != 4 {
+		t.Fatalf("disk accesses = %d, want 4", disk.Accesses())
+	}
+}
+
+func TestGlobalBufferLocalVsRemoteCost(t *testing.T) {
+	costs := DefaultCostParams()
+	k := sim.NewKernel()
+	disk := newDisk(4)
+	mgr := NewGlobalBuffer(2, 4, disk, costs)
+	var localTime, remoteTime sim.Time
+	k.Spawn("p0", func(p *sim.Proc) {
+		mgr.Fetch(p, 0, key(0, 1), storage.DirectoryPage)
+		start := p.Now()
+		mgr.Fetch(p, 0, key(0, 1), storage.DirectoryPage)
+		localTime = p.Now() - start
+	})
+	k.Spawn("p1", func(p *sim.Proc) {
+		p.Hold(200)
+		start := p.Now()
+		mgr.Fetch(p, 1, key(0, 1), storage.DirectoryPage)
+		remoteTime = p.Now() - start
+	})
+	k.Run()
+	approx := func(got, want sim.Time) bool {
+		d := float64(got - want)
+		return d < 1e-9 && d > -1e-9
+	}
+	if !approx(localTime, costs.Lock+costs.LocalHit) {
+		t.Errorf("local hit time = %v, want %v", localTime, costs.Lock+costs.LocalHit)
+	}
+	if !approx(remoteTime, costs.Lock+costs.RemoteHit) {
+		t.Errorf("remote hit time = %v, want %v", remoteTime, costs.Lock+costs.RemoteHit)
+	}
+}
+
+func TestGlobalLessDiskThanLocalOnSharedWorkload(t *testing.T) {
+	// The paper's core buffer claim: when processors share pages, the
+	// global buffer performs fewer disk accesses than local buffers.
+	run := func(global bool) int64 {
+		k := sim.NewKernel()
+		disk := newDisk(4)
+		var mgr Manager
+		if global {
+			mgr = NewGlobalBuffer(4, 16, disk, DefaultCostParams())
+		} else {
+			mgr = NewLocalBuffers(4, 16, disk, DefaultCostParams())
+		}
+		for i := 0; i < 4; i++ {
+			i := i
+			k.Spawn("p", func(p *sim.Proc) {
+				for page := 0; page < 12; page++ {
+					mgr.Fetch(p, i, key(0, page), storage.DirectoryPage)
+					p.Hold(0.5)
+				}
+			})
+		}
+		k.Run()
+		return disk.Accesses()
+	}
+	local, global := run(false), run(true)
+	if global >= local {
+		t.Fatalf("global buffer accesses %d >= local %d", global, local)
+	}
+	if global != 12 {
+		t.Fatalf("global accesses = %d, want 12 (each page once)", global)
+	}
+}
+
+func TestManagersRejectZeroProcs(t *testing.T) {
+	for _, mk := range []func(){
+		func() { NewLocalBuffers(0, 1, newDisk(1), DefaultCostParams()) },
+		func() { NewGlobalBuffer(0, 1, newDisk(1), DefaultCostParams()) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("no panic for 0 processors")
+				}
+			}()
+			mk()
+		}()
+	}
+}
+
+func TestClassString(t *testing.T) {
+	if LocalHit.String() != "local-hit" || RemoteHit.String() != "remote-hit" || Miss.String() != "miss" {
+		t.Fatal("Class.String broken")
+	}
+	if Class(9).String() == "" {
+		t.Fatal("unknown class must format")
+	}
+}
+
+func TestStatsAccessesEmpty(t *testing.T) {
+	var s Stats
+	if s.Accesses() != 0 || s.HitRate() != 0 {
+		t.Fatal("zero stats must report zero")
+	}
+}

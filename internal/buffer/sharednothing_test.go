@@ -1,0 +1,138 @@
+package buffer
+
+import (
+	"testing"
+
+	"spjoin/internal/sim"
+	"spjoin/internal/storage"
+)
+
+func TestSharedNothingHome(t *testing.T) {
+	disk := newDisk(4)
+	s := NewSharedNothing(4, 8, disk, DefaultCostParams(), DefaultShipCost)
+	// 4 disks, 4 procs: page p -> disk p%4 -> home p%4.
+	for p := 0; p < 16; p++ {
+		if got := s.Home(key(0, p)); got != p%4 {
+			t.Fatalf("Home(page %d) = %d, want %d", p, got, p%4)
+		}
+	}
+}
+
+func TestSharedNothingOwnDiskMiss(t *testing.T) {
+	k := sim.NewKernel()
+	disk := newDisk(2)
+	s := NewSharedNothing(2, 4, disk, DefaultCostParams(), DefaultShipCost)
+	var c Class
+	k.Spawn("p0", func(p *sim.Proc) {
+		c = s.Fetch(p, 0, key(0, 0), storage.DirectoryPage) // home(0) = 0
+	})
+	end := k.Run()
+	if c != Miss {
+		t.Fatalf("class = %v, want miss", c)
+	}
+	if end != 16 {
+		t.Fatalf("own-disk read took %v, want 16 (no shipping)", end)
+	}
+	if !s.Resident(0, key(0, 0)) {
+		t.Fatal("page not cached at home")
+	}
+}
+
+func TestSharedNothingRemoteColdRead(t *testing.T) {
+	k := sim.NewKernel()
+	disk := newDisk(2)
+	s := NewSharedNothing(2, 4, disk, DefaultCostParams(), DefaultShipCost)
+	var c Class
+	k.Spawn("p0", func(p *sim.Proc) {
+		c = s.Fetch(p, 0, key(0, 1), storage.DirectoryPage) // home(1) = 1
+	})
+	end := k.Run()
+	if c != Miss {
+		t.Fatalf("class = %v, want miss", c)
+	}
+	if end != 16+DefaultShipCost {
+		t.Fatalf("remote cold read took %v, want 17.5 (disk + ship)", end)
+	}
+	// Both home and requester hold copies afterwards.
+	if !s.Resident(0, key(0, 1)) || !s.Resident(1, key(0, 1)) {
+		t.Fatal("copies missing after shipped read")
+	}
+}
+
+func TestSharedNothingShippedHit(t *testing.T) {
+	k := sim.NewKernel()
+	disk := newDisk(2)
+	s := NewSharedNothing(2, 4, disk, DefaultCostParams(), DefaultShipCost)
+	var c Class
+	k.Spawn("p1", func(p *sim.Proc) {
+		s.Fetch(p, 1, key(0, 1), storage.DirectoryPage) // home read, cached at 1
+	})
+	k.Spawn("p0", func(p *sim.Proc) {
+		p.Hold(100)
+		c = s.Fetch(p, 0, key(0, 1), storage.DirectoryPage)
+	})
+	k.Run()
+	if c != RemoteHit {
+		t.Fatalf("class = %v, want remote-hit (shipped from home's buffer)", c)
+	}
+	if disk.Accesses() != 1 {
+		t.Fatalf("disk accesses = %d, want 1", disk.Accesses())
+	}
+}
+
+func TestSharedNothingReplication(t *testing.T) {
+	// Unlike the global buffer, shipped copies replicate: after both procs
+	// touch the page, both cache it, and re-reads are local everywhere.
+	k := sim.NewKernel()
+	disk := newDisk(2)
+	s := NewSharedNothing(2, 4, disk, DefaultCostParams(), DefaultShipCost)
+	var reread [2]Class
+	k.Spawn("p1", func(p *sim.Proc) {
+		s.Fetch(p, 1, key(0, 1), storage.DirectoryPage)
+		p.Hold(50)
+		reread[1] = s.Fetch(p, 1, key(0, 1), storage.DirectoryPage)
+	})
+	k.Spawn("p0", func(p *sim.Proc) {
+		p.Hold(20)
+		s.Fetch(p, 0, key(0, 1), storage.DirectoryPage)
+		p.Hold(50)
+		reread[0] = s.Fetch(p, 0, key(0, 1), storage.DirectoryPage)
+	})
+	k.Run()
+	if reread[0] != LocalHit || reread[1] != LocalHit {
+		t.Fatalf("rereads = %v, want both local", reread)
+	}
+}
+
+func TestSharedNothingRejectsZeroProcs(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for 0 processors")
+		}
+	}()
+	NewSharedNothing(0, 1, newDisk(1), DefaultCostParams(), DefaultShipCost)
+}
+
+func TestSharedNothingHomeEvictionForcesReread(t *testing.T) {
+	// Tiny home buffer: once the home evicts the page, a third processor
+	// must trigger a fresh disk read (the home re-reads and ships).
+	k := sim.NewKernel()
+	disk := newDisk(3)
+	s := NewSharedNothing(3, 1, disk, DefaultCostParams(), DefaultShipCost)
+	k.Spawn("p1", func(p *sim.Proc) {
+		// Home of page 1 is processor 1.
+		s.Fetch(p, 1, key(0, 1), storage.DirectoryPage) // read + cache
+		s.Fetch(p, 1, key(0, 4), storage.DirectoryPage) // evicts page 1 (capacity 1)
+	})
+	k.Spawn("p0", func(p *sim.Proc) {
+		p.Hold(200)
+		c := s.Fetch(p, 0, key(0, 1), storage.DirectoryPage)
+		if c != Miss {
+			t.Errorf("after home eviction, class = %v, want miss", c)
+		}
+	})
+	k.Run()
+	if disk.Accesses() != 3 {
+		t.Fatalf("disk accesses = %d, want 3 (two home reads + re-read)", disk.Accesses())
+	}
+}

@@ -1,0 +1,170 @@
+package estimate_test
+
+import (
+	"math"
+	"testing"
+
+	"spjoin/internal/estimate"
+	"spjoin/internal/join"
+	"spjoin/internal/parjoin"
+	"spjoin/internal/rtree"
+	"spjoin/internal/tiger"
+)
+
+func testTrees(tb testing.TB) (*rtree.Tree, *rtree.Tree) {
+	tb.Helper()
+	streets, mixed := tiger.Maps(0.02, 42)
+	params := rtree.Params{MaxDirEntries: 10, MaxDataEntries: 10, MinFillFrac: 0.4, ReinsertFrac: 0.3}
+	return rtree.BulkLoadSTR(params, streets, 0.8),
+		rtree.BulkLoadSTR(params, mixed, 0.8)
+}
+
+func TestTaskCostNonNegative(t *testing.T) {
+	r, s := testTrees(t)
+	tasks, _, _ := parjoin.CreateTasks(r, s, join.Options{}, 24)
+	costs := estimate.Costs(r, s, tasks)
+	if len(costs) != len(tasks) {
+		t.Fatalf("Costs len %d, want %d", len(costs), len(tasks))
+	}
+	positive := 0
+	for i, c := range costs {
+		if c < 0 || math.IsNaN(c) {
+			t.Fatalf("task %d cost %g", i, c)
+		}
+		if c > 0 {
+			positive++
+		}
+	}
+	if positive == 0 {
+		t.Fatal("all estimates zero")
+	}
+}
+
+func TestCostsTrackActualWork(t *testing.T) {
+	// The estimate must carry real signal: positive correlation with the
+	// true per-task work (measured as candidates produced per task).
+	r, s := testTrees(t)
+	tasks, _, _ := parjoin.CreateTasks(r, s, join.Options{}, 24)
+	costs := estimate.Costs(r, s, tasks)
+	actual := make([]float64, len(tasks))
+	for i, task := range tasks {
+		n := 0
+		e := join.Engine{
+			Src:         join.DirectSource{R: r, S: s},
+			OnCandidate: func(join.Candidate) { n++ },
+		}
+		e.Run(task)
+		actual[i] = float64(n)
+	}
+	corr := estimate.Correlation(costs, actual)
+	// The estimate must carry *some* signal — but only some: the paper's
+	// §3.4 point is exactly that good run-time estimation "is difficult to
+	// achieve for spatial joins" (clustered data breaks the uniformity
+	// assumptions every cheap selectivity model rests on).
+	if corr < 0.05 {
+		t.Errorf("estimate/actual correlation %.2f, want >= 0.05", corr)
+	}
+	t.Logf("estimate vs actual candidates: r = %.2f over %d tasks", corr, len(tasks))
+}
+
+func TestAssignLPTBalances(t *testing.T) {
+	tasks := make([]join.NodePair, 10)
+	costs := []float64{9, 1, 1, 1, 1, 1, 1, 1, 1, 1}
+	blocks := estimate.AssignLPT(tasks, costs, 2)
+	// LPT: the 9-cost task alone (plus possibly one more), everything else
+	// on the other processor.
+	if len(blocks[0])+len(blocks[1]) != 10 {
+		t.Fatalf("tasks lost: %d + %d", len(blocks[0]), len(blocks[1]))
+	}
+	// Recompute loads by position: we can't see costs from blocks directly,
+	// so check sizes: the heavy task's bin should have far fewer tasks.
+	small := len(blocks[0])
+	if len(blocks[1]) < small {
+		small = len(blocks[1])
+	}
+	if small > 2 {
+		t.Fatalf("LPT did not isolate the heavy task: block sizes %d/%d",
+			len(blocks[0]), len(blocks[1]))
+	}
+}
+
+func TestAssignLPTPreservesOrderWithinBlock(t *testing.T) {
+	tasks := make([]join.NodePair, 6)
+	for i := range tasks {
+		tasks[i].RLevel = i // marker
+	}
+	costs := []float64{3, 2, 5, 1, 4, 2}
+	blocks := estimate.AssignLPT(tasks, costs, 2)
+	for _, b := range blocks {
+		for i := 1; i < len(b); i++ {
+			if b[i].RLevel < b[i-1].RLevel {
+				t.Fatalf("block not in plane-sweep order: %v", b)
+			}
+		}
+	}
+}
+
+func TestAssignLPTMismatchedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on length mismatch")
+		}
+	}()
+	estimate.AssignLPT(make([]join.NodePair, 3), []float64{1}, 2)
+}
+
+func TestCorrelation(t *testing.T) {
+	if got := estimate.Correlation([]float64{1, 2, 3}, []float64{2, 4, 6}); math.Abs(got-1) > 1e-12 {
+		t.Errorf("perfect correlation = %g", got)
+	}
+	if got := estimate.Correlation([]float64{1, 2, 3}, []float64{3, 2, 1}); math.Abs(got+1) > 1e-12 {
+		t.Errorf("perfect anticorrelation = %g", got)
+	}
+	if got := estimate.Correlation([]float64{1, 1, 1}, []float64{1, 2, 3}); got != 0 {
+		t.Errorf("constant series correlation = %g, want 0", got)
+	}
+	if got := estimate.Correlation([]float64{1}, []float64{1}); got != 0 {
+		t.Errorf("short series correlation = %g, want 0", got)
+	}
+	if got := estimate.Correlation([]float64{1, 2}, []float64{1, 2, 3}); got != 0 {
+		t.Errorf("mismatched series correlation = %g, want 0", got)
+	}
+}
+
+func TestStaticEstimatedAssignmentRuns(t *testing.T) {
+	r, s := testTrees(t)
+	cfg := parjoin.DefaultConfig(8, 8, 400)
+	cfg.Assign = parjoin.StaticEstimated
+	cfg.Buffer = parjoin.LocalOrg
+	cfg.Reassign = parjoin.ReassignNone
+	res := parjoin.Run(r, s, cfg)
+	want := parjoin.Run(r, s, parjoin.DefaultConfig(8, 8, 400))
+	if res.Candidates != want.Candidates {
+		t.Fatalf("estimated assignment found %d candidates, want %d",
+			res.Candidates, want.Candidates)
+	}
+	if parjoin.StaticEstimated.String() != "static-estimated" {
+		t.Error("Assignment string missing")
+	}
+}
+
+func TestDynamicBeatsEstimatedStatic(t *testing.T) {
+	// The paper's §3.4 conclusion: dynamic assignment with task
+	// reassignment balances better than a static assignment built on cheap
+	// cost estimates. Verify gd/all-levels finishes no later than the
+	// LPT-estimated static assignment.
+	r, s := testTrees(t)
+	lptCfg := parjoin.DefaultConfig(8, 8, 400)
+	lptCfg.Buffer = parjoin.LocalOrg
+	lptCfg.Assign = parjoin.StaticEstimated
+	lptCfg.Reassign = parjoin.ReassignNone
+	lpt := parjoin.Run(r, s, lptCfg)
+
+	gd := parjoin.Run(r, s, parjoin.DefaultConfig(8, 8, 400))
+	if gd.ResponseTime > lpt.ResponseTime {
+		t.Errorf("dynamic+reassign response %.1f > estimated-static %.1f",
+			float64(gd.ResponseTime), float64(lpt.ResponseTime))
+	}
+	t.Logf("response: estimated-static %.1f s, dynamic+reassign %.1f s",
+		lpt.ResponseTime.Seconds(), gd.ResponseTime.Seconds())
+}

@@ -1,0 +1,128 @@
+package geom
+
+import "sort"
+
+// Pair identifies one intersecting pair produced by the plane sweep: the
+// indices refer to the two input sequences (R index, S index).
+type Pair struct {
+	R, S int
+}
+
+// SortRectsByMinX sorts idx so that rects[idx[i]].MinX is non-decreasing.
+// The R*-tree node join sorts entries by their lower x-coordinate before
+// sweeping (§2.2 of the paper).
+func SortRectsByMinX(rects []Rect, idx []int) {
+	sort.Slice(idx, func(a, b int) bool {
+		ra, rb := rects[idx[a]], rects[idx[b]]
+		if ra.MinX != rb.MinX {
+			return ra.MinX < rb.MinX
+		}
+		// Tie-break on MinY and then index for determinism.
+		if ra.MinY != rb.MinY {
+			return ra.MinY < rb.MinY
+		}
+		return idx[a] < idx[b]
+	})
+}
+
+// SweepVisitor receives each intersecting pair discovered by SweepPairs, in
+// local plane-sweep order. Returning false aborts the sweep early.
+type SweepVisitor func(r, s int) bool
+
+// SweepPairs enumerates all intersecting pairs between the rectangle
+// sequences rs and ss using the plane-sweep technique of §2.2: both
+// sequences must be sorted by ascending MinX (use SortRectsByMinX). The
+// sweep-line moves to the unprocessed rectangle with the smallest MinX; the
+// other sequence is then scanned from its current front until a rectangle
+// starts beyond the sweep rectangle's MaxX. Pairs are emitted in local
+// plane-sweep order. comparisons returns the number of rectangle pairs that
+// were tested for intersection, which drives the CPU cost model.
+//
+// The function performs no allocation beyond the visitor's own work.
+func SweepPairs(rs, ss []Rect, visit SweepVisitor) (comparisons int) {
+	i, j := 0, 0 // next unmarked rectangle in each sequence
+	for i < len(rs) && j < len(ss) {
+		if rs[i].MinX <= ss[j].MinX {
+			t := rs[i]
+			// Scan S starting at j until a rectangle starts past t.MaxX.
+			for k := j; k < len(ss) && ss[k].MinX <= t.MaxX; k++ {
+				comparisons++
+				if yOverlap(t, ss[k]) {
+					if !visit(i, k) {
+						return comparisons
+					}
+				}
+			}
+			i++
+		} else {
+			t := ss[j]
+			for k := i; k < len(rs) && rs[k].MinX <= t.MaxX; k++ {
+				comparisons++
+				if yOverlap(rs[k], t) {
+					if !visit(k, j) {
+						return comparisons
+					}
+				}
+			}
+			j++
+		}
+	}
+	return comparisons
+}
+
+// yOverlap tests the y-extents only: within the sweep the x-overlap is
+// already guaranteed by the scan condition MinX <= t.MaxX together with the
+// sorted order (every scanned rectangle starts at or after t.MinX).
+func yOverlap(a, b Rect) bool {
+	return a.MinY <= b.MaxY && b.MinY <= a.MaxY
+}
+
+// SweepPairsIndexed is SweepPairs over index views: ri and si are index
+// slices into rects r and s, each sorted by ascending MinX. The visitor
+// receives original indices (ri[i], si[j]).
+func SweepPairsIndexed(r, s []Rect, ri, si []int, visit SweepVisitor) (comparisons int) {
+	i, j := 0, 0
+	for i < len(ri) && j < len(si) {
+		if r[ri[i]].MinX <= s[si[j]].MinX {
+			t := r[ri[i]]
+			for k := j; k < len(si) && s[si[k]].MinX <= t.MaxX; k++ {
+				comparisons++
+				if yOverlap(t, s[si[k]]) {
+					if !visit(ri[i], si[k]) {
+						return comparisons
+					}
+				}
+			}
+			i++
+		} else {
+			t := s[si[j]]
+			for k := i; k < len(ri) && r[ri[k]].MinX <= t.MaxX; k++ {
+				comparisons++
+				if yOverlap(r[ri[k]], t) {
+					if !visit(ri[k], si[j]) {
+						return comparisons
+					}
+				}
+			}
+			j++
+		}
+	}
+	return comparisons
+}
+
+// BruteForcePairs enumerates all intersecting pairs by testing every
+// combination. It exists as the correctness oracle for SweepPairs in tests
+// and as the nested-loops baseline for the ablation benchmarks.
+func BruteForcePairs(rs, ss []Rect, visit SweepVisitor) (comparisons int) {
+	for i := range rs {
+		for j := range ss {
+			comparisons++
+			if rs[i].Intersects(ss[j]) {
+				if !visit(i, j) {
+					return comparisons
+				}
+			}
+		}
+	}
+	return comparisons
+}

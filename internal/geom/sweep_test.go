@@ -1,0 +1,251 @@
+package geom
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// collectSweep runs SweepPairs over the given (unsorted) rect slices after
+// sorting copies by MinX, and returns the produced pairs in original-index
+// space plus the order in which they were produced.
+func collectSweep(t *testing.T, rs, ss []Rect) []Pair {
+	t.Helper()
+	ri := identity(len(rs))
+	si := identity(len(ss))
+	SortRectsByMinX(rs, ri)
+	SortRectsByMinX(ss, si)
+	var pairs []Pair
+	SweepPairsIndexed(rs, ss, ri, si, func(r, s int) bool {
+		pairs = append(pairs, Pair{R: r, S: s})
+		return true
+	})
+	return pairs
+}
+
+func identity(n int) []int {
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	return idx
+}
+
+func pairSet(pairs []Pair) map[Pair]bool {
+	m := make(map[Pair]bool, len(pairs))
+	for _, p := range pairs {
+		m[p] = true
+	}
+	return m
+}
+
+func TestSweepPairsPaperExample(t *testing.T) {
+	// Mirrors the structure of Figure 1: three R rects, two S rects with
+	// known intersections.
+	rs := []Rect{
+		NewRect(0, 0, 2, 2), // r1
+		NewRect(3, 0, 5, 2), // r2
+		NewRect(6, 0, 8, 2), // r3
+	}
+	ss := []Rect{
+		NewRect(1, 1, 4, 3),   // s1 intersects r1, r2
+		NewRect(4.5, 0, 7, 1), // s2 intersects r2, r3
+	}
+	got := pairSet(collectSweep(t, rs, ss))
+	want := pairSet([]Pair{{0, 0}, {1, 0}, {1, 1}, {2, 1}})
+	if len(got) != len(want) {
+		t.Fatalf("got %d pairs, want %d: %v", len(got), len(want), got)
+	}
+	for p := range want {
+		if !got[p] {
+			t.Errorf("missing pair %v", p)
+		}
+	}
+}
+
+func TestSweepPairsEmptyInputs(t *testing.T) {
+	if n := SweepPairs(nil, nil, func(int, int) bool { t.Fatal("visited"); return true }); n != 0 {
+		t.Fatalf("comparisons = %d, want 0", n)
+	}
+	rs := []Rect{NewRect(0, 0, 1, 1)}
+	if n := SweepPairs(rs, nil, func(int, int) bool { t.Fatal("visited"); return true }); n != 0 {
+		t.Fatalf("comparisons = %d, want 0", n)
+	}
+	if n := SweepPairs(nil, rs, func(int, int) bool { t.Fatal("visited"); return true }); n != 0 {
+		t.Fatalf("comparisons = %d, want 0", n)
+	}
+}
+
+func TestSweepPairsEarlyAbort(t *testing.T) {
+	rs := []Rect{NewRect(0, 0, 10, 10), NewRect(1, 1, 9, 9)}
+	ss := []Rect{NewRect(2, 2, 8, 8), NewRect(3, 3, 7, 7)}
+	count := 0
+	SweepPairs(rs, ss, func(int, int) bool {
+		count++
+		return false
+	})
+	if count != 1 {
+		t.Fatalf("visitor called %d times after abort, want 1", count)
+	}
+}
+
+func TestSweepMatchesBruteForceRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		nr, ns := rng.Intn(40), rng.Intn(40)
+		rs := make([]Rect, nr)
+		ss := make([]Rect, ns)
+		for i := range rs {
+			rs[i] = randomRect(rng)
+		}
+		for i := range ss {
+			ss[i] = randomRect(rng)
+		}
+		got := pairSet(collectSweep(t, rs, ss))
+		var want []Pair
+		BruteForcePairs(rs, ss, func(r, s int) bool {
+			want = append(want, Pair{r, s})
+			return true
+		})
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: sweep found %d pairs, brute force %d",
+				trial, len(got), len(want))
+		}
+		for _, p := range want {
+			if !got[p] {
+				t.Fatalf("trial %d: sweep missed pair %v", trial, p)
+			}
+		}
+	}
+}
+
+func TestSweepComparisonsAtMostBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		rs := make([]Rect, 30)
+		ss := make([]Rect, 30)
+		for i := range rs {
+			rs[i] = randomRect(rng)
+		}
+		for i := range ss {
+			ss[i] = randomRect(rng)
+		}
+		ri, si := identity(len(rs)), identity(len(ss))
+		SortRectsByMinX(rs, ri)
+		SortRectsByMinX(ss, si)
+		sweepCmp := SweepPairsIndexed(rs, ss, ri, si, func(int, int) bool { return true })
+		bruteCmp := BruteForcePairs(rs, ss, func(int, int) bool { return true })
+		if sweepCmp > bruteCmp {
+			t.Fatalf("trial %d: sweep used %d comparisons > brute force %d",
+				trial, sweepCmp, bruteCmp)
+		}
+	}
+}
+
+func TestSweepOrderIsByMinX(t *testing.T) {
+	// The local plane-sweep order: pairs must be produced in non-decreasing
+	// order of the sweep-line stop positions. We verify the weaker but
+	// sufficient invariant that the max of the two MinX values per produced
+	// pair never exceeds the sweep position of later stops by checking the
+	// sequence of min(MinX) per pair is "almost" sorted: each pair's anchor
+	// rectangle (the one the sweep stopped at) has non-decreasing MinX.
+	rng := rand.New(rand.NewSource(11))
+	rs := make([]Rect, 60)
+	ss := make([]Rect, 60)
+	for i := range rs {
+		rs[i] = randomRect(rng)
+		ss[i] = randomRect(rng)
+	}
+	ri, si := identity(len(rs)), identity(len(ss))
+	SortRectsByMinX(rs, ri)
+	SortRectsByMinX(ss, si)
+	var anchors []float64
+	SweepPairsIndexed(rs, ss, ri, si, func(r, s int) bool {
+		a := rs[r].MinX
+		if ss[s].MinX < a {
+			a = ss[s].MinX
+		}
+		anchors = append(anchors, a)
+		return true
+	})
+	if !sort.Float64sAreSorted(anchors) {
+		t.Fatalf("sweep anchors not sorted: %v", anchors)
+	}
+}
+
+func TestSortRectsByMinXDeterministicTies(t *testing.T) {
+	rects := []Rect{
+		NewRect(1, 5, 2, 6),
+		NewRect(1, 3, 2, 4),
+		NewRect(1, 3, 9, 9),
+	}
+	idx := identity(3)
+	SortRectsByMinX(rects, idx)
+	// MinX all equal; order by MinY then index: rect1 (y=3,i=1), rect2
+	// (y=3,i=2), rect0 (y=5).
+	want := []int{1, 2, 0}
+	for i := range want {
+		if idx[i] != want[i] {
+			t.Fatalf("tie-broken order = %v, want %v", idx, want)
+		}
+	}
+}
+
+func BenchmarkSweepPairs1000(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	rs := make([]Rect, 1000)
+	ss := make([]Rect, 1000)
+	for i := range rs {
+		rs[i] = randomRect(rng)
+		ss[i] = randomRect(rng)
+	}
+	ri, si := identity(len(rs)), identity(len(ss))
+	SortRectsByMinX(rs, ri)
+	SortRectsByMinX(ss, si)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SweepPairsIndexed(rs, ss, ri, si, func(int, int) bool { return true })
+	}
+}
+
+func BenchmarkBruteForcePairs1000(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	rs := make([]Rect, 1000)
+	ss := make([]Rect, 1000)
+	for i := range rs {
+		rs[i] = randomRect(rng)
+		ss[i] = randomRect(rng)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BruteForcePairs(rs, ss, func(int, int) bool { return true })
+	}
+}
+
+func TestSweepAllIdenticalRects(t *testing.T) {
+	// Adversarial: every rectangle identical — the sweep must emit the full
+	// cross product exactly once.
+	r := NewRect(1, 1, 2, 2)
+	rs := make([]Rect, 20)
+	ss := make([]Rect, 15)
+	for i := range rs {
+		rs[i] = r
+	}
+	for i := range ss {
+		ss[i] = r
+	}
+	got := pairSet(collectSweep(t, rs, ss))
+	if len(got) != 20*15 {
+		t.Fatalf("identical rects: %d pairs, want %d", len(got), 20*15)
+	}
+}
+
+func TestSweepTouchingOnlyAtX(t *testing.T) {
+	// Rectangles that touch exactly at their x-boundaries must pair.
+	rs := []Rect{NewRect(0, 0, 1, 1)}
+	ss := []Rect{NewRect(1, 0, 2, 1)}
+	got := pairSet(collectSweep(t, rs, ss))
+	if !got[Pair{0, 0}] {
+		t.Fatal("x-touching rectangles not paired")
+	}
+}

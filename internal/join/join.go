@@ -1,0 +1,275 @@
+// Package join implements the sequential R*-tree spatial join of Brinkhoff,
+// Kriegel and Seeger [BKS 93], the starting point of the paper's parallel
+// algorithms. Two R*-trees are traversed synchronously depth-first; at every
+// node pair the qualifying (intersecting) entry pairs are computed with the
+// two CPU tuning techniques of §2.2:
+//
+//  1. search-space restriction: only entries intersecting the intersection
+//     of the two nodes' MBRs can contribute;
+//  2. a plane-sweep over the entries sorted by lower x-value, which emits
+//     the qualifying pairs in "local plane-sweep order" — the order in which
+//     pages are subsequently read, preserving spatial locality in the LRU
+//     buffer.
+//
+// The same expansion primitive drives the parallel executors of packages
+// parjoin and parnative.
+package join
+
+import (
+	"spjoin/internal/buffer"
+	"spjoin/internal/geom"
+	"spjoin/internal/rtree"
+	"spjoin/internal/storage"
+)
+
+// Side names the two join operands; it doubles as the buffer-layer tree id.
+const (
+	SideR buffer.TreeID = 0
+	SideS buffer.TreeID = 1
+)
+
+// Source provides node access during the join. Implementations may charge
+// virtual-time or real costs per access (buffers, disks, path buffers); the
+// returned node data is always the in-memory truth.
+type Source interface {
+	Node(side buffer.TreeID, page storage.PageID, level int) *rtree.Node
+}
+
+// DirectSource reads nodes straight from the trees with no cost accounting.
+type DirectSource struct {
+	R, S *rtree.Tree
+}
+
+// Node implements Source.
+func (d DirectSource) Node(side buffer.TreeID, page storage.PageID, _ int) *rtree.Node {
+	if side == SideR {
+		return d.R.Node(page)
+	}
+	return d.S.Node(page)
+}
+
+// Candidate is one result of the filter step: a pair of data entries whose
+// MBRs intersect. The refinement step decides whether it is an answer or a
+// false hit.
+type Candidate struct {
+	R, S         rtree.EntryID
+	RRect, SRect geom.Rect
+}
+
+// NodePair references two subtrees whose roots' MBRs intersect — the unit
+// of work throughout the parallel algorithms ("a task refers to performing
+// the sequential algorithm on a pair of subtrees").
+type NodePair struct {
+	RPage, SPage   storage.PageID
+	RLevel, SLevel int
+}
+
+// MaxLevel returns the higher of the two node levels; reassignable work is
+// ranked by it.
+func (p NodePair) MaxLevel() int {
+	if p.RLevel > p.SLevel {
+		return p.RLevel
+	}
+	return p.SLevel
+}
+
+// Options toggles the §2.2 tuning techniques, kept switchable for the
+// ablation benchmarks.
+type Options struct {
+	// DisableRestriction skips the search-space restriction.
+	DisableRestriction bool
+	// NestedLoops replaces the plane-sweep by the quadratic nested-loops
+	// pair enumeration (which also destroys the plane-sweep page order).
+	NestedLoops bool
+}
+
+// Expand computes the qualifying child pairs of the node pair (nr, ns) in
+// local plane-sweep order. Leaf/leaf pairs are emitted as candidates; all
+// other combinations as NodePairs to descend into. Nodes of unequal level
+// (possible with trees of different height) descend on the deeper side
+// only. The returned count is the number of rectangle comparisons performed,
+// which drives the CPU cost model.
+func Expand(nr, ns *rtree.Node, opts Options,
+	emitCandidate func(Candidate), emitPair func(NodePair)) (comparisons int) {
+	switch {
+	case nr.Level == 0 && ns.Level == 0:
+		return expandEqual(nr, ns, opts, func(er, es *rtree.Entry) {
+			emitCandidate(Candidate{R: er.Obj, S: es.Obj, RRect: er.Rect, SRect: es.Rect})
+		})
+	case nr.Level == ns.Level:
+		return expandEqual(nr, ns, opts, func(er, es *rtree.Entry) {
+			emitPair(NodePair{
+				RPage: er.Child, SPage: es.Child,
+				RLevel: nr.Level - 1, SLevel: ns.Level - 1,
+			})
+		})
+	case nr.Level > ns.Level:
+		return expandOneSided(nr, ns.MBR(), opts, func(er *rtree.Entry) {
+			emitPair(NodePair{
+				RPage: er.Child, SPage: ns.Page,
+				RLevel: nr.Level - 1, SLevel: ns.Level,
+			})
+		})
+	default: // ns deeper on the R side
+		return expandOneSided(ns, nr.MBR(), opts, func(es *rtree.Entry) {
+			emitPair(NodePair{
+				RPage: nr.Page, SPage: es.Child,
+				RLevel: nr.Level, SLevel: ns.Level - 1,
+			})
+		})
+	}
+}
+
+// expandEqual enumerates intersecting entry pairs of two same-level nodes.
+func expandEqual(nr, ns *rtree.Node, opts Options, emit func(er, es *rtree.Entry)) int {
+	comparisons := 0
+	rRects := entryRects(nr)
+	sRects := entryRects(ns)
+
+	// Technique (i): restrict both entry sets to the intersection of the
+	// node MBRs.
+	rIdx := allIndices(len(rRects))
+	sIdx := allIndices(len(sRects))
+	if !opts.DisableRestriction {
+		inter := nr.MBR().Intersection(ns.MBR())
+		comparisons += len(rRects) + len(sRects)
+		rIdx = filterIndices(rRects, rIdx, inter)
+		sIdx = filterIndices(sRects, sIdx, inter)
+	}
+
+	if opts.NestedLoops {
+		for _, i := range rIdx {
+			for _, j := range sIdx {
+				comparisons++
+				if rRects[i].Intersects(sRects[j]) {
+					emit(&nr.Entries[i], &ns.Entries[j])
+				}
+			}
+		}
+		return comparisons
+	}
+
+	// Technique (ii): plane-sweep in ascending MinX.
+	geom.SortRectsByMinX(rRects, rIdx)
+	geom.SortRectsByMinX(sRects, sIdx)
+	comparisons += geom.SweepPairsIndexed(rRects, sRects, rIdx, sIdx,
+		func(i, j int) bool {
+			emit(&nr.Entries[i], &ns.Entries[j])
+			return true
+		})
+	return comparisons
+}
+
+// expandOneSided enumerates the entries of node n that intersect the other
+// subtree's MBR, in ascending MinX (sweep order).
+func expandOneSided(n *rtree.Node, other geom.Rect, opts Options, emit func(e *rtree.Entry)) int {
+	comparisons := 0
+	rects := entryRects(n)
+	idx := allIndices(len(rects))
+	if !opts.NestedLoops {
+		geom.SortRectsByMinX(rects, idx)
+	}
+	for _, i := range idx {
+		comparisons++
+		if rects[i].Intersects(other) {
+			emit(&n.Entries[i])
+		}
+	}
+	return comparisons
+}
+
+func entryRects(n *rtree.Node) []geom.Rect {
+	rects := make([]geom.Rect, len(n.Entries))
+	for i := range n.Entries {
+		rects[i] = n.Entries[i].Rect
+	}
+	return rects
+}
+
+func allIndices(n int) []int {
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	return idx
+}
+
+func filterIndices(rects []geom.Rect, idx []int, window geom.Rect) []int {
+	out := idx[:0]
+	for _, i := range idx {
+		if rects[i].Intersects(window) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Engine runs the sequential [BKS 93] filter join depth-first from the two
+// roots. Costs are whatever the Source charges; comparisons are reported
+// through OnComparisons if set.
+type Engine struct {
+	Src           Source
+	Opts          Options
+	OnCandidate   func(Candidate) // receives every filter-step result
+	OnComparisons func(int)       // optional CPU accounting hook
+}
+
+// Run joins the subtrees rooted at the given pair (normally the two roots).
+// It performs a depth-first traversal; at every node pair, qualifying child
+// pairs are visited in local plane-sweep order.
+func (e *Engine) Run(root NodePair) {
+	// Explicit stack; children pushed in reverse so they pop in sweep order.
+	stack := []NodePair{root}
+	var children []NodePair
+	for len(stack) > 0 {
+		p := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+
+		nr := e.Src.Node(SideR, p.RPage, p.RLevel)
+		ns := e.Src.Node(SideS, p.SPage, p.SLevel)
+		children = children[:0]
+		comparisons := Expand(nr, ns, e.Opts,
+			func(c Candidate) {
+				if e.OnCandidate != nil {
+					e.OnCandidate(c)
+				}
+			},
+			func(np NodePair) { children = append(children, np) })
+		if e.OnComparisons != nil {
+			e.OnComparisons(comparisons)
+		}
+		for i := len(children) - 1; i >= 0; i-- {
+			stack = append(stack, children[i])
+		}
+	}
+}
+
+// RootPair returns the NodePair of two trees' roots, or false if the trees
+// cannot join (either empty or with disjoint MBRs).
+func RootPair(r, s *rtree.Tree) (NodePair, bool) {
+	if r.Len() == 0 || s.Len() == 0 || !r.MBR().Intersects(s.MBR()) {
+		return NodePair{}, false
+	}
+	return NodePair{
+		RPage: r.Root(), SPage: s.Root(),
+		RLevel: r.Node(r.Root()).Level, SLevel: s.Node(s.Root()).Level,
+	}, true
+}
+
+// Sequential runs the whole filter join of trees r and s with a
+// cost-free source and returns the candidate set. This is the correctness
+// baseline every parallel variant must reproduce.
+func Sequential(r, s *rtree.Tree, opts Options) []Candidate {
+	var out []Candidate
+	root, ok := RootPair(r, s)
+	if !ok {
+		return nil
+	}
+	e := Engine{
+		Src:         DirectSource{R: r, S: s},
+		Opts:        opts,
+		OnCandidate: func(c Candidate) { out = append(out, c) },
+	}
+	e.Run(root)
+	return out
+}

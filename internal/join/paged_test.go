@@ -1,0 +1,97 @@
+package join
+
+import (
+	"path/filepath"
+	"testing"
+
+	"spjoin/internal/pagefile"
+	"spjoin/internal/rtree"
+	"spjoin/internal/tiger"
+)
+
+func pagedTrees(t *testing.T, frames int) (*rtree.PagedTree, *rtree.PagedTree, *rtree.Tree, *rtree.Tree) {
+	t.Helper()
+	streets, mixed := tiger.Maps(0.01, 42)
+	r := rtree.BulkLoadSTR(smallParams(), streets, 0.8)
+	s := rtree.BulkLoadSTR(smallParams(), mixed, 0.8)
+	dir := t.TempDir()
+	save := func(tree *rtree.Tree, name string) *rtree.PagedTree {
+		pf, err := pagefile.Create(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { pf.Close() })
+		if err := tree.SaveToPageFile(pf); err != nil {
+			t.Fatal(err)
+		}
+		pt, err := rtree.OpenPagedTree(pf, frames)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return pt
+	}
+	return save(r, "r.spjf"), save(s, "s.spjf"), r, s
+}
+
+func TestPagedSequentialMatchesInMemory(t *testing.T) {
+	pr, ps, r, s := pagedTrees(t, 32)
+	want := candidateSet(Sequential(r, s, Options{}))
+	got, stats, err := PagedSequential(pr, ps, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotSet := candidateSet(got)
+	if len(gotSet) != len(want) {
+		t.Fatalf("paged join found %d pairs, in-memory %d", len(gotSet), len(want))
+	}
+	for k := range want {
+		if !gotSet[k] {
+			t.Fatalf("paged join missed %v", k)
+		}
+	}
+	if stats.Reads() == 0 {
+		t.Fatal("no physical reads recorded")
+	}
+	if stats.RHits+stats.RMisses == 0 || stats.SHits+stats.SMisses == 0 {
+		t.Fatalf("one-sided I/O stats: %+v", stats)
+	}
+}
+
+func TestPagedSequentialSmallPoolMoreReads(t *testing.T) {
+	prBig, psBig, _, _ := pagedTrees(t, 256)
+	_, big, err := PagedSequential(prBig, psBig, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prSmall, psSmall, _, _ := pagedTrees(t, 2)
+	_, small, err := PagedSequential(prSmall, psSmall, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.Reads() <= big.Reads() {
+		t.Fatalf("tiny pool reads %d <= big pool reads %d", small.Reads(), big.Reads())
+	}
+}
+
+func TestPagedSequentialEmptyTrees(t *testing.T) {
+	empty := rtree.New(smallParams())
+	pf, err := pagefile.Create(filepath.Join(t.TempDir(), "e.spjf"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pf.Close()
+	if err := empty.SaveToPageFile(pf); err != nil {
+		t.Fatal(err)
+	}
+	pt, err := rtree.OpenPagedTree(pf, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := PagedSequential(pt, pt, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("empty paged join returned %d pairs", len(got))
+	}
+}

@@ -1,0 +1,41 @@
+package join
+
+// CreateTasks performs the paper's sequential task-creation phase (§3.1)
+// against any node source: starting from the root pair, node pairs are
+// expanded level by level — always in local plane-sweep order — until at
+// least minTasks pairs of subtrees exist or only leaf pairs remain.
+//
+// The returned level is the maximum subtree level among the tasks (the
+// "root level" for reassignment purposes); comparisons counts the rectangle
+// tests spent.
+func CreateTasks(src Source, root NodePair, opts Options, minTasks int) (tasks []NodePair, level int, comparisons int) {
+	tasks = []NodePair{root}
+	for len(tasks) < minTasks {
+		next := make([]NodePair, 0, 4*len(tasks))
+		expandedAny := false
+		for _, p := range tasks {
+			if p.RLevel == 0 && p.SLevel == 0 {
+				next = append(next, p) // leaf pairs cannot be divided further
+				continue
+			}
+			expandedAny = true
+			nr := src.Node(SideR, p.RPage, p.RLevel)
+			ns := src.Node(SideS, p.SPage, p.SLevel)
+			comparisons += Expand(nr, ns, opts,
+				func(Candidate) {
+					panic("join: candidate emitted during task creation")
+				},
+				func(np NodePair) { next = append(next, np) })
+		}
+		tasks = next
+		if !expandedAny {
+			break
+		}
+	}
+	for _, t := range tasks {
+		if l := t.MaxLevel(); l > level {
+			level = l
+		}
+	}
+	return tasks, level, comparisons
+}

@@ -1,0 +1,85 @@
+// Package mapio reads and writes spatial relations as CSV
+// ("id,minx,miny,maxx,maxy" rows with a header), the interchange format of
+// cmd/datagen. It lets users join their own data with cmd/spjoin instead of
+// the synthetic maps.
+package mapio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"spjoin/internal/geom"
+	"spjoin/internal/rtree"
+)
+
+// Header is the first CSV line.
+const Header = "id,minx,miny,maxx,maxy"
+
+// Write emits items as CSV.
+func Write(w io.Writer, items []rtree.Item) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, Header); err != nil {
+		return err
+	}
+	for _, it := range items {
+		if _, err := fmt.Fprintf(bw, "%d,%g,%g,%g,%g\n",
+			it.ID, it.Rect.MinX, it.Rect.MinY, it.Rect.MaxX, it.Rect.MaxY); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Read parses a CSV relation. The header line is required; malformed rows
+// (wrong field count, non-numeric values, empty rectangles) are rejected
+// with the line number.
+func Read(r io.Reader) ([]rtree.Item, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("mapio: empty input")
+	}
+	if got := strings.TrimSpace(sc.Text()); got != Header {
+		return nil, fmt.Errorf("mapio: bad header %q, want %q", got, Header)
+	}
+	var items []rtree.Item
+	line := 1
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		fields := strings.Split(text, ",")
+		if len(fields) != 5 {
+			return nil, fmt.Errorf("mapio: line %d: %d fields, want 5", line, len(fields))
+		}
+		id, err := strconv.ParseInt(fields[0], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("mapio: line %d: bad id: %v", line, err)
+		}
+		var coords [4]float64
+		for i, f := range fields[1:] {
+			v, err := strconv.ParseFloat(f, 64)
+			if err != nil {
+				return nil, fmt.Errorf("mapio: line %d: bad coordinate: %v", line, err)
+			}
+			coords[i] = v
+		}
+		rect := geom.Rect{MinX: coords[0], MinY: coords[1], MaxX: coords[2], MaxY: coords[3]}
+		if !rect.Valid() {
+			return nil, fmt.Errorf("mapio: line %d: invalid rectangle %v", line, rect)
+		}
+		items = append(items, rtree.Item{ID: rtree.EntryID(id), Rect: rect})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return items, nil
+}

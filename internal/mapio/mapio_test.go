@@ -1,0 +1,82 @@
+package mapio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"spjoin/internal/tiger"
+)
+
+func TestRoundTrip(t *testing.T) {
+	items := tiger.Streets(500, 42)
+	var buf bytes.Buffer
+	if err := Write(&buf, items); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if len(got) != len(items) {
+		t.Fatalf("round trip lost rows: %d vs %d", len(got), len(items))
+	}
+	for i := range items {
+		if got[i].ID != items[i].ID {
+			t.Fatalf("row %d: id %d, want %d", i, got[i].ID, items[i].ID)
+		}
+		// %g is precise for float64, so rects round-trip exactly.
+		if got[i].Rect != items[i].Rect {
+			t.Fatalf("row %d: rect %v, want %v", i, got[i].Rect, items[i].Rect)
+		}
+	}
+}
+
+func TestReadEmptyRelation(t *testing.T) {
+	got, err := Read(strings.NewReader(Header + "\n"))
+	if err != nil {
+		t.Fatalf("Read header-only: %v", err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("got %d rows", len(got))
+	}
+}
+
+func TestReadSkipsBlankLines(t *testing.T) {
+	got, err := Read(strings.NewReader(Header + "\n\n1,0,0,1,1\n\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("got %d rows, want 1", len(got))
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := []struct {
+		name, in string
+	}{
+		{"empty", ""},
+		{"bad header", "x,y\n"},
+		{"wrong field count", Header + "\n1,2,3\n"},
+		{"bad id", Header + "\nxx,0,0,1,1\n"},
+		{"bad coord", Header + "\n1,0,zz,1,1\n"},
+		{"inverted rect", Header + "\n1,5,5,1,1\n"},
+		{"nan", Header + "\n1,NaN,0,1,1\n"},
+	}
+	for _, c := range cases {
+		if _, err := Read(strings.NewReader(c.in)); err == nil {
+			t.Errorf("%s: no error", c.name)
+		}
+	}
+}
+
+func TestHeaderConstantMatchesWrite(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.TrimSpace(buf.String()); got != Header {
+		t.Fatalf("Write header %q != Header %q", got, Header)
+	}
+}

@@ -1,0 +1,228 @@
+// Package pagefile is a real paged storage engine: fixed-size 4 KB pages in
+// a single file, with a header page, a free list, an application metadata
+// area and a pinning LRU buffer pool. Where package storage *simulates* the
+// paper's disk array in virtual time, this package performs actual I/O —
+// internal/rtree builds on it to persist trees and join them out-of-core.
+package pagefile
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+)
+
+// PageSize is the fixed page size in bytes (the paper's 4 KB).
+const PageSize = 4096
+
+// PageID addresses one page of a file. Page 0 is the header and is never
+// handed out.
+type PageID int32
+
+// InvalidPage is returned when no page is available/applicable.
+const InvalidPage PageID = 0
+
+const (
+	magic         = "SPJF"
+	headerMagic   = 0
+	headerPages   = 4  // u32 page count (including header)
+	headerFree    = 8  // i32 free list head (0 = none)
+	headerMetaLen = 12 // u16 application metadata length
+	headerMeta    = 14 // metadata bytes
+	maxMetaLen    = PageSize - headerMeta
+)
+
+// ErrClosed is returned for operations on a closed file.
+var ErrClosed = errors.New("pagefile: file closed")
+
+// File is a paged file. It is not safe for concurrent use; wrap access in
+// the BufferPool (which serializes) or external locking.
+type File struct {
+	f         *os.File
+	pageCount int32
+	freeHead  PageID
+	meta      []byte
+	closed    bool
+
+	// Reads and Writes count physical page transfers (diagnostics and the
+	// out-of-core join's I/O metric).
+	Reads, Writes int64
+}
+
+// Create creates (or truncates) a paged file.
+func Create(path string) (*File, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	pf := &File{f: f, pageCount: 1}
+	if err := pf.writeHeader(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return pf, nil
+}
+
+// Open opens an existing paged file and validates its header.
+func Open(path string) (*File, error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return nil, err
+	}
+	pf := &File{f: f}
+	var header [PageSize]byte
+	if _, err := f.ReadAt(header[:], 0); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("pagefile: reading header: %w", err)
+	}
+	if string(header[headerMagic:headerMagic+4]) != magic {
+		f.Close()
+		return nil, fmt.Errorf("pagefile: %s is not a page file", path)
+	}
+	pf.pageCount = int32(binary.LittleEndian.Uint32(header[headerPages:]))
+	pf.freeHead = PageID(binary.LittleEndian.Uint32(header[headerFree:]))
+	metaLen := int(binary.LittleEndian.Uint16(header[headerMetaLen:]))
+	if metaLen > maxMetaLen {
+		f.Close()
+		return nil, fmt.Errorf("pagefile: corrupt metadata length %d", metaLen)
+	}
+	pf.meta = append([]byte(nil), header[headerMeta:headerMeta+metaLen]...)
+	if pf.pageCount < 1 {
+		f.Close()
+		return nil, fmt.Errorf("pagefile: corrupt page count %d", pf.pageCount)
+	}
+	return pf, nil
+}
+
+// writeHeader persists the header page.
+func (pf *File) writeHeader() error {
+	var header [PageSize]byte
+	copy(header[headerMagic:], magic)
+	binary.LittleEndian.PutUint32(header[headerPages:], uint32(pf.pageCount))
+	binary.LittleEndian.PutUint32(header[headerFree:], uint32(pf.freeHead))
+	binary.LittleEndian.PutUint16(header[headerMetaLen:], uint16(len(pf.meta)))
+	copy(header[headerMeta:], pf.meta)
+	_, err := pf.f.WriteAt(header[:], 0)
+	return err
+}
+
+// Meta returns the application metadata stored in the header.
+func (pf *File) Meta() []byte { return append([]byte(nil), pf.meta...) }
+
+// SetMeta stores up to 4 KB minus header of application metadata.
+func (pf *File) SetMeta(meta []byte) error {
+	if pf.closed {
+		return ErrClosed
+	}
+	if len(meta) > maxMetaLen {
+		return fmt.Errorf("pagefile: metadata %d bytes exceeds %d", len(meta), maxMetaLen)
+	}
+	pf.meta = append([]byte(nil), meta...)
+	return pf.writeHeader()
+}
+
+// PageCount returns the number of pages including the header.
+func (pf *File) PageCount() int { return int(pf.pageCount) }
+
+// Allocate returns a fresh (or recycled) page id.
+func (pf *File) Allocate() (PageID, error) {
+	if pf.closed {
+		return InvalidPage, ErrClosed
+	}
+	if pf.freeHead != 0 {
+		id := pf.freeHead
+		var buf [PageSize]byte
+		if err := pf.ReadPage(id, buf[:]); err != nil {
+			return InvalidPage, err
+		}
+		pf.freeHead = PageID(binary.LittleEndian.Uint32(buf[:4]))
+		return id, pf.writeHeader()
+	}
+	id := PageID(pf.pageCount)
+	pf.pageCount++
+	var zero [PageSize]byte
+	if _, err := pf.f.WriteAt(zero[:], int64(id)*PageSize); err != nil {
+		pf.pageCount--
+		return InvalidPage, err
+	}
+	return id, pf.writeHeader()
+}
+
+// Free recycles a page onto the free list. Freeing the header or an
+// unallocated page is an error.
+func (pf *File) Free(id PageID) error {
+	if pf.closed {
+		return ErrClosed
+	}
+	if id <= 0 || int32(id) >= pf.pageCount {
+		return fmt.Errorf("pagefile: cannot free page %d", id)
+	}
+	var buf [PageSize]byte
+	binary.LittleEndian.PutUint32(buf[:4], uint32(pf.freeHead))
+	if _, err := pf.f.WriteAt(buf[:], int64(id)*PageSize); err != nil {
+		return err
+	}
+	pf.freeHead = id
+	return pf.writeHeader()
+}
+
+// ReadPage fills buf (len PageSize) with the page's content.
+func (pf *File) ReadPage(id PageID, buf []byte) error {
+	if pf.closed {
+		return ErrClosed
+	}
+	if err := pf.checkPage(id, len(buf)); err != nil {
+		return err
+	}
+	if _, err := pf.f.ReadAt(buf[:PageSize], int64(id)*PageSize); err != nil {
+		return fmt.Errorf("pagefile: read page %d: %w", id, err)
+	}
+	pf.Reads++
+	return nil
+}
+
+// WritePage stores buf (len PageSize) as the page's content.
+func (pf *File) WritePage(id PageID, buf []byte) error {
+	if pf.closed {
+		return ErrClosed
+	}
+	if err := pf.checkPage(id, len(buf)); err != nil {
+		return err
+	}
+	if _, err := pf.f.WriteAt(buf[:PageSize], int64(id)*PageSize); err != nil {
+		return fmt.Errorf("pagefile: write page %d: %w", id, err)
+	}
+	pf.Writes++
+	return nil
+}
+
+func (pf *File) checkPage(id PageID, bufLen int) error {
+	if bufLen < PageSize {
+		return fmt.Errorf("pagefile: buffer %d bytes, need %d", bufLen, PageSize)
+	}
+	if id <= 0 || int32(id) >= pf.pageCount {
+		return fmt.Errorf("pagefile: page %d out of range [1, %d)", id, pf.pageCount)
+	}
+	return nil
+}
+
+// Sync flushes to stable storage.
+func (pf *File) Sync() error {
+	if pf.closed {
+		return ErrClosed
+	}
+	return pf.f.Sync()
+}
+
+// Close syncs and closes the file.
+func (pf *File) Close() error {
+	if pf.closed {
+		return nil
+	}
+	pf.closed = true
+	if err := pf.f.Sync(); err != nil {
+		pf.f.Close()
+		return err
+	}
+	return pf.f.Close()
+}

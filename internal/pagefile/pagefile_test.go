@@ -1,0 +1,189 @@
+package pagefile
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+)
+
+func tempFile(t *testing.T) *File {
+	t.Helper()
+	pf, err := Create(filepath.Join(t.TempDir(), "test.spjf"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { pf.Close() })
+	return pf
+}
+
+func TestAllocateReadWrite(t *testing.T) {
+	pf := tempFile(t)
+	id, err := pf.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id == InvalidPage {
+		t.Fatal("allocated header page id")
+	}
+	data := make([]byte, PageSize)
+	copy(data, "hello pages")
+	if err := pf.WritePage(id, data); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, PageSize)
+	if err := pf.ReadPage(id, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("read back differs")
+	}
+	if pf.Reads != 1 || pf.Writes != 1 {
+		t.Fatalf("I/O counters %d/%d, want 1/1", pf.Reads, pf.Writes)
+	}
+}
+
+func TestFreshPageIsZeroed(t *testing.T) {
+	pf := tempFile(t)
+	id, _ := pf.Allocate()
+	buf := make([]byte, PageSize)
+	buf[0] = 0xFF
+	if err := pf.ReadPage(id, buf); err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range buf {
+		if b != 0 {
+			t.Fatalf("byte %d = %d, want 0", i, b)
+		}
+	}
+}
+
+func TestPersistenceAcrossReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "persist.spjf")
+	pf, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, _ := pf.Allocate()
+	data := make([]byte, PageSize)
+	copy(data, "persistent")
+	pf.WritePage(id, data)
+	if err := pf.SetMeta([]byte("tree-meta")); err != nil {
+		t.Fatal(err)
+	}
+	if err := pf.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	pf2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pf2.Close()
+	if string(pf2.Meta()) != "tree-meta" {
+		t.Fatalf("meta = %q", pf2.Meta())
+	}
+	if pf2.PageCount() != 2 {
+		t.Fatalf("page count %d, want 2", pf2.PageCount())
+	}
+	got := make([]byte, PageSize)
+	if err := pf2.ReadPage(id, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got[:10], []byte("persistent")) {
+		t.Fatal("content lost across reopen")
+	}
+}
+
+func TestFreeAndRecycle(t *testing.T) {
+	pf := tempFile(t)
+	a, _ := pf.Allocate()
+	b, _ := pf.Allocate()
+	if err := pf.Free(a); err != nil {
+		t.Fatal(err)
+	}
+	c, _ := pf.Allocate()
+	if c != a {
+		t.Fatalf("recycled page %d, want %d", c, a)
+	}
+	_ = b
+	// Free list across reopen.
+	if err := pf.Free(b); err != nil {
+		t.Fatal(err)
+	}
+	path := pf.f.Name()
+	pf.Close()
+	pf2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pf2.Close()
+	d, err := pf2.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != b {
+		t.Fatalf("reopened recycle gave %d, want %d", d, b)
+	}
+}
+
+func TestFreeInvalid(t *testing.T) {
+	pf := tempFile(t)
+	if err := pf.Free(0); err == nil {
+		t.Error("freeing header succeeded")
+	}
+	if err := pf.Free(99); err == nil {
+		t.Error("freeing unallocated page succeeded")
+	}
+}
+
+func TestReadWriteBounds(t *testing.T) {
+	pf := tempFile(t)
+	buf := make([]byte, PageSize)
+	if err := pf.ReadPage(0, buf); err == nil {
+		t.Error("read of header via ReadPage succeeded")
+	}
+	if err := pf.ReadPage(5, buf); err == nil {
+		t.Error("read past end succeeded")
+	}
+	if err := pf.ReadPage(1, make([]byte, 10)); err == nil {
+		t.Error("short buffer accepted")
+	}
+}
+
+func TestOpenRejectsGarbage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "garbage")
+	if err := writeFile(path, []byte("this is not a page file, far too short anyway")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path); err == nil {
+		t.Fatal("Open accepted garbage")
+	}
+}
+
+func TestClosedFileOperations(t *testing.T) {
+	pf := tempFile(t)
+	pf.Close()
+	if _, err := pf.Allocate(); err != ErrClosed {
+		t.Errorf("Allocate after close: %v", err)
+	}
+	if err := pf.ReadPage(1, make([]byte, PageSize)); err != ErrClosed {
+		t.Errorf("ReadPage after close: %v", err)
+	}
+	if err := pf.SetMeta(nil); err != ErrClosed {
+		t.Errorf("SetMeta after close: %v", err)
+	}
+	if err := pf.Close(); err != nil {
+		t.Errorf("double close: %v", err)
+	}
+}
+
+func TestSetMetaTooLarge(t *testing.T) {
+	pf := tempFile(t)
+	if err := pf.SetMeta(make([]byte, PageSize)); err == nil {
+		t.Fatal("oversized meta accepted")
+	}
+}
+
+func writeFile(path string, data []byte) error {
+	return osWriteFile(path, data)
+}

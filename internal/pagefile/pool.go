@@ -1,0 +1,204 @@
+package pagefile
+
+import (
+	"fmt"
+	"sync"
+)
+
+// BufferPool is a real pinning LRU buffer pool over a page file: a fixed
+// number of frames, read-through on miss, least-recently-used replacement
+// skipping pinned frames. It mirrors the [GR 93] buffer the paper assumes,
+// but against actual file I/O.
+//
+// The pool is safe for concurrent use; it serializes all operations (and
+// thereby all file access) with one mutex. Page bytes returned by Fix stay
+// valid until the matching Unfix because pinned frames are never evicted.
+type BufferPool struct {
+	mu       sync.Mutex
+	file     *File
+	capacity int
+	frames   map[PageID]*frame
+	head     *frame // most recently used
+	tail     *frame
+
+	hits, misses int64
+}
+
+type frame struct {
+	id         PageID
+	data       [PageSize]byte
+	pins       int
+	dirty      bool
+	prev, next *frame
+}
+
+// NewBufferPool creates a pool with the given number of frames
+// (capacity >= 1).
+func NewBufferPool(file *File, capacity int) *BufferPool {
+	if capacity < 1 {
+		panic(fmt.Sprintf("pagefile: pool capacity %d < 1", capacity))
+	}
+	return &BufferPool{
+		file:     file,
+		capacity: capacity,
+		frames:   make(map[PageID]*frame, capacity),
+	}
+}
+
+// Hits and Misses report the pool's request counters.
+func (bp *BufferPool) Hits() int64 {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	return bp.hits
+}
+
+// Misses reports the number of requests that needed physical I/O.
+func (bp *BufferPool) Misses() int64 {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	return bp.misses
+}
+
+// Fix pins the page in memory and returns its bytes. The caller must call
+// Unfix when done; the returned slice is valid until then. Mutations must
+// be followed by MarkDirty before Unfix.
+func (bp *BufferPool) Fix(id PageID) ([]byte, error) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	if fr, ok := bp.frames[id]; ok {
+		bp.hits++
+		fr.pins++
+		bp.moveToFront(fr)
+		return fr.data[:], nil
+	}
+	bp.misses++
+	fr, err := bp.allocFrame(id)
+	if err != nil {
+		return nil, err
+	}
+	if err := bp.file.ReadPage(id, fr.data[:]); err != nil {
+		bp.remove(fr)
+		return nil, err
+	}
+	fr.pins = 1
+	return fr.data[:], nil
+}
+
+// FixNew pins a frame for a freshly allocated page without reading from
+// disk (its content starts zeroed).
+func (bp *BufferPool) FixNew(id PageID) ([]byte, error) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	if _, ok := bp.frames[id]; ok {
+		return nil, fmt.Errorf("pagefile: FixNew of resident page %d", id)
+	}
+	fr, err := bp.allocFrame(id)
+	if err != nil {
+		return nil, err
+	}
+	fr.pins = 1
+	fr.dirty = true
+	return fr.data[:], nil
+}
+
+// allocFrame makes room (evicting if needed) and links a fresh frame.
+func (bp *BufferPool) allocFrame(id PageID) (*frame, error) {
+	if len(bp.frames) >= bp.capacity {
+		victim := bp.tail
+		for victim != nil && victim.pins > 0 {
+			victim = victim.prev
+		}
+		if victim == nil {
+			return nil, fmt.Errorf("pagefile: all %d frames pinned", bp.capacity)
+		}
+		if victim.dirty {
+			if err := bp.file.WritePage(victim.id, victim.data[:]); err != nil {
+				return nil, err
+			}
+		}
+		bp.remove(victim)
+	}
+	fr := &frame{id: id}
+	bp.pushFront(fr)
+	bp.frames[id] = fr
+	return fr, nil
+}
+
+// MarkDirty records that the pinned page was modified and must reach disk.
+func (bp *BufferPool) MarkDirty(id PageID) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	fr, ok := bp.frames[id]
+	if !ok || fr.pins == 0 {
+		panic(fmt.Sprintf("pagefile: MarkDirty of unpinned page %d", id))
+	}
+	fr.dirty = true
+}
+
+// Unfix releases one pin.
+func (bp *BufferPool) Unfix(id PageID) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	fr, ok := bp.frames[id]
+	if !ok || fr.pins == 0 {
+		panic(fmt.Sprintf("pagefile: Unfix of unpinned page %d", id))
+	}
+	fr.pins--
+}
+
+// Flush writes every dirty frame back to the file.
+func (bp *BufferPool) Flush() error {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	for fr := bp.head; fr != nil; fr = fr.next {
+		if fr.dirty {
+			if err := bp.file.WritePage(fr.id, fr.data[:]); err != nil {
+				return err
+			}
+			fr.dirty = false
+		}
+	}
+	return nil
+}
+
+// Resident returns the number of buffered pages (diagnostics).
+func (bp *BufferPool) Resident() int {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	return len(bp.frames)
+}
+
+func (bp *BufferPool) pushFront(fr *frame) {
+	fr.prev = nil
+	fr.next = bp.head
+	if bp.head != nil {
+		bp.head.prev = fr
+	}
+	bp.head = fr
+	if bp.tail == nil {
+		bp.tail = fr
+	}
+}
+
+func (bp *BufferPool) remove(fr *frame) {
+	if fr.prev != nil {
+		fr.prev.next = fr.next
+	} else {
+		bp.head = fr.next
+	}
+	if fr.next != nil {
+		fr.next.prev = fr.prev
+	} else {
+		bp.tail = fr.prev
+	}
+	delete(bp.frames, fr.id)
+}
+
+func (bp *BufferPool) moveToFront(fr *frame) {
+	if bp.head == fr {
+		return
+	}
+	bp.remove(fr)
+	bp.pushFront(fr)
+	bp.frames[fr.id] = fr
+}

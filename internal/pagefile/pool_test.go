@@ -1,0 +1,194 @@
+package pagefile
+
+import (
+	"os"
+	"testing"
+)
+
+// osWriteFile avoids importing os twice in the other test file.
+func osWriteFile(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644)
+}
+
+func poolSetup(t *testing.T, pages, frames int) (*File, *BufferPool, []PageID) {
+	t.Helper()
+	pf := tempFile(t)
+	ids := make([]PageID, pages)
+	buf := make([]byte, PageSize)
+	for i := range ids {
+		id, err := pf.Allocate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = id
+		buf[0] = byte(i + 1)
+		if err := pf.WritePage(id, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pf.Reads, pf.Writes = 0, 0
+	return pf, NewBufferPool(pf, frames), ids
+}
+
+func TestPoolHitMiss(t *testing.T) {
+	pf, bp, ids := poolSetup(t, 3, 2)
+	data, err := bp.Fix(ids[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if data[0] != 1 {
+		t.Fatalf("page content %d, want 1", data[0])
+	}
+	bp.Unfix(ids[0])
+	if _, err := bp.Fix(ids[0]); err != nil {
+		t.Fatal(err)
+	}
+	bp.Unfix(ids[0])
+	if bp.Hits() != 1 || bp.Misses() != 1 {
+		t.Fatalf("hits/misses %d/%d, want 1/1", bp.Hits(), bp.Misses())
+	}
+	if pf.Reads != 1 {
+		t.Fatalf("physical reads %d, want 1", pf.Reads)
+	}
+}
+
+func TestPoolEvictsLRU(t *testing.T) {
+	pf, bp, ids := poolSetup(t, 3, 2)
+	for _, id := range ids { // touch 3 pages through 2 frames
+		if _, err := bp.Fix(id); err != nil {
+			t.Fatal(err)
+		}
+		bp.Unfix(id)
+	}
+	if bp.Resident() != 2 {
+		t.Fatalf("resident %d, want 2", bp.Resident())
+	}
+	// ids[0] was evicted; re-fix causes another physical read.
+	before := pf.Reads
+	if _, err := bp.Fix(ids[0]); err != nil {
+		t.Fatal(err)
+	}
+	bp.Unfix(ids[0])
+	if pf.Reads != before+1 {
+		t.Fatal("evicted page not re-read")
+	}
+}
+
+func TestPoolWriteBackDirty(t *testing.T) {
+	pf, bp, ids := poolSetup(t, 3, 2)
+	data, err := bp.Fix(ids[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[0] = 0xAB
+	bp.MarkDirty(ids[0])
+	bp.Unfix(ids[0])
+	// Force eviction of ids[0] by touching the other two pages.
+	bp.Fix(ids[1])
+	bp.Unfix(ids[1])
+	bp.Fix(ids[2])
+	bp.Unfix(ids[2])
+	// Direct file read must observe the write-back.
+	buf := make([]byte, PageSize)
+	if err := pf.ReadPage(ids[0], buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != 0xAB {
+		t.Fatalf("dirty page not written back: %x", buf[0])
+	}
+}
+
+func TestPoolFlush(t *testing.T) {
+	pf, bp, ids := poolSetup(t, 1, 2)
+	data, _ := bp.Fix(ids[0])
+	data[0] = 0x7E
+	bp.MarkDirty(ids[0])
+	bp.Unfix(ids[0])
+	if err := bp.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, PageSize)
+	pf.ReadPage(ids[0], buf)
+	if buf[0] != 0x7E {
+		t.Fatal("Flush did not persist")
+	}
+}
+
+func TestPoolPinnedPagesSurvive(t *testing.T) {
+	_, bp, ids := poolSetup(t, 3, 2)
+	if _, err := bp.Fix(ids[0]); err != nil { // stays pinned
+		t.Fatal(err)
+	}
+	bp.Fix(ids[1])
+	bp.Unfix(ids[1])
+	if _, err := bp.Fix(ids[2]); err != nil { // must evict ids[1], not ids[0]
+		t.Fatal(err)
+	}
+	bp.Unfix(ids[2])
+	if bp.Hits() != 0 {
+		t.Fatalf("unexpected hits %d", bp.Hits())
+	}
+	// ids[0] must still be resident (hit).
+	if _, err := bp.Fix(ids[0]); err != nil {
+		t.Fatal(err)
+	}
+	if bp.Hits() != 1 {
+		t.Fatal("pinned page was evicted")
+	}
+	bp.Unfix(ids[0])
+	bp.Unfix(ids[0])
+}
+
+func TestPoolAllPinnedError(t *testing.T) {
+	_, bp, ids := poolSetup(t, 3, 2)
+	bp.Fix(ids[0])
+	bp.Fix(ids[1])
+	if _, err := bp.Fix(ids[2]); err == nil {
+		t.Fatal("fixing into a fully pinned pool succeeded")
+	}
+}
+
+func TestPoolFixNew(t *testing.T) {
+	pf, bp, _ := poolSetup(t, 1, 2)
+	id, err := pf.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := bp.FixNew(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[0] = 0x11
+	bp.Unfix(id)
+	if err := bp.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, PageSize)
+	pf.ReadPage(id, buf)
+	if buf[0] != 0x11 {
+		t.Fatal("FixNew content not persisted")
+	}
+	if _, err := bp.FixNew(id); err == nil {
+		t.Fatal("FixNew of resident page succeeded")
+	}
+}
+
+func TestPoolUnfixPanics(t *testing.T) {
+	_, bp, ids := poolSetup(t, 1, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Unfix of unpinned page did not panic")
+		}
+	}()
+	bp.Unfix(ids[0])
+}
+
+func TestPoolCapacityPanics(t *testing.T) {
+	pf := tempFile(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewBufferPool(0) did not panic")
+		}
+	}()
+	NewBufferPool(pf, 0)
+}

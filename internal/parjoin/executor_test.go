@@ -1,0 +1,119 @@
+package parjoin
+
+import (
+	"testing"
+
+	"spjoin/internal/join"
+)
+
+// fakeState builds a runState with hand-crafted processor deques for unit
+// testing the work-stealing internals without a simulation.
+func fakeState(reassign Reassign, taskLevel int, pendings ...[]join.NodePair) *runState {
+	st := &runState{
+		cfg:       Config{Reassign: reassign, MinSteal: 2, Victim: MostLoaded},
+		taskLevel: taskLevel,
+	}
+	for i, pending := range pendings {
+		ps := &procState{id: i, pending: pending}
+		st.procs = append(st.procs, ps)
+	}
+	return st
+}
+
+func pairAt(level int) join.NodePair {
+	return join.NodePair{RLevel: level, SLevel: level}
+}
+
+func TestWorkReport(t *testing.T) {
+	st := fakeState(ReassignAll, 2,
+		[]join.NodePair{pairAt(2), pairAt(1), pairAt(0), pairAt(0)})
+	hl, ns, ok := st.workReport(st.procs[0])
+	if !ok || hl != 2 || ns != 1 {
+		t.Fatalf("workReport = (%d,%d,%v), want (2,1,true)", hl, ns, ok)
+	}
+	// Root-only mode counts only task-level pairs.
+	st.cfg.Reassign = ReassignRoot
+	hl, ns, ok = st.workReport(st.procs[0])
+	if !ok || hl != 2 || ns != 1 {
+		t.Fatalf("root workReport = (%d,%d,%v)", hl, ns, ok)
+	}
+	// No stealable work.
+	st2 := fakeState(ReassignRoot, 2, []join.NodePair{pairAt(0)})
+	if _, _, ok := st2.workReport(st2.procs[0]); ok {
+		t.Fatal("workReport found stealable leaf pairs in root mode")
+	}
+}
+
+func TestSplitWorkloadTakesBottomHalf(t *testing.T) {
+	// Stack loaded reversed: bottom (index 0) = last task in sweep order.
+	pending := []join.NodePair{
+		{RLevel: 1, SLevel: 1, RPage: 5}, // bottom: sweep-last
+		{RLevel: 1, SLevel: 1, RPage: 4},
+		{RLevel: 1, SLevel: 1, RPage: 3},
+		{RLevel: 1, SLevel: 1, RPage: 2}, // top: sweep-next
+	}
+	st := fakeState(ReassignAll, 1, pending)
+	moved := st.splitWorkload(st.procs[0])
+	if len(moved) != 2 {
+		t.Fatalf("moved %d pairs, want half = 2", len(moved))
+	}
+	// Bottom-most (pages 5, 4) are taken, returned in sweep order (4, 5).
+	if moved[0].RPage != 4 || moved[1].RPage != 5 {
+		t.Fatalf("moved = %v, want sweep order pages 4,5", moved)
+	}
+	// Victim keeps the rest in order.
+	left := st.procs[0].pending
+	if len(left) != 2 || left[0].RPage != 3 || left[1].RPage != 2 {
+		t.Fatalf("victim left with %v", left)
+	}
+}
+
+func TestSplitWorkloadRespectsMinSteal(t *testing.T) {
+	st := fakeState(ReassignAll, 1, []join.NodePair{pairAt(1)})
+	if moved := st.splitWorkload(st.procs[0]); moved != nil {
+		t.Fatalf("split below MinSteal moved %v", moved)
+	}
+}
+
+func TestPickVictimMostLoaded(t *testing.T) {
+	st := fakeState(ReassignAll, 2,
+		[]join.NodePair{}, // thief
+		[]join.NodePair{pairAt(0), pairAt(0), pairAt(0)}, // low level
+		[]join.NodePair{pairAt(2), pairAt(2)},            // high level
+		[]join.NodePair{pairAt(2), pairAt(2), pairAt(2)}, // high level, more
+	)
+	victim := st.pickVictim(st.procs[0])
+	if victim == nil || victim.id != 3 {
+		t.Fatalf("picked victim %v, want processor 3 (hl=2, ns=3)", victim)
+	}
+}
+
+func TestPickVictimExcludesSelfAndEmpty(t *testing.T) {
+	st := fakeState(ReassignAll, 1,
+		[]join.NodePair{pairAt(1), pairAt(1)},
+		[]join.NodePair{},
+	)
+	// Processor 0 asking: only processor 1 is other, but it has nothing.
+	if v := st.pickVictim(st.procs[0]); v != nil {
+		t.Fatalf("picked empty victim %d", v.id)
+	}
+	// Processor 1 asking: processor 0 qualifies.
+	if v := st.pickVictim(st.procs[1]); v == nil || v.id != 0 {
+		t.Fatal("did not pick the loaded processor")
+	}
+}
+
+func TestStealableModes(t *testing.T) {
+	st := fakeState(ReassignNone, 2)
+	if st.stealable(pairAt(2)) {
+		t.Fatal("ReassignNone stole")
+	}
+	st.cfg.Reassign = ReassignRoot
+	if !st.stealable(pairAt(2)) || st.stealable(pairAt(1)) {
+		t.Fatal("ReassignRoot wrong levels")
+	}
+	st.cfg.Reassign = ReassignAll
+	if !st.stealable(pairAt(0)) || !st.stealable(pairAt(2)) {
+		t.Fatal("ReassignAll must take everything")
+	}
+}

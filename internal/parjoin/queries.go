@@ -1,0 +1,119 @@
+package parjoin
+
+import (
+	"spjoin/internal/buffer"
+	"spjoin/internal/geom"
+	"spjoin/internal/rtree"
+	"spjoin/internal/sim"
+	"spjoin/internal/storage"
+)
+
+// The paper's §5 plans "a larger framework for parallel spatial query
+// processing where also other operations such as neighbor and window
+// queries are efficiently supported". This file adds that for window
+// queries: a batch of window queries is processed by n simulated processors
+// with dynamic assignment over the same buffer organizations and disk
+// array as the join, reporting the same measures.
+
+// QueryResult summarizes one simulated parallel window-query batch.
+type QueryResult struct {
+	// ResponseTime is the virtual time until the last query completed.
+	ResponseTime sim.Time
+	// TotalWork is the summed busy time of all processors.
+	TotalWork sim.Time
+	// DiskAccesses counts page reads.
+	DiskAccesses int64
+	// Buffer classifies all page requests.
+	Buffer buffer.Stats
+	// Results is the number of data entries reported over all queries.
+	Results int
+	// PerQuery holds each query's result count, in input order.
+	PerQuery []int
+}
+
+// RunQueries processes the window-query batch against the tree on the
+// simulated machine described by cfg (Assign/Reassign are ignored: queries
+// are independent tasks, so they are always assigned dynamically, which is
+// what the paper's framework would do). Results are deterministic.
+func RunQueries(t *rtree.Tree, queries []geom.Rect, cfg Config) QueryResult {
+	cfg.validate()
+	kernel := sim.NewKernel()
+	disk := storage.NewDiskArray(cfg.Disks, cfg.Disk)
+	perProc := cfg.BufferPages / cfg.Procs
+	if perProc < 1 {
+		perProc = 1
+	}
+	var mgr buffer.Manager
+	switch cfg.Buffer {
+	case LocalOrg:
+		mgr = buffer.NewLocalBuffers(cfg.Procs, perProc, disk, cfg.BufferCosts)
+	case GlobalOrg:
+		mgr = buffer.NewGlobalBuffer(cfg.Procs, perProc, disk, cfg.BufferCosts)
+	case SharedNothingOrg:
+		ship := cfg.ShipCost
+		if ship <= 0 {
+			ship = buffer.DefaultShipCost
+		}
+		mgr = buffer.NewSharedNothing(cfg.Procs, perProc, disk, cfg.BufferCosts, ship)
+	}
+
+	res := QueryResult{PerQuery: make([]int, len(queries))}
+	var totalWork sim.Time
+	next := 0
+	for p := 0; p < cfg.Procs; p++ {
+		proc := p
+		kernel.Spawn("qproc", func(pr *sim.Proc) {
+			for {
+				if next >= len(queries) {
+					return
+				}
+				qi := next
+				next++
+				start := pr.Now()
+				pr.Hold(cfg.CPU.TaskQueueOp)
+				res.PerQuery[qi] = simWindowQuery(t, queries[qi], pr, proc, mgr, cfg)
+				totalWork += pr.Now() - start
+			}
+		})
+	}
+	res.ResponseTime = kernel.Run()
+	res.TotalWork = totalWork
+	res.DiskAccesses = disk.Accesses()
+	res.Buffer = mgr.Stats()
+	for _, n := range res.PerQuery {
+		res.Results += n
+	}
+	return res
+}
+
+// simWindowQuery walks the tree depth-first, charging buffer/disk costs per
+// node and CPU per entry test.
+func simWindowQuery(t *rtree.Tree, q geom.Rect, pr *sim.Proc, proc int,
+	mgr buffer.Manager, cfg Config) int {
+	found := 0
+	var rec func(page storage.PageID, level int)
+	rec = func(page storage.PageID, level int) {
+		kind := storage.DirectoryPage
+		if level == 0 {
+			kind = storage.DataPage
+		}
+		mgr.Fetch(pr, proc, buffer.PageKey{Tree: 0, Page: page}, kind)
+		n := t.Node(page)
+		pr.Hold(sim.Time(len(n.Entries)) * cfg.CPU.PerComparison)
+		for i := range n.Entries {
+			e := &n.Entries[i]
+			if !e.Rect.Intersects(q) {
+				continue
+			}
+			if level == 0 {
+				found++
+			} else {
+				rec(e.Child, level-1)
+			}
+		}
+	}
+	if t.Len() > 0 {
+		rec(t.Root(), t.Node(t.Root()).Level)
+	}
+	return found
+}

@@ -1,0 +1,100 @@
+package parjoin
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"spjoin/internal/geom"
+)
+
+func testQueries(n int, seed int64) []geom.Rect {
+	rng := rand.New(rand.NewSource(seed))
+	qs := make([]geom.Rect, n)
+	for i := range qs {
+		x := rng.Float64() * 600
+		y := rng.Float64() * 600
+		qs[i] = geom.NewRect(x, y, x+5+rng.Float64()*20, y+5+rng.Float64()*20)
+	}
+	return qs
+}
+
+func TestRunQueriesCorrectCounts(t *testing.T) {
+	r, _ := testTrees(t)
+	queries := testQueries(40, 1)
+	res := RunQueries(r, queries, DefaultConfig(8, 8, 400))
+	if len(res.PerQuery) != len(queries) {
+		t.Fatalf("PerQuery len %d", len(res.PerQuery))
+	}
+	for i, q := range queries {
+		if want := r.Count(q); res.PerQuery[i] != want {
+			t.Fatalf("query %d: %d results, want %d", i, res.PerQuery[i], want)
+		}
+	}
+	if res.ResponseTime <= 0 || res.DiskAccesses == 0 {
+		t.Fatalf("suspicious measures: %+v", res)
+	}
+}
+
+func TestRunQueriesDeterministic(t *testing.T) {
+	r, _ := testTrees(t)
+	queries := testQueries(30, 2)
+	a := RunQueries(r, queries, DefaultConfig(4, 4, 200))
+	b := RunQueries(r, queries, DefaultConfig(4, 4, 200))
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("query runs differ:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestRunQueriesParallelSpeedup(t *testing.T) {
+	r, _ := testTrees(t)
+	queries := testQueries(80, 3)
+	t1 := RunQueries(r, queries, DefaultConfig(1, 1, 100)).ResponseTime
+	t8 := RunQueries(r, queries, DefaultConfig(8, 8, 800)).ResponseTime
+	if t8 >= t1 {
+		t.Fatalf("8-processor query batch (%v) not faster than 1 (%v)", t8, t1)
+	}
+}
+
+func TestRunQueriesBufferOrgs(t *testing.T) {
+	r, _ := testTrees(t)
+	queries := testQueries(60, 4)
+	var counts []int
+	for _, org := range []BufferOrg{LocalOrg, GlobalOrg, SharedNothingOrg} {
+		cfg := DefaultConfig(4, 4, 200)
+		cfg.Buffer = org
+		res := RunQueries(r, queries, cfg)
+		counts = append(counts, res.Results)
+	}
+	if counts[0] != counts[1] || counts[1] != counts[2] {
+		t.Fatalf("buffer organizations disagree on results: %v", counts)
+	}
+}
+
+func TestRunQueriesGlobalBufferSharesPages(t *testing.T) {
+	// Overlapping queries touch the same pages; the global buffer should
+	// need fewer disk reads than local buffers.
+	r, _ := testTrees(t)
+	q := testQueries(1, 5)[0]
+	queries := make([]geom.Rect, 32)
+	for i := range queries {
+		queries[i] = q // identical queries: maximal sharing
+	}
+	local := DefaultConfig(4, 4, 200)
+	local.Buffer = LocalOrg
+	global := DefaultConfig(4, 4, 200)
+	global.Buffer = GlobalOrg
+	ld := RunQueries(r, queries, local).DiskAccesses
+	gd := RunQueries(r, queries, global).DiskAccesses
+	if gd >= ld {
+		t.Fatalf("global buffer disk accesses %d >= local %d", gd, ld)
+	}
+}
+
+func TestRunQueriesEmpty(t *testing.T) {
+	r, _ := testTrees(t)
+	res := RunQueries(r, nil, DefaultConfig(2, 2, 10))
+	if res.Results != 0 || res.DiskAccesses != 0 {
+		t.Fatalf("empty batch produced work: %+v", res)
+	}
+}

@@ -1,0 +1,69 @@
+package parjoin
+
+import (
+	"spjoin/internal/buffer"
+	"spjoin/internal/join"
+	"spjoin/internal/sim"
+)
+
+// ProcStats holds per-processor outcome measures.
+type ProcStats struct {
+	// Finish is the virtual time at which the processor went idle for good;
+	// the processor finishing last determines the response time.
+	Finish sim.Time
+	// Busy is the virtual time the processor spent working (CPU, buffer,
+	// disk, refinement), excluding idle waiting.
+	Busy sim.Time
+	// Tasks is the number of root-level tasks the processor started itself
+	// (initial assignment plus dynamic queue takes).
+	Tasks int
+	// StolenFrom counts pairs other processors took from this one.
+	StolenFrom int
+	// Stolen counts pairs this processor took over from others.
+	Stolen int
+	// Candidates is the number of filter results this processor produced.
+	Candidates int
+}
+
+// Result summarizes one parallel join run with every measure the paper's
+// evaluation reports.
+type Result struct {
+	// ResponseTime is the wall-clock (virtual) time between starting the
+	// join and computing the last pair, i.e. the maximum Finish.
+	ResponseTime sim.Time
+	// FirstFinish and AvgFinish complete the Figure 7 view of imbalance.
+	FirstFinish sim.Time
+	AvgFinish   sim.Time
+	// TotalWork is the summed Busy time of all processors ("the total run
+	// time of all tasks").
+	TotalWork sim.Time
+	// DiskAccesses is the total page-read count of the disk array
+	// (Figures 5, 7, 8, 10); DataDiskAccesses counts the leaf-page subset.
+	DiskAccesses     int64
+	DataDiskAccesses int64
+	// Buffer classifies all page requests.
+	Buffer buffer.Stats
+	// PathBufferHits counts node accesses absorbed by the R*-tree path
+	// buffers (they never reach the LRU buffer).
+	PathBufferHits int64
+	// Candidates is the filter-step result count; CandidateList is filled
+	// only when Config.CollectCandidates is set.
+	Candidates    int
+	CandidateList []join.Candidate
+	// TasksCreated is m, the number of tasks after task creation.
+	TasksCreated int
+	// TaskLevel is the tree level of the created tasks' subtree roots.
+	TaskLevel int
+	// Reassignments counts successful work-load splits.
+	Reassignments int
+	// PerProc has one entry per processor.
+	PerProc []ProcStats
+}
+
+// Speedup returns t1/t(n) given the single-processor response time t1.
+func (r Result) Speedup(t1 sim.Time) float64 {
+	if r.ResponseTime <= 0 {
+		return 0
+	}
+	return float64(t1) / float64(r.ResponseTime)
+}

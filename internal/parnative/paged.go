@@ -1,0 +1,108 @@
+package parnative
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"spjoin/internal/join"
+	"spjoin/internal/rtree"
+)
+
+// JoinPaged runs the parallel filter join out-of-core: both trees live in
+// real page files and every node access goes through their (concurrency-
+// safe) buffer pools. Task creation and dynamic assignment work exactly as
+// in Join; each worker drives its own paged source.
+func JoinPaged(r, s *rtree.PagedTree, cfg Config) (Result, error) {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.TaskFactor <= 0 {
+		cfg.TaskFactor = 3
+	}
+	res := Result{Workers: cfg.Workers, PerWorker: make([]int, cfg.Workers)}
+	if r.Len() == 0 || s.Len() == 0 {
+		return res, nil
+	}
+	rRoot, err := r.Node(r.Root())
+	if err != nil {
+		return res, err
+	}
+	sRoot, err := s.Node(s.Root())
+	if err != nil {
+		return res, err
+	}
+	if !rRoot.MBR().Intersects(sRoot.MBR()) {
+		return res, nil
+	}
+
+	creationSrc, creationErr := join.NewPagedSource(r, s)
+	tasks, _, _ := join.CreateTasks(creationSrc, join.NodePair{
+		RPage: r.Root(), SPage: s.Root(),
+		RLevel: rRoot.Level, SLevel: sRoot.Level,
+	}, cfg.Opts, cfg.TaskFactor*cfg.Workers)
+	if err := creationErr(); err != nil {
+		return res, fmt.Errorf("parnative: task creation: %w", err)
+	}
+	res.Tasks = len(tasks)
+
+	perWorker := make([][]join.Candidate, cfg.Workers)
+	falseHits := make([]int, cfg.Workers)
+	workerErrs := make([]error, cfg.Workers)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			src, srcErr := join.NewPagedSource(r, s)
+			engine := join.Engine{
+				Src:  src,
+				Opts: cfg.Opts,
+				OnCandidate: func(c join.Candidate) {
+					if cfg.Refiner != nil && !cfg.Refiner(c) {
+						falseHits[w]++
+						return
+					}
+					perWorker[w] = append(perWorker[w], c)
+				},
+			}
+			for {
+				i := next.Add(1) - 1
+				if int(i) >= len(tasks) {
+					break
+				}
+				res.PerWorker[w]++
+				engine.Run(tasks[i])
+				if err := srcErr(); err != nil {
+					workerErrs[w] = err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range workerErrs {
+		if err != nil {
+			return res, fmt.Errorf("parnative: paged traversal: %w", err)
+		}
+	}
+
+	total := 0
+	for _, cands := range perWorker {
+		total += len(cands)
+	}
+	for _, fh := range falseHits {
+		res.FalseHits += fh
+	}
+	res.Candidates = make([]join.Candidate, 0, total)
+	for _, cands := range perWorker {
+		res.Candidates = append(res.Candidates, cands...)
+	}
+	if cfg.Sorted {
+		sortCandidates(res.Candidates)
+	}
+	return res, nil
+}

@@ -1,0 +1,323 @@
+package parnative
+
+import (
+	"math/rand"
+
+	"runtime"
+	"sort"
+	"spjoin/internal/geom"
+	"testing"
+
+	"path/filepath"
+
+	"spjoin/internal/join"
+	"spjoin/internal/pagefile"
+	"spjoin/internal/rtree"
+	"spjoin/internal/tiger"
+)
+
+func testTrees(tb testing.TB) (*rtree.Tree, *rtree.Tree) {
+	tb.Helper()
+	streets, mixed := tiger.Maps(0.02, 42)
+	params := rtree.Params{MaxDirEntries: 12, MaxDataEntries: 12, MinFillFrac: 0.4, ReinsertFrac: 0.3}
+	return rtree.BulkLoadSTR(params, streets, 0.8),
+		rtree.BulkLoadSTR(params, mixed, 0.8)
+}
+
+type pairKey struct{ r, s rtree.EntryID }
+
+func toSet(cands []join.Candidate) map[pairKey]bool {
+	out := make(map[pairKey]bool, len(cands))
+	for _, c := range cands {
+		out[pairKey{c.R, c.S}] = true
+	}
+	return out
+}
+
+func TestJoinMatchesSequential(t *testing.T) {
+	r, s := testTrees(t)
+	want := toSet(join.Sequential(r, s, join.Options{}))
+	for _, workers := range []int{1, 2, 4, 8} {
+		res := Join(r, s, Config{Workers: workers})
+		got := toSet(res.Candidates)
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: %d candidates, want %d", workers, len(got), len(want))
+		}
+		for k := range want {
+			if !got[k] {
+				t.Fatalf("workers=%d: missing %v", workers, k)
+			}
+		}
+		if res.Workers != workers {
+			t.Fatalf("Workers = %d, want %d", res.Workers, workers)
+		}
+	}
+}
+
+func TestJoinNoDuplicates(t *testing.T) {
+	r, s := testTrees(t)
+	res := Join(r, s, Config{Workers: 4})
+	seen := map[pairKey]bool{}
+	for _, c := range res.Candidates {
+		k := pairKey{c.R, c.S}
+		if seen[k] {
+			t.Fatalf("duplicate %v", k)
+		}
+		seen[k] = true
+	}
+}
+
+func TestSortedDeterministic(t *testing.T) {
+	r, s := testTrees(t)
+	a := Join(r, s, Config{Workers: 8, Sorted: true})
+	b := Join(r, s, Config{Workers: 8, Sorted: true})
+	if len(a.Candidates) != len(b.Candidates) {
+		t.Fatal("candidate counts differ")
+	}
+	for i := range a.Candidates {
+		if a.Candidates[i] != b.Candidates[i] {
+			t.Fatalf("sorted outputs diverge at %d", i)
+		}
+	}
+	if !sort.SliceIsSorted(a.Candidates, func(i, j int) bool {
+		x, y := a.Candidates[i], a.Candidates[j]
+		if x.R != y.R {
+			return x.R < y.R
+		}
+		return x.S < y.S
+	}) {
+		t.Fatal("output not sorted")
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	r, s := testTrees(t)
+	res := Join(r, s, Config{})
+	if res.Workers < 1 {
+		t.Fatalf("Workers = %d", res.Workers)
+	}
+	if res.Tasks == 0 {
+		t.Fatal("no tasks created")
+	}
+	if len(res.PerWorker) != res.Workers {
+		t.Fatalf("PerWorker len %d, want %d", len(res.PerWorker), res.Workers)
+	}
+	total := 0
+	for _, n := range res.PerWorker {
+		total += n
+	}
+	if total != res.Tasks {
+		t.Fatalf("per-worker task counts sum to %d, want %d", total, res.Tasks)
+	}
+}
+
+func TestWorkersShareTasks(t *testing.T) {
+	// Needs tasks heavy enough that the first worker cannot drain the queue
+	// before the others start; retry a few times since goroutine start-up
+	// latency varies with the machine.
+	if runtime.GOMAXPROCS(0) < 2 {
+		t.Skip("needs >= 2 CPUs")
+	}
+	streets, mixed := tiger.Maps(0.3, 42)
+	r := rtree.BulkLoadSTR(rtree.DefaultParams(), streets, 0.73)
+	s := rtree.BulkLoadSTR(rtree.DefaultParams(), mixed, 0.73)
+	for attempt := 0; attempt < 5; attempt++ {
+		res := Join(r, s, Config{Workers: 4})
+		if res.Tasks < 4 {
+			t.Skipf("only %d tasks", res.Tasks)
+		}
+		busy := 0
+		for _, n := range res.PerWorker {
+			if n > 0 {
+				busy++
+			}
+		}
+		if busy >= 2 {
+			return
+		}
+	}
+	t.Error("a single worker took every task in 5 attempts; dynamic assignment should spread work")
+}
+
+func TestEmptyJoin(t *testing.T) {
+	params := rtree.Params{MaxDirEntries: 12, MaxDataEntries: 12, MinFillFrac: 0.4, ReinsertFrac: 0.3}
+	empty := rtree.New(params)
+	res := Join(empty, empty, Config{Workers: 4})
+	if len(res.Candidates) != 0 || res.Tasks != 0 {
+		t.Fatalf("empty join produced %d candidates, %d tasks", len(res.Candidates), res.Tasks)
+	}
+}
+
+func BenchmarkNativeJoin(b *testing.B) {
+	streets, mixed := tiger.Maps(0.1, 42)
+	r := rtree.BulkLoadSTR(rtree.DefaultParams(), streets, 0.73)
+	s := rtree.BulkLoadSTR(rtree.DefaultParams(), mixed, 0.73)
+	for _, workers := range []int{1, 4} {
+		name := map[int]string{1: "1worker", 4: "4workers"}[workers]
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				Join(r, s, Config{Workers: workers})
+			}
+		})
+	}
+}
+
+func TestRefinerFiltersFalseHits(t *testing.T) {
+	r, s := testTrees(t)
+	all := Join(r, s, Config{Workers: 4})
+	// A refiner that rejects every pair with odd R id.
+	refined := Join(r, s, Config{
+		Workers: 4,
+		Refiner: func(c join.Candidate) bool { return c.R%2 == 0 },
+	})
+	wantKept := 0
+	for _, c := range all.Candidates {
+		if c.R%2 == 0 {
+			wantKept++
+		}
+	}
+	if len(refined.Candidates) != wantKept {
+		t.Fatalf("refined kept %d, want %d", len(refined.Candidates), wantKept)
+	}
+	if refined.FalseHits != len(all.Candidates)-wantKept {
+		t.Fatalf("false hits %d, want %d", refined.FalseHits, len(all.Candidates)-wantKept)
+	}
+	for _, c := range refined.Candidates {
+		if c.R%2 != 0 {
+			t.Fatalf("refiner leaked pair %v/%v", c.R, c.S)
+		}
+	}
+}
+
+func TestRefinerAcceptAllIsIdentity(t *testing.T) {
+	r, s := testTrees(t)
+	plain := Join(r, s, Config{Workers: 4, Sorted: true})
+	refined := Join(r, s, Config{
+		Workers: 4, Sorted: true,
+		Refiner: func(join.Candidate) bool { return true },
+	})
+	if len(plain.Candidates) != len(refined.Candidates) || refined.FalseHits != 0 {
+		t.Fatalf("accept-all refiner changed the result: %d vs %d (fh %d)",
+			len(plain.Candidates), len(refined.Candidates), refined.FalseHits)
+	}
+}
+
+func TestWindowQueriesMatchSequential(t *testing.T) {
+	r, _ := testTrees(t)
+	rng := rand.New(rand.NewSource(12))
+	queries := make([]geom.Rect, 50)
+	for i := range queries {
+		x, y := rng.Float64()*600, rng.Float64()*600
+		queries[i] = geom.NewRect(x, y, x+10, y+10)
+	}
+	got := WindowQueries(r, queries, 4)
+	if len(got) != len(queries) {
+		t.Fatalf("result count %d", len(got))
+	}
+	for i, q := range queries {
+		want := map[rtree.EntryID]bool{}
+		r.Search(q, func(id rtree.EntryID, _ geom.Rect) bool {
+			want[id] = true
+			return true
+		})
+		if len(got[i]) != len(want) {
+			t.Fatalf("query %d: %d ids, want %d", i, len(got[i]), len(want))
+		}
+		for _, id := range got[i] {
+			if !want[id] {
+				t.Fatalf("query %d: unexpected id %d", i, id)
+			}
+		}
+	}
+}
+
+func TestWindowQueriesEmptyBatch(t *testing.T) {
+	r, _ := testTrees(t)
+	if got := WindowQueries(r, nil, 0); len(got) != 0 {
+		t.Fatalf("empty batch returned %d results", len(got))
+	}
+}
+
+func pagedPair(t *testing.T, frames int) (*rtree.PagedTree, *rtree.PagedTree, *rtree.Tree, *rtree.Tree) {
+	t.Helper()
+	r, s := testTrees(t)
+	dir := t.TempDir()
+	save := func(tree *rtree.Tree, name string) *rtree.PagedTree {
+		pf, err := pagefile.Create(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { pf.Close() })
+		if err := tree.SaveToPageFile(pf); err != nil {
+			t.Fatal(err)
+		}
+		pt, err := rtree.OpenPagedTree(pf, frames)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return pt
+	}
+	return save(r, "r.spjf"), save(s, "s.spjf"), r, s
+}
+
+func TestJoinPagedMatchesInMemory(t *testing.T) {
+	pr, ps, r, s := pagedPair(t, 32)
+	want := toSet(join.Sequential(r, s, join.Options{}))
+	for _, workers := range []int{1, 4} {
+		res, err := JoinPaged(pr, ps, Config{Workers: workers, Sorted: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := toSet(res.Candidates)
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: %d pairs, want %d", workers, len(got), len(want))
+		}
+		for k := range want {
+			if !got[k] {
+				t.Fatalf("workers=%d: missing %v", workers, k)
+			}
+		}
+	}
+	if pr.Pool().Misses() == 0 {
+		t.Fatal("no physical reads")
+	}
+}
+
+func TestJoinPagedDeterministicSorted(t *testing.T) {
+	pr, ps, _, _ := pagedPair(t, 16)
+	a, err := JoinPaged(pr, ps, Config{Workers: 8, Sorted: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := JoinPaged(pr, ps, Config{Workers: 8, Sorted: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Candidates) != len(b.Candidates) {
+		t.Fatal("sizes differ")
+	}
+	for i := range a.Candidates {
+		if a.Candidates[i] != b.Candidates[i] {
+			t.Fatalf("sorted outputs diverge at %d", i)
+		}
+	}
+}
+
+func TestJoinPagedWithRefiner(t *testing.T) {
+	pr, ps, _, _ := pagedPair(t, 16)
+	all, err := JoinPaged(pr, ps, Config{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	half, err := JoinPaged(pr, ps, Config{
+		Workers: 4,
+		Refiner: func(c join.Candidate) bool { return c.S%2 == 0 },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(half.Candidates)+half.FalseHits != len(all.Candidates) {
+		t.Fatalf("refined %d + fh %d != all %d",
+			len(half.Candidates), half.FalseHits, len(all.Candidates))
+	}
+}

@@ -1,0 +1,43 @@
+package parnative
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"spjoin/internal/geom"
+	"spjoin/internal/rtree"
+)
+
+// WindowQueries evaluates a batch of window queries against the tree with
+// parallel goroutines (dynamic assignment: each worker takes the next
+// pending query). The i-th result slice holds the matching entry ids of
+// queries[i], in tree order. workers <= 0 uses all CPUs.
+func WindowQueries(t *rtree.Tree, queries []geom.Rect, workers int) [][]rtree.EntryID {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	out := make([][]rtree.EntryID, len(queries))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := next.Add(1) - 1
+				if int(i) >= len(queries) {
+					return
+				}
+				var ids []rtree.EntryID
+				t.Search(queries[i], func(id rtree.EntryID, _ geom.Rect) bool {
+					ids = append(ids, id)
+					return true
+				})
+				out[i] = ids
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}

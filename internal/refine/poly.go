@@ -1,0 +1,177 @@
+package refine
+
+import (
+	"fmt"
+
+	"spjoin/internal/geom"
+)
+
+// Chain is an open polyline — the natural exact geometry of TIGER street,
+// river and railway features, which bend. Points are (X[i], Y[i]);
+// len(X) == len(Y) >= 2.
+type Chain struct {
+	X, Y []float64
+}
+
+// NewChain builds a polyline from coordinate pairs; it panics on fewer than
+// two points or mismatched slices (construction is programmer-controlled).
+func NewChain(xs, ys []float64) Chain {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		panic(fmt.Sprintf("refine: chain needs >= 2 matched points, got %d/%d", len(xs), len(ys)))
+	}
+	return Chain{X: xs, Y: ys}
+}
+
+// Bounds returns the chain's MBR.
+func (c Chain) Bounds() geom.Rect {
+	r := geom.EmptyRect()
+	for i := range c.X {
+		r = r.Union(geom.Rect{MinX: c.X[i], MinY: c.Y[i], MaxX: c.X[i], MaxY: c.Y[i]})
+	}
+	return r
+}
+
+// NumSegments returns the number of line segments.
+func (c Chain) NumSegments() int { return len(c.X) - 1 }
+
+// Segment returns the i-th segment.
+func (c Chain) Segment(i int) Segment {
+	return Segment{X1: c.X[i], Y1: c.Y[i], X2: c.X[i+1], Y2: c.Y[i+1]}
+}
+
+// Polygon is a simple closed ring (an administrative boundary); the edge
+// from the last vertex back to the first is implicit. len >= 3.
+type Polygon struct {
+	X, Y []float64
+}
+
+// NewPolygon builds a ring from coordinate pairs; it panics on fewer than
+// three vertices or mismatched slices.
+func NewPolygon(xs, ys []float64) Polygon {
+	if len(xs) != len(ys) || len(xs) < 3 {
+		panic(fmt.Sprintf("refine: polygon needs >= 3 matched vertices, got %d/%d", len(xs), len(ys)))
+	}
+	return Polygon{X: xs, Y: ys}
+}
+
+// Bounds returns the polygon's MBR.
+func (p Polygon) Bounds() geom.Rect {
+	r := geom.EmptyRect()
+	for i := range p.X {
+		r = r.Union(geom.Rect{MinX: p.X[i], MinY: p.Y[i], MaxX: p.X[i], MaxY: p.Y[i]})
+	}
+	return r
+}
+
+// NumEdges returns the number of boundary edges (== vertex count).
+func (p Polygon) NumEdges() int { return len(p.X) }
+
+// Edge returns the i-th boundary edge.
+func (p Polygon) Edge(i int) Segment {
+	j := (i + 1) % len(p.X)
+	return Segment{X1: p.X[i], Y1: p.Y[i], X2: p.X[j], Y2: p.Y[j]}
+}
+
+// ContainsPoint reports whether (x, y) lies inside or on the ring
+// (even-odd rule with an on-edge pre-check, so boundary points count as
+// contained, matching the closed-set semantics of the other predicates).
+func (p Polygon) ContainsPoint(x, y float64) bool {
+	for i := 0; i < p.NumEdges(); i++ {
+		e := p.Edge(i)
+		if orientation(e.X1, e.Y1, e.X2, e.Y2, x, y) == 0 && e.onSegment(x, y) {
+			return true
+		}
+	}
+	inside := false
+	n := len(p.X)
+	for i, j := 0, n-1; i < n; j, i = i, i+1 {
+		xi, yi := p.X[i], p.Y[i]
+		xj, yj := p.X[j], p.Y[j]
+		if (yi > y) != (yj > y) &&
+			x < (xj-xi)*(y-yi)/(yj-yi)+xi {
+			inside = !inside
+		}
+	}
+	return inside
+}
+
+// shapeEdges enumerates a shape's boundary segments.
+func shapeEdges(s Shape) []Segment {
+	switch s.kind {
+	case segmentKind:
+		return []Segment{s.seg}
+	case boxKind:
+		r := s.box
+		return []Segment{
+			{r.MinX, r.MinY, r.MaxX, r.MinY},
+			{r.MaxX, r.MinY, r.MaxX, r.MaxY},
+			{r.MaxX, r.MaxY, r.MinX, r.MaxY},
+			{r.MinX, r.MaxY, r.MinX, r.MinY},
+		}
+	case chainKind:
+		out := make([]Segment, s.chain.NumSegments())
+		for i := range out {
+			out[i] = s.chain.Segment(i)
+		}
+		return out
+	case polygonKind:
+		out := make([]Segment, s.polygon.NumEdges())
+		for i := range out {
+			out[i] = s.polygon.Edge(i)
+		}
+		return out
+	default:
+		return nil
+	}
+}
+
+// containsPoint reports whether an area shape (box or polygon) contains the
+// point; open shapes contain nothing.
+func shapeContainsPoint(s Shape, x, y float64) bool {
+	switch s.kind {
+	case boxKind:
+		return s.box.ContainsPoint(x, y)
+	case polygonKind:
+		return s.polygon.ContainsPoint(x, y)
+	default:
+		return false
+	}
+}
+
+// aPointOf returns one point of the shape (for containment tests).
+func aPointOf(s Shape) (x, y float64) {
+	switch s.kind {
+	case segmentKind:
+		return s.seg.X1, s.seg.Y1
+	case boxKind:
+		return s.box.MinX, s.box.MinY
+	case chainKind:
+		return s.chain.X[0], s.chain.Y[0]
+	default:
+		return s.polygon.X[0], s.polygon.Y[0]
+	}
+}
+
+// genericIntersects evaluates intersection between any two shapes: their
+// MBRs must overlap; then either some pair of boundary edges intersects, or
+// one shape lies entirely inside the other (area shapes only).
+func genericIntersects(a, b Shape) bool {
+	if !a.Bounds().Intersects(b.Bounds()) {
+		return false
+	}
+	ea, eb := shapeEdges(a), shapeEdges(b)
+	for _, sa := range ea {
+		for _, sb := range eb {
+			if sa.Intersects(sb) {
+				return true
+			}
+		}
+	}
+	// No boundary crossing: intersection only if one contains the other.
+	bx, by := aPointOf(b)
+	if shapeContainsPoint(a, bx, by) {
+		return true
+	}
+	ax, ay := aPointOf(a)
+	return shapeContainsPoint(b, ax, ay)
+}

@@ -1,0 +1,210 @@
+package refine
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"spjoin/internal/geom"
+)
+
+func square(x, y, side float64) Polygon {
+	return NewPolygon(
+		[]float64{x, x + side, x + side, x},
+		[]float64{y, y, y + side, y + side},
+	)
+}
+
+func TestChainBasics(t *testing.T) {
+	c := NewChain([]float64{0, 1, 2}, []float64{0, 1, 0})
+	if c.NumSegments() != 2 {
+		t.Fatalf("NumSegments = %d", c.NumSegments())
+	}
+	if got := c.Segment(1); got != (Segment{1, 1, 2, 0}) {
+		t.Fatalf("Segment(1) = %v", got)
+	}
+	if got, want := c.Bounds(), geom.NewRect(0, 0, 2, 1); got != want {
+		t.Fatalf("Bounds = %v, want %v", got, want)
+	}
+}
+
+func TestChainValidation(t *testing.T) {
+	for _, mk := range []func(){
+		func() { NewChain([]float64{1}, []float64{1}) },
+		func() { NewChain([]float64{1, 2}, []float64{1}) },
+		func() { NewPolygon([]float64{1, 2}, []float64{1, 2}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("no panic on invalid construction")
+				}
+			}()
+			mk()
+		}()
+	}
+}
+
+func TestPolygonContainsPoint(t *testing.T) {
+	p := square(0, 0, 4)
+	cases := []struct {
+		x, y float64
+		want bool
+	}{
+		{2, 2, true},
+		{0, 0, true}, // vertex
+		{2, 0, true}, // edge
+		{5, 2, false},
+		{-1, -1, false},
+		{4.0001, 2, false},
+	}
+	for _, c := range cases {
+		if got := p.ContainsPoint(c.x, c.y); got != c.want {
+			t.Errorf("ContainsPoint(%g,%g) = %v, want %v", c.x, c.y, got, c.want)
+		}
+	}
+	// Non-convex: an L-shape.
+	l := NewPolygon(
+		[]float64{0, 4, 4, 2, 2, 0},
+		[]float64{0, 0, 2, 2, 4, 4},
+	)
+	if !l.ContainsPoint(1, 3) {
+		t.Error("L-shape must contain (1,3)")
+	}
+	if l.ContainsPoint(3, 3) {
+		t.Error("L-shape must not contain (3,3) (the notch)")
+	}
+}
+
+func TestShapeIntersectsChainCombos(t *testing.T) {
+	zig := ChainShape(NewChain([]float64{0, 2, 4}, []float64{0, 2, 0}))
+	cases := []struct {
+		name string
+		o    Shape
+		want bool
+	}{
+		{"crossing segment", SegmentShape(Segment{2, -1, 2, 3}), true},
+		{"distant segment", SegmentShape(Segment{10, 10, 11, 11}), false},
+		{"box over middle", BoxShape(geom.NewRect(1.5, 1.5, 2.5, 2.5)), true},
+		{"box under the tent", BoxShape(geom.NewRect(1.8, -0.5, 2.2, 0.4)), false},
+		{"touching chain", ChainShape(NewChain([]float64{2, 2}, []float64{2, 5})), true},
+		{"parallel chain", ChainShape(NewChain([]float64{0, 2, 4}, []float64{-1, 1, -1})), false},
+	}
+	for _, c := range cases {
+		if got := zig.Intersects(c.o); got != c.want {
+			t.Errorf("%s: %v, want %v", c.name, got, c.want)
+		}
+		if got := c.o.Intersects(zig); got != c.want {
+			t.Errorf("%s swapped: %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestShapeIntersectsPolygonCombos(t *testing.T) {
+	poly := PolygonShape(square(0, 0, 4))
+	cases := []struct {
+		name string
+		o    Shape
+		want bool
+	}{
+		{"segment inside", SegmentShape(Segment{1, 1, 2, 2}), true},
+		{"segment crossing", SegmentShape(Segment{-1, 2, 5, 2}), true},
+		{"segment outside", SegmentShape(Segment{5, 5, 6, 6}), false},
+		{"box inside", BoxShape(geom.NewRect(1, 1, 2, 2)), true},
+		{"box containing polygon", BoxShape(geom.NewRect(-1, -1, 5, 5)), true},
+		{"box outside", BoxShape(geom.NewRect(6, 6, 7, 7)), false},
+		{"polygon overlapping", PolygonShape(square(3, 3, 4)), true},
+		{"polygon inside", PolygonShape(square(1, 1, 1)), true},
+		{"polygon outside", PolygonShape(square(10, 10, 2)), false},
+		{"chain through", ChainShape(NewChain([]float64{-1, 2, 5}, []float64{2, 2, 2})), true},
+		{"chain fully inside", ChainShape(NewChain([]float64{1, 2, 3}, []float64{1, 2, 1})), true},
+	}
+	for _, c := range cases {
+		if got := poly.Intersects(c.o); got != c.want {
+			t.Errorf("%s: %v, want %v", c.name, got, c.want)
+		}
+		if got := c.o.Intersects(poly); got != c.want {
+			t.Errorf("%s swapped: %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestShapeStringNewKinds(t *testing.T) {
+	if got := ChainShape(NewChain([]float64{0, 1}, []float64{0, 1})).String(); got != "chain(2 points)" {
+		t.Errorf("chain String = %q", got)
+	}
+	if got := PolygonShape(square(0, 0, 1)).String(); got != "polygon(4 vertices)" {
+		t.Errorf("polygon String = %q", got)
+	}
+}
+
+func TestShapeAccessorsNewKinds(t *testing.T) {
+	c := ChainShape(NewChain([]float64{0, 1}, []float64{0, 1}))
+	if _, ok := c.IsChain(); !ok {
+		t.Error("chain accessor")
+	}
+	if _, ok := c.IsPolygon(); ok {
+		t.Error("chain is not polygon")
+	}
+	p := PolygonShape(square(0, 0, 1))
+	if _, ok := p.IsPolygon(); !ok {
+		t.Error("polygon accessor")
+	}
+	if _, ok := p.IsSegment(); ok {
+		t.Error("polygon is not segment")
+	}
+}
+
+func TestChainEquivalentToUnionOfSegments(t *testing.T) {
+	// A chain intersects a shape iff any of its segments does (chains are
+	// open, they have no interior).
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 500; trial++ {
+		xs := make([]float64, 4)
+		ys := make([]float64, 4)
+		for i := range xs {
+			xs[i] = rng.Float64() * 10
+			ys[i] = rng.Float64() * 10
+		}
+		chain := NewChain(xs, ys)
+		probe := SegmentShape(Segment{
+			rng.Float64() * 10, rng.Float64() * 10,
+			rng.Float64() * 10, rng.Float64() * 10,
+		})
+		want := false
+		for i := 0; i < chain.NumSegments(); i++ {
+			seg, _ := probe.IsSegment()
+			if chain.Segment(i).Intersects(seg) {
+				want = true
+				break
+			}
+		}
+		if got := ChainShape(chain).Intersects(probe); got != want {
+			t.Fatalf("trial %d: chain intersect = %v, want %v", trial, got, want)
+		}
+	}
+}
+
+func TestQuickPolygonContainsConsistentWithBounds(t *testing.T) {
+	p := square(2, 2, 6)
+	rng := rand.New(rand.NewSource(10))
+	for i := 0; i < 2000; i++ {
+		x, y := rng.Float64()*12, rng.Float64()*12
+		if p.ContainsPoint(x, y) && !p.Bounds().ContainsPoint(x, y) {
+			t.Fatalf("point (%g,%g) inside polygon but outside bounds", x, y)
+		}
+		// For the axis-parallel square, containment must match the rect.
+		want := p.Bounds().ContainsPoint(x, y)
+		if got := p.ContainsPoint(x, y); got != want {
+			t.Fatalf("square polygon containment (%g,%g) = %v, rect says %v", x, y, got, want)
+		}
+	}
+}
+
+func TestPolygonBoundsDegenerate(t *testing.T) {
+	p := NewPolygon([]float64{1, 1, 1}, []float64{1, 1, 1})
+	b := p.Bounds()
+	if b.MinX != 1 || b.MaxX != 1 || math.IsInf(b.MinX, 0) {
+		t.Fatalf("degenerate polygon bounds %v", b)
+	}
+}

@@ -1,0 +1,134 @@
+package refine
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"spjoin/internal/geom"
+)
+
+func TestCostModelRange(t *testing.T) {
+	m := DefaultCostModel()
+	if got := m.Cost(0); got != 2 {
+		t.Errorf("Cost(0) = %v, want 2", got)
+	}
+	if got := m.Cost(1); got != 18 {
+		t.Errorf("Cost(1) = %v, want 18", got)
+	}
+	if got := m.Cost(0.5); got != 10 {
+		t.Errorf("Cost(0.5) = %v, want 10 (paper average)", got)
+	}
+	if got := m.Cost(-3); got != 2 {
+		t.Errorf("Cost(-3) = %v, want clamped 2", got)
+	}
+	if got := m.Cost(7); got != 18 {
+		t.Errorf("Cost(7) = %v, want clamped 18", got)
+	}
+}
+
+func TestCostForUsesOverlapDegree(t *testing.T) {
+	m := DefaultCostModel()
+	a := geom.NewRect(0, 0, 2, 2)
+	if got := m.CostFor(a, a); got != 18 {
+		t.Errorf("identical rects cost %v, want 18", got)
+	}
+	if got := m.CostFor(a, geom.NewRect(10, 10, 11, 11)); got != 2 {
+		t.Errorf("disjoint rects cost %v, want 2", got)
+	}
+}
+
+func TestSegmentIntersectsBasic(t *testing.T) {
+	cases := []struct {
+		name string
+		a, b Segment
+		want bool
+	}{
+		{"crossing", Segment{0, 0, 2, 2}, Segment{0, 2, 2, 0}, true},
+		{"parallel", Segment{0, 0, 2, 0}, Segment{0, 1, 2, 1}, false},
+		{"touching endpoint", Segment{0, 0, 1, 1}, Segment{1, 1, 2, 0}, true},
+		{"collinear overlapping", Segment{0, 0, 2, 0}, Segment{1, 0, 3, 0}, true},
+		{"collinear disjoint", Segment{0, 0, 1, 0}, Segment{2, 0, 3, 0}, false},
+		{"T junction", Segment{0, 0, 2, 0}, Segment{1, -1, 1, 0}, true},
+		{"near miss", Segment{0, 0, 2, 0}, Segment{1, 0.001, 1, 1}, false},
+		{"far apart", Segment{0, 0, 1, 1}, Segment{5, 5, 6, 6}, false},
+		{"degenerate point on segment", Segment{1, 1, 1, 1}, Segment{0, 0, 2, 2}, true},
+		{"degenerate point off segment", Segment{1, 2, 1, 2}, Segment{0, 0, 2, 2}, false},
+	}
+	for _, c := range cases {
+		if got := c.a.Intersects(c.b); got != c.want {
+			t.Errorf("%s: got %v, want %v", c.name, got, c.want)
+		}
+		if got := c.b.Intersects(c.a); got != c.want {
+			t.Errorf("%s (swapped): got %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestSegmentBounds(t *testing.T) {
+	s := Segment{3, 1, 0, 2}
+	want := geom.NewRect(0, 1, 3, 2)
+	if got := s.Bounds(); got != want {
+		t.Fatalf("Bounds = %v, want %v", got, want)
+	}
+}
+
+func TestIntersectsRect(t *testing.T) {
+	r := geom.NewRect(0, 0, 2, 2)
+	cases := []struct {
+		name string
+		s    Segment
+		want bool
+	}{
+		{"inside", Segment{0.5, 0.5, 1.5, 1.5}, true},
+		{"crossing through", Segment{-1, 1, 3, 1}, true},
+		{"endpoint on edge", Segment{2, 1, 3, 1}, true},
+		{"outside", Segment{3, 3, 4, 4}, false},
+		{"diagonal corner cut", Segment{-0.5, 0.5, 0.5, -0.5}, true},
+		{"close but out", Segment{2.1, 0, 2.1, 2}, false},
+	}
+	for _, c := range cases {
+		if got := c.s.IntersectsRect(r); got != c.want {
+			t.Errorf("%s: got %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestQuickSegmentIntersectImpliesBoundsOverlap(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := func(_ int) bool {
+		a := Segment{rng.Float64() * 10, rng.Float64() * 10, rng.Float64() * 10, rng.Float64() * 10}
+		b := Segment{rng.Float64() * 10, rng.Float64() * 10, rng.Float64() * 10, rng.Float64() * 10}
+		if a.Intersects(b) && !a.Bounds().Intersects(b.Bounds()) {
+			return false // filter property: MBR test admits every true hit
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickCostMonotone(t *testing.T) {
+	m := DefaultCostModel()
+	f := func(a, b float64) bool {
+		da, db := clamp01(a), clamp01(b)
+		if da > db {
+			da, db = db, da
+		}
+		return m.Cost(da) <= m.Cost(db)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func clamp01(x float64) float64 {
+	if x != x || x < 0 { // NaN or negative
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}

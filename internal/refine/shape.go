@@ -1,0 +1,106 @@
+package refine
+
+import (
+	"fmt"
+
+	"spjoin/internal/geom"
+)
+
+// Shape is the exact geometry of a spatial object as used by the
+// refinement step: a line segment, an axis-parallel box, an open polyline
+// (Chain) or a simple polygon. The filter step only ever sees the Bounds;
+// the refinement step evaluates Intersects.
+type Shape struct {
+	kind    shapeKind
+	seg     Segment
+	box     geom.Rect
+	chain   Chain
+	polygon Polygon
+}
+
+type shapeKind uint8
+
+const (
+	segmentKind shapeKind = iota
+	boxKind
+	chainKind
+	polygonKind
+)
+
+// SegmentShape wraps a line segment.
+func SegmentShape(s Segment) Shape { return Shape{kind: segmentKind, seg: s} }
+
+// BoxShape wraps an axis-parallel box.
+func BoxShape(r geom.Rect) Shape { return Shape{kind: boxKind, box: r} }
+
+// ChainShape wraps an open polyline.
+func ChainShape(c Chain) Shape { return Shape{kind: chainKind, chain: c} }
+
+// PolygonShape wraps a simple polygon ring.
+func PolygonShape(p Polygon) Shape { return Shape{kind: polygonKind, polygon: p} }
+
+// IsSegment reports whether the shape is a segment, returning it.
+func (s Shape) IsSegment() (Segment, bool) {
+	return s.seg, s.kind == segmentKind
+}
+
+// IsBox reports whether the shape is a box, returning it.
+func (s Shape) IsBox() (geom.Rect, bool) {
+	return s.box, s.kind == boxKind
+}
+
+// IsChain reports whether the shape is a polyline, returning it.
+func (s Shape) IsChain() (Chain, bool) {
+	return s.chain, s.kind == chainKind
+}
+
+// IsPolygon reports whether the shape is a polygon, returning it.
+func (s Shape) IsPolygon() (Polygon, bool) {
+	return s.polygon, s.kind == polygonKind
+}
+
+// Bounds returns the shape's MBR.
+func (s Shape) Bounds() geom.Rect {
+	switch s.kind {
+	case segmentKind:
+		return s.seg.Bounds()
+	case boxKind:
+		return s.box
+	case chainKind:
+		return s.chain.Bounds()
+	default:
+		return s.polygon.Bounds()
+	}
+}
+
+// Intersects evaluates the exact join predicate between two shapes. The
+// frequent simple combinations use direct predicates; everything involving
+// chains or polygons goes through the generic edge/containment test.
+func (s Shape) Intersects(o Shape) bool {
+	switch {
+	case s.kind == segmentKind && o.kind == segmentKind:
+		return s.seg.Intersects(o.seg)
+	case s.kind == segmentKind && o.kind == boxKind:
+		return s.seg.IntersectsRect(o.box)
+	case s.kind == boxKind && o.kind == segmentKind:
+		return o.seg.IntersectsRect(s.box)
+	case s.kind == boxKind && o.kind == boxKind:
+		return s.box.Intersects(o.box)
+	default:
+		return genericIntersects(s, o)
+	}
+}
+
+// String implements fmt.Stringer.
+func (s Shape) String() string {
+	switch s.kind {
+	case segmentKind:
+		return fmt.Sprintf("segment(%g,%g -> %g,%g)", s.seg.X1, s.seg.Y1, s.seg.X2, s.seg.Y2)
+	case boxKind:
+		return "box" + s.box.String()
+	case chainKind:
+		return fmt.Sprintf("chain(%d points)", len(s.chain.X))
+	default:
+		return fmt.Sprintf("polygon(%d vertices)", len(s.polygon.X))
+	}
+}

@@ -1,0 +1,103 @@
+package refine
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"spjoin/internal/geom"
+)
+
+func TestShapeBounds(t *testing.T) {
+	seg := SegmentShape(Segment{3, 1, 0, 2})
+	if got, want := seg.Bounds(), geom.NewRect(0, 1, 3, 2); got != want {
+		t.Fatalf("segment bounds %v, want %v", got, want)
+	}
+	box := BoxShape(geom.NewRect(1, 1, 2, 2))
+	if got := box.Bounds(); got != geom.NewRect(1, 1, 2, 2) {
+		t.Fatalf("box bounds %v", got)
+	}
+}
+
+func TestShapeAccessors(t *testing.T) {
+	seg := SegmentShape(Segment{0, 0, 1, 1})
+	if _, ok := seg.IsSegment(); !ok {
+		t.Fatal("segment not a segment")
+	}
+	if _, ok := seg.IsBox(); ok {
+		t.Fatal("segment claims to be a box")
+	}
+	box := BoxShape(geom.NewRect(0, 0, 1, 1))
+	if _, ok := box.IsBox(); !ok {
+		t.Fatal("box not a box")
+	}
+	if _, ok := box.IsSegment(); ok {
+		t.Fatal("box claims to be a segment")
+	}
+}
+
+func TestShapeIntersectsAllKindPairs(t *testing.T) {
+	segA := SegmentShape(Segment{0, 0, 2, 2})
+	segB := SegmentShape(Segment{0, 2, 2, 0})
+	segFar := SegmentShape(Segment{10, 10, 11, 11})
+	box := BoxShape(geom.NewRect(1, 1, 3, 3))
+	boxFar := BoxShape(geom.NewRect(20, 20, 21, 21))
+
+	cases := []struct {
+		name string
+		a, b Shape
+		want bool
+	}{
+		{"seg-seg crossing", segA, segB, true},
+		{"seg-seg far", segA, segFar, false},
+		{"seg-box overlap", segA, box, true},
+		{"box-seg overlap", box, segA, true},
+		{"seg-box far", segA, boxFar, false},
+		{"box-box overlap", box, BoxShape(geom.NewRect(2, 2, 4, 4)), true},
+		{"box-box far", box, boxFar, false},
+	}
+	for _, c := range cases {
+		if got := c.a.Intersects(c.b); got != c.want {
+			t.Errorf("%s: %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestShapeString(t *testing.T) {
+	if !strings.Contains(SegmentShape(Segment{}).String(), "segment") {
+		t.Fatal("segment String broken")
+	}
+	if !strings.Contains(BoxShape(geom.NewRect(0, 0, 1, 1)).String(), "box") {
+		t.Fatal("box String broken")
+	}
+}
+
+func TestQuickShapeIntersectImpliesBoundsIntersect(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	randomShape := func() Shape {
+		if rng.Intn(2) == 0 {
+			return SegmentShape(Segment{
+				rng.Float64() * 10, rng.Float64() * 10,
+				rng.Float64() * 10, rng.Float64() * 10,
+			})
+		}
+		x, y := rng.Float64()*10, rng.Float64()*10
+		return BoxShape(geom.NewRect(x, y, x+rng.Float64()*3, y+rng.Float64()*3))
+	}
+	f := func(_ int) bool {
+		a, b := randomShape(), randomShape()
+		// Filter-correctness: exact intersection implies MBR intersection,
+		// and intersection is symmetric.
+		if a.Intersects(b) != b.Intersects(a) {
+			return false
+		}
+		if a.Intersects(b) && !a.Bounds().Intersects(b.Bounds()) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}

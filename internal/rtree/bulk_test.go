@@ -1,0 +1,174 @@
+package rtree
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"spjoin/internal/geom"
+)
+
+func randomItems(n int, seed int64) []Item {
+	rng := rand.New(rand.NewSource(seed))
+	items := make([]Item, n)
+	for i := range items {
+		items[i] = Item{ID: EntryID(i), Rect: randRect(rng, 1000, 10)}
+	}
+	return items
+}
+
+func TestBulkLoadEmpty(t *testing.T) {
+	tree := BulkLoadSTR(smallParams(), nil, 1.0)
+	if tree.Len() != 0 || tree.Height() != 1 {
+		t.Fatalf("empty STR tree: len=%d height=%d", tree.Len(), tree.Height())
+	}
+	if err := tree.CheckIntegrity(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBulkLoadSingle(t *testing.T) {
+	tree := BulkLoadSTR(smallParams(), randomItems(1, 1), 1.0)
+	if tree.Len() != 1 || tree.Height() != 1 {
+		t.Fatalf("len=%d height=%d", tree.Len(), tree.Height())
+	}
+	if err := tree.CheckIntegrity(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBulkLoadIntegritySizes(t *testing.T) {
+	for _, n := range []int{2, 5, 6, 25, 26, 27, 100, 1000} {
+		tree := BulkLoadSTR(smallParams(), randomItems(n, int64(n)), 1.0)
+		if tree.Len() != n {
+			t.Fatalf("n=%d: Len=%d", n, tree.Len())
+		}
+		if err := tree.CheckIntegrity(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+	}
+}
+
+func TestBulkLoadSearchMatchesBruteForce(t *testing.T) {
+	items := randomItems(2000, 3)
+	tree := BulkLoadSTR(DefaultParams(), items, 0.9)
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 30; trial++ {
+		q := randRect(rng, 1000, 150)
+		got := 0
+		tree.Search(q, func(id EntryID, r geom.Rect) bool {
+			got++
+			return true
+		})
+		want := 0
+		for _, it := range items {
+			if it.Rect.Intersects(q) {
+				want++
+			}
+		}
+		if got != want {
+			t.Fatalf("trial %d: %d results, want %d", trial, got, want)
+		}
+	}
+}
+
+func TestBulkLoadUtilization(t *testing.T) {
+	tree := BulkLoadSTR(DefaultParams(), randomItems(10000, 5), 1.0)
+	s := tree.Stats()
+	if s.AvgLeafFill < 0.95 {
+		t.Errorf("STR fill 1.0 gave leaf utilization %.2f, want >= 0.95", s.AvgLeafFill)
+	}
+	tree70 := BulkLoadSTR(DefaultParams(), randomItems(10000, 5), 0.7)
+	s70 := tree70.Stats()
+	if s70.DataPages <= s.DataPages {
+		t.Errorf("fill 0.7 should need more data pages: %d vs %d",
+			s70.DataPages, s.DataPages)
+	}
+}
+
+func TestBulkLoadRejectsBadFill(t *testing.T) {
+	for _, fill := range []float64{0, -0.5, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("fill %g: no panic", fill)
+				}
+			}()
+			BulkLoadSTR(smallParams(), randomItems(10, 1), fill)
+		}()
+	}
+}
+
+func TestBulkLoadSupportsMutation(t *testing.T) {
+	// An STR-built tree must accept subsequent inserts and deletes.
+	items := randomItems(500, 6)
+	tree := BulkLoadSTR(smallParams(), items, 0.8)
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 200; i++ {
+		tree.Insert(EntryID(1000+i), randRect(rng, 1000, 10))
+	}
+	if err := tree.CheckIntegrity(); err != nil {
+		t.Fatalf("after inserts: %v", err)
+	}
+	for i := 0; i < 200; i++ {
+		if !tree.Delete(items[i].ID, items[i].Rect) {
+			t.Fatalf("delete %d failed", i)
+		}
+	}
+	if err := tree.CheckIntegrity(); err != nil {
+		t.Fatalf("after deletes: %v", err)
+	}
+	if tree.Len() != 500 {
+		t.Fatalf("Len = %d, want 500", tree.Len())
+	}
+}
+
+func TestQuickBulkLoadAllReachable(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw)%300 + 1
+		items := randomItems(n, seed)
+		tree := BulkLoadSTR(smallParams(), items, 1.0)
+		if err := tree.CheckIntegrity(); err != nil {
+			return false
+		}
+		seen := map[EntryID]bool{}
+		tree.Search(tree.MBR(), func(id EntryID, r geom.Rect) bool {
+			seen[id] = true
+			return true
+		})
+		return len(seen) == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkInsert(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	tree := New(DefaultParams())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tree.Insert(EntryID(i), randRect(rng, 10000, 10))
+	}
+}
+
+func BenchmarkBulkLoadSTR10k(b *testing.B) {
+	items := randomItems(10000, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BulkLoadSTR(DefaultParams(), items, 1.0)
+	}
+}
+
+func BenchmarkSearch(b *testing.B) {
+	tree := BulkLoadSTR(DefaultParams(), randomItems(50000, 1), 0.9)
+	rng := rand.New(rand.NewSource(2))
+	queries := make([]geom.Rect, 256)
+	for i := range queries {
+		queries[i] = randRect(rng, 1000, 50)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tree.Search(queries[i%len(queries)], func(EntryID, geom.Rect) bool { return true })
+	}
+}

@@ -1,0 +1,217 @@
+package rtree
+
+import (
+	"math"
+
+	"spjoin/internal/geom"
+)
+
+// The paper's method "is directly applicable to the other members of the
+// [R-tree] family" (§2.2). This file adds Guttman's original R-tree
+// [Gut 84] as an alternative configuration: quadratic or linear node
+// splitting, least-enlargement subtree choice at every level, and no forced
+// reinsertion. Select it via Params.Split (and typically ReinsertFrac 0).
+
+// SplitStrategy selects the node-splitting algorithm.
+type SplitStrategy uint8
+
+const (
+	// RStarSplit is the margin-driven topological split of [BKSS 90]
+	// (the default).
+	RStarSplit SplitStrategy = iota
+	// QuadraticSplit is Guttman's quadratic-cost split: seed the two groups
+	// with the pair wasting the most area, then assign entries by greatest
+	// preference.
+	QuadraticSplit
+	// LinearSplit is Guttman's linear-cost split: seed with the entries of
+	// greatest normalized separation, assign the rest in arrival order.
+	LinearSplit
+)
+
+func (s SplitStrategy) String() string {
+	switch s {
+	case RStarSplit:
+		return "rstar"
+	case QuadraticSplit:
+		return "quadratic"
+	case LinearSplit:
+		return "linear"
+	default:
+		return "SplitStrategy(?)"
+	}
+}
+
+// GuttmanParams returns the paper-default page geometry configured as a
+// classic Guttman R-tree with the given split strategy: no forced
+// reinsertion, least-enlargement ChooseLeaf.
+func GuttmanParams(split SplitStrategy) Params {
+	p := DefaultParams()
+	p.Split = split
+	p.ReinsertFrac = 0
+	return p
+}
+
+// splitEntries dispatches on the configured strategy.
+func (t *Tree) splitEntries(entries []Entry, minFill int) (group1, group2 []Entry) {
+	switch t.params.Split {
+	case QuadraticSplit:
+		return quadraticSplit(entries, minFill)
+	case LinearSplit:
+		return linearSplit(entries, minFill)
+	default:
+		return rstarSplit(entries, minFill)
+	}
+}
+
+// quadraticSplit implements Guttman's quadratic split.
+func quadraticSplit(entries []Entry, minFill int) (group1, group2 []Entry) {
+	// PickSeeds: the pair whose combined rectangle wastes the most area.
+	seedA, seedB := 0, 1
+	worst := math.Inf(-1)
+	for i := 0; i < len(entries); i++ {
+		for j := i + 1; j < len(entries); j++ {
+			d := entries[i].Rect.Union(entries[j].Rect).Area() -
+				entries[i].Rect.Area() - entries[j].Rect.Area()
+			if d > worst {
+				worst, seedA, seedB = d, i, j
+			}
+		}
+	}
+	group1 = append(group1, entries[seedA])
+	group2 = append(group2, entries[seedB])
+	mbr1, mbr2 := entries[seedA].Rect, entries[seedB].Rect
+
+	rest := make([]Entry, 0, len(entries)-2)
+	for i, e := range entries {
+		if i != seedA && i != seedB {
+			rest = append(rest, e)
+		}
+	}
+	for len(rest) > 0 {
+		// If one group must take every remainder to reach minFill, do so.
+		if len(group1)+len(rest) == minFill {
+			group1 = append(group1, rest...)
+			return group1, group2
+		}
+		if len(group2)+len(rest) == minFill {
+			group2 = append(group2, rest...)
+			return group1, group2
+		}
+		// PickNext: the entry with the greatest preference for one group.
+		best, bestDiff := 0, -1.0
+		for i, e := range rest {
+			d1 := mbr1.Enlargement(e.Rect)
+			d2 := mbr2.Enlargement(e.Rect)
+			diff := math.Abs(d1 - d2)
+			if diff > bestDiff {
+				best, bestDiff = i, diff
+			}
+		}
+		e := rest[best]
+		rest = append(rest[:best], rest[best+1:]...)
+		d1 := mbr1.Enlargement(e.Rect)
+		d2 := mbr2.Enlargement(e.Rect)
+		// Resolve ties by smaller area, then smaller group.
+		toFirst := d1 < d2
+		if d1 == d2 {
+			if a1, a2 := mbr1.Area(), mbr2.Area(); a1 != a2 {
+				toFirst = a1 < a2
+			} else {
+				toFirst = len(group1) <= len(group2)
+			}
+		}
+		if toFirst {
+			group1 = append(group1, e)
+			mbr1 = mbr1.Union(e.Rect)
+		} else {
+			group2 = append(group2, e)
+			mbr2 = mbr2.Union(e.Rect)
+		}
+	}
+	return group1, group2
+}
+
+// linearSplit implements Guttman's linear split.
+func linearSplit(entries []Entry, minFill int) (group1, group2 []Entry) {
+	seedA, seedB := linearPickSeeds(entries)
+	group1 = append(group1, entries[seedA])
+	group2 = append(group2, entries[seedB])
+	mbr1, mbr2 := entries[seedA].Rect, entries[seedB].Rect
+
+	rest := make([]Entry, 0, len(entries)-2)
+	for i, e := range entries {
+		if i != seedA && i != seedB {
+			rest = append(rest, e)
+		}
+	}
+	for i, e := range rest {
+		remaining := len(rest) - i // unassigned entries including e
+		// Force-assign when a group needs every remainder to reach the
+		// minimum fill.
+		if len(group1)+remaining <= minFill {
+			group1 = append(group1, e)
+			mbr1 = mbr1.Union(e.Rect)
+			continue
+		}
+		if len(group2)+remaining <= minFill {
+			group2 = append(group2, e)
+			mbr2 = mbr2.Union(e.Rect)
+			continue
+		}
+		if mbr1.Enlargement(e.Rect) <= mbr2.Enlargement(e.Rect) {
+			group1 = append(group1, e)
+			mbr1 = mbr1.Union(e.Rect)
+		} else {
+			group2 = append(group2, e)
+			mbr2 = mbr2.Union(e.Rect)
+		}
+	}
+	return group1, group2
+}
+
+// linearPickSeeds finds the two entries with the greatest normalized
+// separation along either axis.
+func linearPickSeeds(entries []Entry) (int, int) {
+	// Along each axis: the entry with the highest MinX (low side) and the
+	// one with the lowest MaxX (high side), normalized by the total width.
+	bestSep := math.Inf(-1)
+	seedA, seedB := 0, 1
+	for axis := 0; axis < 2; axis++ {
+		lo := func(r geom.Rect) float64 {
+			if axis == 0 {
+				return r.MinX
+			}
+			return r.MinY
+		}
+		hi := func(r geom.Rect) float64 {
+			if axis == 0 {
+				return r.MaxX
+			}
+			return r.MaxY
+		}
+		highestLow, lowestHigh := 0, 0
+		minLo, maxHi := math.Inf(1), math.Inf(-1)
+		for i, e := range entries {
+			if lo(e.Rect) > lo(entries[highestLow].Rect) {
+				highestLow = i
+			}
+			if hi(e.Rect) < hi(entries[lowestHigh].Rect) {
+				lowestHigh = i
+			}
+			minLo = math.Min(minLo, lo(e.Rect))
+			maxHi = math.Max(maxHi, hi(e.Rect))
+		}
+		width := maxHi - minLo
+		if width <= 0 {
+			continue
+		}
+		sep := (lo(entries[highestLow].Rect) - hi(entries[lowestHigh].Rect)) / width
+		if sep > bestSep && highestLow != lowestHigh {
+			bestSep, seedA, seedB = sep, highestLow, lowestHigh
+		}
+	}
+	if seedA == seedB { // fully degenerate input: any pair works
+		seedB = (seedA + 1) % len(entries)
+	}
+	return seedA, seedB
+}

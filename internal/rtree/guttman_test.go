@@ -1,0 +1,188 @@
+package rtree
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"spjoin/internal/geom"
+)
+
+func guttmanSmall(split SplitStrategy) Params {
+	return Params{MaxDirEntries: 6, MaxDataEntries: 6, MinFillFrac: 0.4,
+		ReinsertFrac: 0, Split: split}
+}
+
+func TestGuttmanParams(t *testing.T) {
+	p := GuttmanParams(QuadraticSplit)
+	if p.Split != QuadraticSplit || p.ReinsertFrac != 0 {
+		t.Fatalf("GuttmanParams = %+v", p)
+	}
+	if p.MaxDirEntries != 102 {
+		t.Fatal("page geometry must match the paper default")
+	}
+}
+
+func TestSplitStrategyString(t *testing.T) {
+	if RStarSplit.String() != "rstar" || QuadraticSplit.String() != "quadratic" ||
+		LinearSplit.String() != "linear" {
+		t.Fatal("SplitStrategy.String broken")
+	}
+	if SplitStrategy(9).String() == "" {
+		t.Fatal("unknown strategy must format")
+	}
+}
+
+func buildVariant(t *testing.T, split SplitStrategy, n int, seed int64) (*Tree, []Item) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	tree := New(guttmanSmall(split))
+	items := make([]Item, n)
+	for i := range items {
+		items[i] = Item{ID: EntryID(i), Rect: randRect(rng, 1000, 20)}
+		tree.Insert(items[i].ID, items[i].Rect)
+	}
+	if err := tree.CheckIntegrity(); err != nil {
+		t.Fatalf("%v integrity: %v", split, err)
+	}
+	return tree, items
+}
+
+func TestGuttmanVariantsBuildAndSearch(t *testing.T) {
+	for _, split := range []SplitStrategy{QuadraticSplit, LinearSplit} {
+		tree, items := buildVariant(t, split, 800, int64(split))
+		rng := rand.New(rand.NewSource(99))
+		for trial := 0; trial < 20; trial++ {
+			q := randRect(rng, 1000, 100)
+			got := 0
+			tree.Search(q, func(EntryID, geom.Rect) bool { got++; return true })
+			want := 0
+			for _, it := range items {
+				if it.Rect.Intersects(q) {
+					want++
+				}
+			}
+			if got != want {
+				t.Fatalf("%v trial %d: %d results, want %d", split, trial, got, want)
+			}
+		}
+	}
+}
+
+func TestGuttmanDelete(t *testing.T) {
+	for _, split := range []SplitStrategy{QuadraticSplit, LinearSplit} {
+		tree, items := buildVariant(t, split, 300, 77)
+		for i, it := range items {
+			if !tree.Delete(it.ID, it.Rect) {
+				t.Fatalf("%v: delete %d failed", split, i)
+			}
+		}
+		if err := tree.CheckIntegrity(); err != nil {
+			t.Fatalf("%v after deletes: %v", split, err)
+		}
+		if tree.Len() != 0 {
+			t.Fatalf("%v: %d entries left", split, tree.Len())
+		}
+	}
+}
+
+func TestGuttmanEncodeRoundTrip(t *testing.T) {
+	tree, _ := buildVariant(t, QuadraticSplit, 200, 78)
+	var buf bytes.Buffer
+	if _, err := tree.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTree(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Params().Split != QuadraticSplit {
+		t.Fatalf("split strategy lost in round trip: %v", got.Params().Split)
+	}
+}
+
+func TestQuadraticSplitRespectsMinFill(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 50; trial++ {
+		entries := make([]Entry, 7)
+		for i := range entries {
+			entries[i] = Entry{Rect: randRect(rng, 100, 10), Obj: EntryID(i)}
+		}
+		g1, g2 := quadraticSplit(entries, 2)
+		if len(g1) < 2 || len(g2) < 2 || len(g1)+len(g2) != 7 {
+			t.Fatalf("trial %d: groups %d/%d", trial, len(g1), len(g2))
+		}
+	}
+}
+
+func TestLinearSplitRespectsMinFill(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 50; trial++ {
+		entries := make([]Entry, 7)
+		for i := range entries {
+			entries[i] = Entry{Rect: randRect(rng, 100, 10), Obj: EntryID(i)}
+		}
+		g1, g2 := linearSplit(entries, 2)
+		if len(g1) < 2 || len(g2) < 2 || len(g1)+len(g2) != 7 {
+			t.Fatalf("trial %d: groups %d/%d", trial, len(g1), len(g2))
+		}
+	}
+}
+
+func TestSplitsHandleIdenticalRects(t *testing.T) {
+	r := geom.NewRect(1, 1, 2, 2)
+	entries := make([]Entry, 7)
+	for i := range entries {
+		entries[i] = Entry{Rect: r, Obj: EntryID(i)}
+	}
+	for _, split := range []func([]Entry, int) ([]Entry, []Entry){
+		quadraticSplit, linearSplit, rstarSplit,
+	} {
+		g1, g2 := split(entries, 2)
+		if len(g1) < 2 || len(g2) < 2 || len(g1)+len(g2) != 7 {
+			t.Fatalf("degenerate split gave %d/%d", len(g1), len(g2))
+		}
+	}
+}
+
+func TestRStarBeatsGuttmanOnOverlap(t *testing.T) {
+	// The R*-tree's raison d'être: less directory overlap means fewer node
+	// accesses per window query. Verify the ordering holds on a clustered
+	// workload (this is the family comparison behind the ablation bench).
+	rng := rand.New(rand.NewSource(8))
+	items := make([]Item, 3000)
+	for i := range items {
+		cx, cy := float64(i%10)*100, float64((i/10)%10)*100
+		x := cx + rng.NormFloat64()*20
+		y := cy + rng.NormFloat64()*20
+		items[i] = Item{ID: EntryID(i), Rect: geom.NewRect(x, y, x+rng.Float64()*5, y+rng.Float64()*5)}
+	}
+	build := func(p Params) *Tree {
+		tr := New(p)
+		for _, it := range items {
+			tr.Insert(it.ID, it.Rect)
+		}
+		return tr
+	}
+	rstar := build(Params{MaxDirEntries: 10, MaxDataEntries: 10, MinFillFrac: 0.4, ReinsertFrac: 0.3})
+	gutt := build(guttmanSmall(QuadraticSplit))
+	accesses := func(tr *Tree) int {
+		total := 0
+		qrng := rand.New(rand.NewSource(9))
+		for q := 0; q < 200; q++ {
+			x, y := qrng.Float64()*1000, qrng.Float64()*1000
+			total += tr.Search(geom.NewRect(x, y, x+30, y+30),
+				func(EntryID, geom.Rect) bool { return true })
+		}
+		return total
+	}
+	ra, ga := accesses(rstar), accesses(gutt)
+	// Different fanouts (10 vs 6) make a strict comparison unfair; rebuild
+	// Guttman with the same fanout.
+	gutt10 := build(Params{MaxDirEntries: 10, MaxDataEntries: 10, MinFillFrac: 0.4, ReinsertFrac: 0, Split: QuadraticSplit})
+	ga = accesses(gutt10)
+	if ra > ga*12/10 {
+		t.Errorf("R*-tree accesses %d much worse than Guttman %d", ra, ga)
+	}
+	t.Logf("window-query node accesses: R* %d, Guttman quadratic %d", ra, ga)
+}

@@ -1,0 +1,158 @@
+package rtree
+
+import (
+	"container/heap"
+	"math"
+
+	"spjoin/internal/geom"
+	"spjoin/internal/storage"
+)
+
+// Nearest-neighbor search — one of the "other operations such as neighbor
+// and window queries" the paper's §5 names for its future parallel query
+// framework. The implementation is the standard best-first traversal
+// (Hjaltason/Samet): a priority queue ordered by minimum distance to the
+// query point, mixing nodes and data entries.
+
+// Neighbor is one nearest-neighbor result.
+type Neighbor struct {
+	ID   EntryID
+	Rect geom.Rect
+	// Dist is the minimum Euclidean distance from the query point to the
+	// entry's MBR (0 if the point lies inside).
+	Dist float64
+}
+
+// minDist returns the minimum distance from point (x, y) to rectangle r.
+func minDist(x, y float64, r geom.Rect) float64 {
+	dx := 0.0
+	switch {
+	case x < r.MinX:
+		dx = r.MinX - x
+	case x > r.MaxX:
+		dx = x - r.MaxX
+	}
+	dy := 0.0
+	switch {
+	case y < r.MinY:
+		dy = r.MinY - y
+	case y > r.MaxY:
+		dy = y - r.MaxY
+	}
+	return math.Sqrt(dx*dx + dy*dy)
+}
+
+// nnItem is a priority-queue element: either a node to expand or a data
+// entry (page == InvalidPage).
+type nnItem struct {
+	dist float64
+	seq  int // tie-break for determinism
+	page storage.PageID
+	id   EntryID
+	rect geom.Rect
+}
+
+type nnHeap []nnItem
+
+func (h nnHeap) Len() int { return len(h) }
+func (h nnHeap) Less(i, j int) bool {
+	if h[i].dist != h[j].dist {
+		return h[i].dist < h[j].dist
+	}
+	return h[i].seq < h[j].seq
+}
+func (h nnHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *nnHeap) Push(x interface{}) { *h = append(*h, x.(nnItem)) }
+func (h *nnHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// NearestNeighbors returns the k data entries closest to the point (x, y)
+// in ascending distance order (fewer if the tree holds fewer entries).
+// Ties are broken deterministically by discovery order.
+func (t *Tree) NearestNeighbors(x, y float64, k int) []Neighbor {
+	if k <= 0 || t.size == 0 {
+		return nil
+	}
+	var pq nnHeap
+	seq := 0
+	push := func(it nnItem) {
+		it.seq = seq
+		seq++
+		heap.Push(&pq, it)
+	}
+	push(nnItem{dist: 0, page: t.root})
+
+	out := make([]Neighbor, 0, k)
+	for pq.Len() > 0 && len(out) < k {
+		it := heap.Pop(&pq).(nnItem)
+		if it.page == storage.InvalidPage {
+			out = append(out, Neighbor{ID: it.id, Rect: it.rect, Dist: it.dist})
+			continue
+		}
+		n := t.Node(it.page)
+		for i := range n.Entries {
+			e := &n.Entries[i]
+			d := minDist(x, y, e.Rect)
+			if n.Level == 0 {
+				push(nnItem{dist: d, page: storage.InvalidPage, id: e.Obj, rect: e.Rect})
+			} else {
+				push(nnItem{dist: d, page: e.Child})
+			}
+		}
+	}
+	return out
+}
+
+// Nearest returns the single closest entry to (x, y), or ok=false for an
+// empty tree.
+func (t *Tree) Nearest(x, y float64) (Neighbor, bool) {
+	nn := t.NearestNeighbors(x, y, 1)
+	if len(nn) == 0 {
+		return Neighbor{}, false
+	}
+	return nn[0], true
+}
+
+// NearestNeighbors runs the same best-first search out-of-core against a
+// persisted tree, paging nodes through the buffer pool.
+func (pt *PagedTree) NearestNeighbors(x, y float64, k int) ([]Neighbor, error) {
+	if k <= 0 || pt.size == 0 {
+		return nil, nil
+	}
+	var pq nnHeap
+	seq := 0
+	push := func(it nnItem) {
+		it.seq = seq
+		seq++
+		heap.Push(&pq, it)
+	}
+	push(nnItem{dist: 0, page: pt.root})
+
+	out := make([]Neighbor, 0, k)
+	for pq.Len() > 0 && len(out) < k {
+		it := heap.Pop(&pq).(nnItem)
+		if it.page == storage.InvalidPage {
+			out = append(out, Neighbor{ID: it.id, Rect: it.rect, Dist: it.dist})
+			continue
+		}
+		n, err := pt.Node(it.page)
+		if err != nil {
+			return nil, err
+		}
+		for i := range n.Entries {
+			e := &n.Entries[i]
+			d := minDist(x, y, e.Rect)
+			if n.Level == 0 {
+				push(nnItem{dist: d, page: storage.InvalidPage, id: e.Obj, rect: e.Rect})
+			} else {
+				push(nnItem{dist: d, page: e.Child})
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,135 @@
+package rtree
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"spjoin/internal/geom"
+)
+
+func TestMinDist(t *testing.T) {
+	r := geom.NewRect(2, 2, 4, 4)
+	cases := []struct {
+		x, y, want float64
+	}{
+		{3, 3, 0},              // inside
+		{2, 2, 0},              // corner
+		{0, 3, 2},              // left
+		{6, 3, 2},              // right
+		{3, 0, 2},              // below
+		{3, 7, 3},              // above
+		{0, 0, math.Sqrt2 * 2}, // diagonal to corner (2,2)
+	}
+	for _, c := range cases {
+		if got := minDist(c.x, c.y, r); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("minDist(%g,%g) = %g, want %g", c.x, c.y, got, c.want)
+		}
+	}
+}
+
+func bruteNN(items []Item, x, y float64, k int) []Neighbor {
+	out := make([]Neighbor, len(items))
+	for i, it := range items {
+		out[i] = Neighbor{ID: it.ID, Rect: it.Rect, Dist: minDist(x, y, it.Rect)}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Dist < out[j].Dist })
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+func TestNearestNeighborsMatchesBruteForce(t *testing.T) {
+	tree, items := buildRandom(t, smallParams(), 500, 31)
+	rng := rand.New(rand.NewSource(32))
+	for trial := 0; trial < 30; trial++ {
+		x, y := rng.Float64()*1000, rng.Float64()*1000
+		k := 1 + rng.Intn(20)
+		got := tree.NearestNeighbors(x, y, k)
+		want := bruteNN(items, x, y, k)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: got %d results, want %d", trial, len(got), len(want))
+		}
+		for i := range got {
+			// Distances must agree; IDs may differ under exact ties.
+			if math.Abs(got[i].Dist-want[i].Dist) > 1e-9 {
+				t.Fatalf("trial %d rank %d: dist %g, want %g",
+					trial, i, got[i].Dist, want[i].Dist)
+			}
+		}
+	}
+}
+
+func TestNearestNeighborsSortedAscending(t *testing.T) {
+	tree, _ := buildRandom(t, smallParams(), 300, 33)
+	got := tree.NearestNeighbors(500, 500, 50)
+	if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i].Dist < got[j].Dist }) {
+		t.Fatal("results not sorted by distance")
+	}
+}
+
+func TestNearestNeighborsKLargerThanTree(t *testing.T) {
+	tree, items := buildRandom(t, smallParams(), 20, 34)
+	got := tree.NearestNeighbors(0, 0, 100)
+	if len(got) != len(items) {
+		t.Fatalf("got %d results, want all %d", len(got), len(items))
+	}
+}
+
+func TestNearestNeighborsEdgeCases(t *testing.T) {
+	empty := New(smallParams())
+	if got := empty.NearestNeighbors(0, 0, 5); got != nil {
+		t.Fatalf("empty tree returned %v", got)
+	}
+	tree, _ := buildRandom(t, smallParams(), 10, 35)
+	if got := tree.NearestNeighbors(0, 0, 0); got != nil {
+		t.Fatalf("k=0 returned %v", got)
+	}
+	if got := tree.NearestNeighbors(0, 0, -3); got != nil {
+		t.Fatalf("negative k returned %v", got)
+	}
+}
+
+func TestNearest(t *testing.T) {
+	tree := New(smallParams())
+	if _, ok := tree.Nearest(0, 0); ok {
+		t.Fatal("Nearest on empty tree returned ok")
+	}
+	tree.Insert(7, geom.NewRect(10, 10, 11, 11))
+	tree.Insert(8, geom.NewRect(50, 50, 51, 51))
+	n, ok := tree.Nearest(0, 0)
+	if !ok || n.ID != 7 {
+		t.Fatalf("Nearest = %+v/%v, want entry 7", n, ok)
+	}
+	// Query point inside an entry => distance 0.
+	n, _ = tree.Nearest(50.5, 50.5)
+	if n.ID != 8 || n.Dist != 0 {
+		t.Fatalf("Nearest inside = %+v", n)
+	}
+}
+
+func TestNearestDeterministicTies(t *testing.T) {
+	tree := New(smallParams())
+	r := geom.NewRect(5, 5, 6, 6)
+	for i := 0; i < 30; i++ {
+		tree.Insert(EntryID(i), r) // all equidistant
+	}
+	a := tree.NearestNeighbors(0, 0, 10)
+	b := tree.NearestNeighbors(0, 0, 10)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("tie-breaking not deterministic")
+		}
+	}
+}
+
+func BenchmarkNearestNeighbors(b *testing.B) {
+	tree := BulkLoadSTR(DefaultParams(), randomItems(50000, 1), 0.9)
+	rng := rand.New(rand.NewSource(2))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tree.NearestNeighbors(rng.Float64()*1000, rng.Float64()*1000, 10)
+	}
+}

@@ -1,0 +1,247 @@
+package rtree
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"spjoin/internal/geom"
+	"spjoin/internal/pagefile"
+	"spjoin/internal/storage"
+)
+
+func savedTree(t *testing.T, tree *Tree, poolFrames int) *PagedTree {
+	t.Helper()
+	pf, err := pagefile.Create(filepath.Join(t.TempDir(), "tree.spjf"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { pf.Close() })
+	if err := tree.SaveToPageFile(pf); err != nil {
+		t.Fatal(err)
+	}
+	pt, err := OpenPagedTree(pf, poolFrames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pt
+}
+
+func TestPagedTreeRoundTrip(t *testing.T) {
+	tree, items := buildRandom(t, smallParams(), 400, 61)
+	pt := savedTree(t, tree, 64)
+	if pt.Len() != tree.Len() || pt.Root() != tree.Root() || pt.Params() != tree.Params() {
+		t.Fatalf("metadata mismatch: %d/%d %d/%d", pt.Len(), tree.Len(), pt.Root(), tree.Root())
+	}
+	// Every node identical.
+	tree.Walk(func(n *Node) {
+		got, err := pt.Node(n.Page)
+		if err != nil {
+			t.Fatalf("Node(%d): %v", n.Page, err)
+		}
+		if got.Level != n.Level || got.Parent != n.Parent || len(got.Entries) != len(n.Entries) {
+			t.Fatalf("node %d header mismatch", n.Page)
+		}
+		for i := range n.Entries {
+			if got.Entries[i] != n.Entries[i] {
+				t.Fatalf("node %d entry %d differs", n.Page, i)
+			}
+		}
+	})
+	_ = items
+}
+
+func TestPagedTreeSearchMatchesInMemory(t *testing.T) {
+	tree, items := buildRandom(t, smallParams(), 600, 62)
+	pt := savedTree(t, tree, 16) // pool much smaller than the tree
+	queries := []geom.Rect{
+		geom.NewRect(0, 0, 100, 100),
+		geom.NewRect(500, 500, 600, 600),
+		geom.NewRect(-10, -10, 2000, 2000),
+	}
+	for qi, q := range queries {
+		want := map[EntryID]bool{}
+		tree.Search(q, func(id EntryID, _ geom.Rect) bool {
+			want[id] = true
+			return true
+		})
+		got := map[EntryID]bool{}
+		if err := pt.Search(q, func(id EntryID, _ geom.Rect) bool {
+			got[id] = true
+			return true
+		}); err != nil {
+			t.Fatalf("query %d: %v", qi, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("query %d: %d results, want %d", qi, len(got), len(want))
+		}
+	}
+	_ = items
+	if pt.Pool().Misses() == 0 {
+		t.Fatal("no physical reads happened")
+	}
+}
+
+func TestPagedTreeSmallPoolEvicts(t *testing.T) {
+	tree, _ := buildRandom(t, smallParams(), 600, 63)
+	pt := savedTree(t, tree, 4)
+	// Two full scans: the tiny pool forces re-reads on the second scan.
+	all := geom.NewRect(-1e9, -1e9, 1e9, 1e9)
+	pt.Search(all, func(EntryID, geom.Rect) bool { return true })
+	first := pt.Pool().Misses()
+	pt.Search(all, func(EntryID, geom.Rect) bool { return true })
+	second := pt.Pool().Misses() - first
+	if second == 0 {
+		t.Fatal("second scan hit entirely in a 4-frame pool — impossible")
+	}
+}
+
+func TestSaveToPageFileRejectsNonEmpty(t *testing.T) {
+	tree, _ := buildRandom(t, smallParams(), 10, 64)
+	pf, err := pagefile.Create(filepath.Join(t.TempDir(), "x.spjf"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pf.Close()
+	if _, err := pf.Allocate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.SaveToPageFile(pf); err == nil {
+		t.Fatal("save into non-empty file succeeded")
+	}
+}
+
+func TestSaveToPageFileRejectsHugeFanout(t *testing.T) {
+	tree := New(Params{MaxDirEntries: 200, MaxDataEntries: 26, MinFillFrac: 0.4, ReinsertFrac: 0.3})
+	pf, err := pagefile.Create(filepath.Join(t.TempDir(), "y.spjf"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pf.Close()
+	if err := tree.SaveToPageFile(pf); err == nil {
+		t.Fatal("fanout beyond page capacity accepted")
+	}
+}
+
+func TestOpenPagedTreeRejectsBadMeta(t *testing.T) {
+	pf, err := pagefile.Create(filepath.Join(t.TempDir(), "z.spjf"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pf.Close()
+	if _, err := OpenPagedTree(pf, 8); err == nil {
+		t.Fatal("open of non-tree page file succeeded")
+	}
+}
+
+func TestPagedTreeDefaultParamsFanoutFits(t *testing.T) {
+	// The paper's page geometry must fit the real page layout.
+	if DefaultParams().MaxDirEntries > maxEntriesPerPage {
+		t.Fatalf("directory fanout %d exceeds real page capacity %d",
+			DefaultParams().MaxDirEntries, maxEntriesPerPage)
+	}
+}
+
+func TestPagedTreeWithFreedPages(t *testing.T) {
+	tree, items := buildRandom(t, smallParams(), 300, 65)
+	for i := 0; i < 150; i++ {
+		tree.Delete(items[i].ID, items[i].Rect)
+	}
+	pt := savedTree(t, tree, 32)
+	count := 0
+	if err := pt.Search(geom.NewRect(-1e9, -1e9, 1e9, 1e9),
+		func(EntryID, geom.Rect) bool { count++; return true }); err != nil {
+		t.Fatal(err)
+	}
+	if count != 150 {
+		t.Fatalf("found %d entries, want 150", count)
+	}
+	// Reading a freed node page must error, not crash.
+	freed := false
+	for p := 0; p < pt.pages; p++ {
+		if _, err := pt.Node(storage.PageID(p)); err != nil {
+			freed = true
+			break
+		}
+	}
+	if !freed {
+		t.Log("no freed pages encountered (tree compacted differently); acceptable")
+	}
+}
+
+func TestPagedTreeDetectsCorruption(t *testing.T) {
+	tree, _ := buildRandom(t, smallParams(), 100, 66)
+	path := filepath.Join(t.TempDir(), "c.spjf")
+	pf, err := pagefile.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.SaveToPageFile(pf); err != nil {
+		t.Fatal(err)
+	}
+	pf.Close()
+
+	// Flip one byte in the middle of the second page (the first node).
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b [1]byte
+	off := int64(pagefile.PageSize + 100)
+	if _, err := f.ReadAt(b[:], off); err != nil {
+		t.Fatal(err)
+	}
+	b[0] ^= 0xFF
+	if _, err := f.WriteAt(b[:], off); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	pf2, err := pagefile.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pf2.Close()
+	pt, err := OpenPagedTree(pf2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pt.Node(0); err == nil {
+		t.Fatal("corrupted page decoded without error")
+	} else if !strings.Contains(err.Error(), "checksum") {
+		t.Fatalf("corruption error lacks checksum mention: %v", err)
+	}
+}
+
+func TestPagedNearestNeighborsMatchesInMemory(t *testing.T) {
+	tree, _ := buildRandom(t, smallParams(), 400, 67)
+	pt := savedTree(t, tree, 16)
+	for _, q := range [][2]float64{{0, 0}, {500, 500}, {1000, 0}} {
+		want := tree.NearestNeighbors(q[0], q[1], 10)
+		got, err := pt.NearestNeighbors(q[0], q[1], 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("query %v: %d results, want %d", q, len(got), len(want))
+		}
+		for i := range got {
+			if got[i].Dist != want[i].Dist {
+				t.Fatalf("query %v rank %d: dist %g, want %g", q, i, got[i].Dist, want[i].Dist)
+			}
+		}
+	}
+	// Edge cases mirror the in-memory API.
+	if got, err := pt.NearestNeighbors(0, 0, 0); err != nil || got != nil {
+		t.Fatalf("k=0: %v, %v", got, err)
+	}
+}
+
+func TestPagedCheckIntegrity(t *testing.T) {
+	tree, _ := buildRandom(t, smallParams(), 300, 68)
+	pt := savedTree(t, tree, 16)
+	if err := pt.CheckIntegrity(); err != nil {
+		t.Fatalf("valid persisted tree failed verification: %v", err)
+	}
+}

@@ -1,0 +1,355 @@
+package rtree
+
+import (
+	"math/rand"
+	"testing"
+
+	"spjoin/internal/geom"
+	"spjoin/internal/storage"
+)
+
+// smallParams gives low fanout so structural cases (splits, reinserts,
+// height growth) trigger with few entries.
+func smallParams() Params {
+	return Params{MaxDirEntries: 5, MaxDataEntries: 5, MinFillFrac: 0.4, ReinsertFrac: 0.3}
+}
+
+func randRect(rng *rand.Rand, world, maxSide float64) geom.Rect {
+	x := rng.Float64() * world
+	y := rng.Float64() * world
+	return geom.NewRect(x, y, x+rng.Float64()*maxSide, y+rng.Float64()*maxSide)
+}
+
+func buildRandom(t *testing.T, params Params, n int, seed int64) (*Tree, []Item) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	tree := New(params)
+	items := make([]Item, n)
+	for i := 0; i < n; i++ {
+		items[i] = Item{ID: EntryID(i), Rect: randRect(rng, 1000, 20)}
+		tree.Insert(items[i].ID, items[i].Rect)
+	}
+	if err := tree.CheckIntegrity(); err != nil {
+		t.Fatalf("integrity after %d inserts: %v", n, err)
+	}
+	return tree, items
+}
+
+func TestEmptyTree(t *testing.T) {
+	tree := New(smallParams())
+	if tree.Len() != 0 {
+		t.Errorf("Len = %d, want 0", tree.Len())
+	}
+	if tree.Height() != 1 {
+		t.Errorf("Height = %d, want 1", tree.Height())
+	}
+	if err := tree.CheckIntegrity(); err != nil {
+		t.Errorf("empty tree integrity: %v", err)
+	}
+	if tree.Count(geom.NewRect(0, 0, 1, 1)) != 0 {
+		t.Error("empty tree returned results")
+	}
+	if !tree.MBR().IsEmpty() {
+		t.Error("empty tree MBR not empty")
+	}
+}
+
+func TestInsertFewNoSplit(t *testing.T) {
+	tree := New(smallParams())
+	for i := 0; i < 5; i++ {
+		tree.Insert(EntryID(i), geom.NewRect(float64(i), 0, float64(i)+0.5, 1))
+	}
+	if tree.Height() != 1 {
+		t.Errorf("Height = %d, want 1 (no split yet)", tree.Height())
+	}
+	if err := tree.CheckIntegrity(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRootSplitGrowsHeight(t *testing.T) {
+	tree := New(smallParams())
+	for i := 0; i < 6; i++ {
+		tree.Insert(EntryID(i), geom.NewRect(float64(i), 0, float64(i)+0.5, 1))
+	}
+	if tree.Height() != 2 {
+		t.Errorf("Height = %d, want 2 after root split", tree.Height())
+	}
+	if err := tree.CheckIntegrity(); err != nil {
+		t.Fatal(err)
+	}
+	if tree.Len() != 6 {
+		t.Errorf("Len = %d, want 6", tree.Len())
+	}
+}
+
+func TestInsertInvalidRectPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Insert(empty rect) did not panic")
+		}
+	}()
+	New(smallParams()).Insert(0, geom.EmptyRect())
+}
+
+func TestSearchMatchesBruteForce(t *testing.T) {
+	tree, items := buildRandom(t, smallParams(), 500, 1)
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 50; trial++ {
+		q := randRect(rng, 1000, 120)
+		got := map[EntryID]bool{}
+		tree.Search(q, func(id EntryID, r geom.Rect) bool {
+			if !r.Intersects(q) {
+				t.Fatalf("Search returned non-intersecting entry %d", id)
+			}
+			got[id] = true
+			return true
+		})
+		want := 0
+		for _, it := range items {
+			if it.Rect.Intersects(q) {
+				want++
+				if !got[it.ID] {
+					t.Fatalf("trial %d: Search missed entry %d", trial, it.ID)
+				}
+			}
+		}
+		if len(got) != want {
+			t.Fatalf("trial %d: got %d results, want %d", trial, len(got), want)
+		}
+	}
+}
+
+func TestSearchEarlyStop(t *testing.T) {
+	tree, _ := buildRandom(t, smallParams(), 100, 3)
+	calls := 0
+	tree.Search(tree.MBR(), func(EntryID, geom.Rect) bool {
+		calls++
+		return calls < 5
+	})
+	if calls != 5 {
+		t.Fatalf("visitor called %d times, want exactly 5", calls)
+	}
+}
+
+func TestLargeBuildIntegrityAndUtilization(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large build")
+	}
+	tree, _ := buildRandom(t, DefaultParams(), 20000, 4)
+	s := tree.Stats()
+	if s.DataEntries != 20000 {
+		t.Fatalf("DataEntries = %d", s.DataEntries)
+	}
+	// R*-tree utilization is typically around 70%; accept a broad band.
+	if s.AvgLeafFill < 0.55 || s.AvgLeafFill > 0.95 {
+		t.Errorf("leaf utilization %.2f outside [0.55, 0.95]", s.AvgLeafFill)
+	}
+	if s.Height < 3 {
+		t.Errorf("height %d suspiciously small for 20k entries at fanout 26", s.Height)
+	}
+}
+
+func TestDuplicateRectsAllowed(t *testing.T) {
+	tree := New(smallParams())
+	r := geom.NewRect(1, 1, 2, 2)
+	for i := 0; i < 50; i++ {
+		tree.Insert(EntryID(i), r)
+	}
+	if err := tree.CheckIntegrity(); err != nil {
+		t.Fatal(err)
+	}
+	if got := tree.Count(r); got != 50 {
+		t.Fatalf("Count = %d, want 50", got)
+	}
+}
+
+func TestDeleteBasic(t *testing.T) {
+	tree, items := buildRandom(t, smallParams(), 200, 5)
+	for i, it := range items {
+		if !tree.Delete(it.ID, it.Rect) {
+			t.Fatalf("Delete(%d) not found", it.ID)
+		}
+		if tree.Len() != len(items)-i-1 {
+			t.Fatalf("Len = %d after %d deletes", tree.Len(), i+1)
+		}
+		if i%20 == 0 {
+			if err := tree.CheckIntegrity(); err != nil {
+				t.Fatalf("integrity after deleting %d: %v", i+1, err)
+			}
+		}
+	}
+	if err := tree.CheckIntegrity(); err != nil {
+		t.Fatalf("integrity after deleting all: %v", err)
+	}
+	if tree.Height() != 1 {
+		t.Errorf("height after deleting all = %d, want 1", tree.Height())
+	}
+}
+
+func TestDeleteNotFound(t *testing.T) {
+	tree, items := buildRandom(t, smallParams(), 50, 6)
+	if tree.Delete(999, geom.NewRect(0, 0, 1, 1)) {
+		t.Error("Delete of absent id returned true")
+	}
+	// Same rect, wrong id.
+	if tree.Delete(999, items[0].Rect) {
+		t.Error("Delete with mismatched id returned true")
+	}
+	if tree.Len() != 50 {
+		t.Errorf("Len changed to %d", tree.Len())
+	}
+}
+
+func TestInsertDeleteInterleaved(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	tree := New(smallParams())
+	live := map[EntryID]geom.Rect{}
+	next := EntryID(0)
+	for step := 0; step < 2000; step++ {
+		if len(live) == 0 || rng.Float64() < 0.6 {
+			r := randRect(rng, 100, 5)
+			tree.Insert(next, r)
+			live[next] = r
+			next++
+		} else {
+			// Delete a pseudo-random live entry deterministically.
+			k := EntryID(-1)
+			target := rng.Intn(len(live))
+			i := 0
+			for id := EntryID(0); id < next; id++ {
+				if _, ok := live[id]; ok {
+					if i == target {
+						k = id
+						break
+					}
+					i++
+				}
+			}
+			if !tree.Delete(k, live[k]) {
+				t.Fatalf("step %d: Delete(%d) failed", step, k)
+			}
+			delete(live, k)
+		}
+		if step%200 == 0 {
+			if err := tree.CheckIntegrity(); err != nil {
+				t.Fatalf("step %d: %v", step, err)
+			}
+			if tree.Len() != len(live) {
+				t.Fatalf("step %d: Len=%d, live=%d", step, tree.Len(), len(live))
+			}
+		}
+	}
+	// Final full verification via search.
+	found := 0
+	tree.Search(geom.NewRect(-1, -1, 101, 101), func(id EntryID, r geom.Rect) bool {
+		if want, ok := live[id]; !ok || want != r {
+			t.Fatalf("entry %d/%v not expected", id, r)
+		}
+		found++
+		return true
+	})
+	if found != len(live) {
+		t.Fatalf("found %d entries, want %d", found, len(live))
+	}
+}
+
+func TestStatsTable1Shape(t *testing.T) {
+	tree, _ := buildRandom(t, smallParams(), 300, 8)
+	s := tree.Stats()
+	if s.DataEntries != 300 {
+		t.Errorf("DataEntries = %d", s.DataEntries)
+	}
+	if s.DataPages == 0 || s.DirectoryPages == 0 {
+		t.Errorf("pages = %d/%d, want > 0", s.DataPages, s.DirectoryPages)
+	}
+	dataPages, dirPages := tree.NumPages()
+	if dataPages != s.DataPages || dirPages != s.DirectoryPages {
+		t.Errorf("NumPages (%d,%d) != Stats (%d,%d)",
+			dataPages, dirPages, s.DataPages, s.DirectoryPages)
+	}
+	if s.RootEntries != len(tree.Node(tree.Root()).Entries) {
+		t.Error("RootEntries mismatch")
+	}
+}
+
+func TestNodeKind(t *testing.T) {
+	tree, _ := buildRandom(t, smallParams(), 50, 9)
+	tree.Walk(func(n *Node) {
+		want := storage.DirectoryPage
+		if n.Level == 0 {
+			want = storage.DataPage
+		}
+		if n.Kind() != want {
+			t.Fatalf("page %d level %d kind %v", n.Page, n.Level, n.Kind())
+		}
+	})
+}
+
+func TestAccessFreedPagePanics(t *testing.T) {
+	tree := New(smallParams())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Node(freed) did not panic")
+		}
+	}()
+	tree.Node(storage.PageID(999))
+}
+
+func TestParamsValidate(t *testing.T) {
+	cases := []Params{
+		{MaxDirEntries: 2, MaxDataEntries: 10, MinFillFrac: 0.4, ReinsertFrac: 0.3},
+		{MaxDirEntries: 10, MaxDataEntries: 10, MinFillFrac: 0, ReinsertFrac: 0.3},
+		{MaxDirEntries: 10, MaxDataEntries: 10, MinFillFrac: 0.7, ReinsertFrac: 0.3},
+		{MaxDirEntries: 10, MaxDataEntries: 10, MinFillFrac: 0.4, ReinsertFrac: 1.0},
+	}
+	for i, p := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: no panic for %+v", i, p)
+				}
+			}()
+			New(p)
+		}()
+	}
+}
+
+func TestDefaultParamsMatchPaper(t *testing.T) {
+	p := DefaultParams()
+	if p.MaxDirEntries != 102 {
+		t.Errorf("MaxDirEntries = %d, want 102 (4096/40)", p.MaxDirEntries)
+	}
+	if p.MaxDataEntries != 26 {
+		t.Errorf("MaxDataEntries = %d, want 26 (4096/156)", p.MaxDataEntries)
+	}
+}
+
+func TestReinsertDisabled(t *testing.T) {
+	// ReinsertFrac 0 must still build a correct tree (pure split mode).
+	p := smallParams()
+	p.ReinsertFrac = 0
+	rng := rand.New(rand.NewSource(10))
+	tree := New(p)
+	for i := 0; i < 300; i++ {
+		tree.Insert(EntryID(i), randRect(rng, 100, 5))
+	}
+	if err := tree.CheckIntegrity(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInsertionDeterministic(t *testing.T) {
+	build := func() Stats {
+		rng := rand.New(rand.NewSource(11))
+		tree := New(smallParams())
+		for i := 0; i < 500; i++ {
+			tree.Insert(EntryID(i), randRect(rng, 100, 5))
+		}
+		return tree.Stats()
+	}
+	a, b := build(), build()
+	if a != b {
+		t.Fatalf("two identical builds differ: %+v vs %+v", a, b)
+	}
+}

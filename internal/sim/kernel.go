@@ -1,0 +1,285 @@
+// Package sim is a small deterministic process-oriented discrete-event
+// simulation kernel. It stands in for the paper's KSR1 hardware: simulated
+// processors are processes, disks are FCFS resources, and every cost of the
+// paper's model (disk reads, buffer accesses, CPU work, waiting periods of
+// the refinement step) advances a shared virtual clock.
+//
+// Processes are goroutines, but the kernel runs exactly one at a time and
+// orders wake-ups by (virtual time, schedule sequence number), so a
+// simulation run is bit-for-bit reproducible regardless of GOMAXPROCS.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is virtual time in milliseconds. The paper quotes all of its cost
+// constants in milliseconds, so this keeps configuration literal.
+type Time float64
+
+// Seconds converts a virtual duration to seconds for reporting.
+func (t Time) Seconds() float64 { return float64(t) / 1000 }
+
+// event wakes a parked process at a point in virtual time.
+type event struct {
+	at  Time
+	seq uint64
+	p   *Proc
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	*h = old[:n-1]
+	return ev
+}
+
+// Kernel owns the virtual clock and the event queue. The zero value is not
+// usable; create kernels with NewKernel.
+type Kernel struct {
+	now    Time
+	seq    uint64
+	events eventHeap
+	yield  chan struct{}
+	procs  []*Proc
+	live   int // spawned but not yet finished
+}
+
+// NewKernel returns an empty simulation.
+func NewKernel() *Kernel {
+	return &Kernel{yield: make(chan struct{})}
+}
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() Time { return k.now }
+
+// schedule enqueues a wake-up for p at time t (t must be >= now).
+func (k *Kernel) schedule(t Time, p *Proc) {
+	if t < k.now {
+		panic(fmt.Sprintf("sim: schedule into the past: %v < %v", t, k.now))
+	}
+	k.seq++
+	heap.Push(&k.events, event{at: t, seq: k.seq, p: p})
+}
+
+// Proc is a simulated process. All its methods must be called from within
+// the process's own body function.
+type Proc struct {
+	k      *Kernel
+	id     int
+	name   string
+	resume chan struct{}
+	state  procState
+}
+
+type procState int
+
+const (
+	stateNew procState = iota
+	stateRunnable
+	stateRunning
+	stateParked  // waiting for a scheduled event
+	stateBlocked // waiting for an external wake (resource, cond)
+	stateDone
+)
+
+// ID returns the process's spawn index (0-based, in spawn order).
+func (p *Proc) ID() int { return p.id }
+
+// Name returns the diagnostic name given at spawn time.
+func (p *Proc) Name() string { return p.name }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.k.now }
+
+// Spawn creates a process that starts executing body at the current virtual
+// time once Run is called (or immediately if the simulation is running).
+func (k *Kernel) Spawn(name string, body func(p *Proc)) *Proc {
+	p := &Proc{
+		k:      k,
+		id:     len(k.procs),
+		name:   name,
+		resume: make(chan struct{}),
+		state:  stateNew,
+	}
+	k.procs = append(k.procs, p)
+	k.live++
+	go func() {
+		<-p.resume
+		p.state = stateRunning
+		body(p)
+		p.state = stateDone
+		k.live--
+		k.yield <- struct{}{}
+	}()
+	k.schedule(k.now, p)
+	p.state = stateRunnable
+	return p
+}
+
+// Run drives the simulation until no events remain. It returns the final
+// virtual time. If processes are still blocked on a resource or condition
+// when the event queue drains, the simulation is deadlocked; Run panics with
+// a description naming the stuck processes, since that always indicates a
+// bug in the model.
+func (k *Kernel) Run() Time {
+	for k.events.Len() > 0 {
+		ev := heap.Pop(&k.events).(event)
+		if ev.p.state == stateDone {
+			continue
+		}
+		k.now = ev.at
+		ev.p.state = stateRunning
+		ev.p.resume <- struct{}{}
+		<-k.yield
+	}
+	if k.live > 0 {
+		var stuck []string
+		for _, p := range k.procs {
+			if p.state != stateDone {
+				stuck = append(stuck, p.name)
+			}
+		}
+		panic(fmt.Sprintf("sim: deadlock at t=%v, %d blocked process(es): %v",
+			k.now, k.live, stuck))
+	}
+	return k.now
+}
+
+// park yields control back to the kernel until the process is woken by an
+// event (Hold) or an external wake (Resource/Cond).
+func (p *Proc) park(s procState) {
+	p.state = s
+	p.k.yield <- struct{}{}
+	<-p.resume
+	p.state = stateRunning
+}
+
+// Hold advances the process by d units of virtual time. Other processes may
+// run in the meantime. A non-positive d yields without advancing the clock,
+// which still gives earlier-scheduled events a chance to run first.
+func (p *Proc) Hold(d Time) {
+	if d < 0 {
+		d = 0
+	}
+	p.k.schedule(p.k.now+d, p)
+	p.park(stateParked)
+}
+
+// Yield reschedules the process at the current time, letting any other
+// process with a pending event at the same instant run first.
+func (p *Proc) Yield() { p.Hold(0) }
+
+// block parks the process without a scheduled wake-up; something else must
+// call wake.
+func (p *Proc) block() { p.park(stateBlocked) }
+
+// wake schedules a blocked process to resume at the current virtual time.
+func (p *Proc) wake() {
+	p.state = stateRunnable
+	p.k.schedule(p.k.now, p)
+}
+
+// Resource is an exclusive FCFS server (for example one disk of the array).
+// Waiting processes are served strictly in arrival order.
+type Resource struct {
+	name    string
+	busy    bool
+	waiters []*Proc
+
+	// Busy accumulates total virtual time the resource spent serving via
+	// Use; it measures utilization and thus saturation (the d=1 bottleneck
+	// of Figure 9).
+	Busy Time
+}
+
+// NewResource returns an idle resource with a diagnostic name.
+func NewResource(name string) *Resource { return &Resource{name: name} }
+
+// Acquire blocks p until it holds the resource.
+func (r *Resource) Acquire(p *Proc) {
+	if !r.busy {
+		r.busy = true
+		return
+	}
+	r.waiters = append(r.waiters, p)
+	p.block()
+	// When woken by Release the resource has been handed to us directly.
+}
+
+// Release hands the resource to the longest-waiting process, or marks it
+// idle. It must be called by the current holder.
+func (r *Resource) Release() {
+	if len(r.waiters) > 0 {
+		next := r.waiters[0]
+		copy(r.waiters, r.waiters[1:])
+		r.waiters = r.waiters[:len(r.waiters)-1]
+		next.wake() // resource stays busy, ownership transfers
+		return
+	}
+	r.busy = false
+}
+
+// Use acquires the resource, holds it for service time d, and releases it.
+// It returns the total virtual time spent including queueing delay.
+func (r *Resource) Use(p *Proc, d Time) Time {
+	start := p.Now()
+	r.Acquire(p)
+	p.Hold(d)
+	r.Busy += d
+	r.Release()
+	return p.Now() - start
+}
+
+// QueueLen returns the number of processes currently waiting (excluding the
+// holder).
+func (r *Resource) QueueLen() int { return len(r.waiters) }
+
+// Cond is a waiting room: processes block on it and are woken explicitly.
+// Used for "idle processor waits for work / for help requests" protocols.
+type Cond struct {
+	waiters []*Proc
+}
+
+// Wait blocks p until Signal or Broadcast wakes it.
+func (c *Cond) Wait(p *Proc) {
+	c.waiters = append(c.waiters, p)
+	p.block()
+}
+
+// Signal wakes the longest-waiting process, if any. It reports whether a
+// process was woken.
+func (c *Cond) Signal() bool {
+	if len(c.waiters) == 0 {
+		return false
+	}
+	next := c.waiters[0]
+	copy(c.waiters, c.waiters[1:])
+	c.waiters = c.waiters[:len(c.waiters)-1]
+	next.wake()
+	return true
+}
+
+// Broadcast wakes every waiting process in FIFO order.
+func (c *Cond) Broadcast() {
+	for _, p := range c.waiters {
+		p.wake()
+	}
+	c.waiters = c.waiters[:0]
+}
+
+// WaiterCount returns the number of blocked processes.
+func (c *Cond) WaiterCount() int { return len(c.waiters) }

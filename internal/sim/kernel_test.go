@@ -1,0 +1,278 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestHoldAdvancesClock(t *testing.T) {
+	k := NewKernel()
+	var end Time
+	k.Spawn("p", func(p *Proc) {
+		p.Hold(10)
+		p.Hold(5.5)
+		end = p.Now()
+	})
+	final := k.Run()
+	if end != 15.5 {
+		t.Errorf("process ended at %v, want 15.5", end)
+	}
+	if final != 15.5 {
+		t.Errorf("Run returned %v, want 15.5", final)
+	}
+}
+
+func TestNegativeHoldClampsToZero(t *testing.T) {
+	k := NewKernel()
+	k.Spawn("p", func(p *Proc) {
+		p.Hold(-3)
+		if p.Now() != 0 {
+			t.Errorf("clock moved to %v on negative hold", p.Now())
+		}
+	})
+	k.Run()
+}
+
+func TestInterleavingDeterministic(t *testing.T) {
+	run := func() []string {
+		var trace []string
+		k := NewKernel()
+		k.Spawn("a", func(p *Proc) {
+			for i := 0; i < 3; i++ {
+				p.Hold(10)
+				trace = append(trace, "a")
+			}
+		})
+		k.Spawn("b", func(p *Proc) {
+			for i := 0; i < 3; i++ {
+				p.Hold(10)
+				trace = append(trace, "b")
+			}
+		})
+		k.Run()
+		return trace
+	}
+	first := run()
+	// Same virtual times: spawn/schedule order breaks ties, so "a" always
+	// precedes "b" at each step.
+	want := []string{"a", "b", "a", "b", "a", "b"}
+	if !reflect.DeepEqual(first, want) {
+		t.Fatalf("trace = %v, want %v", first, want)
+	}
+	for i := 0; i < 10; i++ {
+		if got := run(); !reflect.DeepEqual(got, first) {
+			t.Fatalf("run %d diverged: %v vs %v", i, got, first)
+		}
+	}
+}
+
+func TestSpawnDuringRun(t *testing.T) {
+	k := NewKernel()
+	var childEnd Time
+	k.Spawn("parent", func(p *Proc) {
+		p.Hold(5)
+		k.Spawn("child", func(c *Proc) {
+			c.Hold(7)
+			childEnd = c.Now()
+		})
+		p.Hold(1)
+	})
+	k.Run()
+	if childEnd != 12 {
+		t.Errorf("child ended at %v, want 12", childEnd)
+	}
+}
+
+func TestResourceFCFS(t *testing.T) {
+	k := NewKernel()
+	r := NewResource("disk")
+	var order []int
+	var times []Time
+	for i := 0; i < 3; i++ {
+		i := i
+		k.Spawn("p", func(p *Proc) {
+			// All three request at t=0; they must be served in spawn order,
+			// 10 time units each.
+			r.Use(p, 10)
+			order = append(order, i)
+			times = append(times, p.Now())
+		})
+	}
+	k.Run()
+	if !reflect.DeepEqual(order, []int{0, 1, 2}) {
+		t.Fatalf("service order = %v, want [0 1 2]", order)
+	}
+	if !reflect.DeepEqual(times, []Time{10, 20, 30}) {
+		t.Fatalf("completion times = %v, want [10 20 30]", times)
+	}
+	if r.Busy != 30 {
+		t.Fatalf("resource busy time = %v, want 30", r.Busy)
+	}
+}
+
+func TestResourceQueueingDelayReported(t *testing.T) {
+	k := NewKernel()
+	r := NewResource("disk")
+	var waited Time
+	k.Spawn("first", func(p *Proc) { r.Use(p, 16) })
+	k.Spawn("second", func(p *Proc) {
+		waited = r.Use(p, 16)
+	})
+	k.Run()
+	if waited != 32 {
+		t.Fatalf("second process total time = %v, want 32 (16 queue + 16 service)", waited)
+	}
+}
+
+func TestResourceInterleavedAcquireRelease(t *testing.T) {
+	k := NewKernel()
+	r := NewResource("r")
+	var got []Time
+	k.Spawn("a", func(p *Proc) {
+		r.Acquire(p)
+		p.Hold(3)
+		r.Release()
+		got = append(got, p.Now())
+	})
+	k.Spawn("b", func(p *Proc) {
+		p.Hold(1)
+		r.Acquire(p)
+		p.Hold(3)
+		r.Release()
+		got = append(got, p.Now())
+	})
+	k.Run()
+	if !reflect.DeepEqual(got, []Time{3, 6}) {
+		t.Fatalf("completion times = %v, want [3 6]", got)
+	}
+}
+
+func TestCondSignalWakesFIFO(t *testing.T) {
+	k := NewKernel()
+	var c Cond
+	var woken []string
+	for _, name := range []string{"w1", "w2"} {
+		name := name
+		k.Spawn(name, func(p *Proc) {
+			c.Wait(p)
+			woken = append(woken, name)
+		})
+	}
+	k.Spawn("signaler", func(p *Proc) {
+		p.Hold(10)
+		if c.WaiterCount() != 2 {
+			t.Errorf("waiter count = %d, want 2", c.WaiterCount())
+		}
+		if !c.Signal() {
+			t.Error("Signal found no waiter")
+		}
+		p.Hold(10)
+		c.Broadcast()
+	})
+	k.Run()
+	if !reflect.DeepEqual(woken, []string{"w1", "w2"}) {
+		t.Fatalf("wake order = %v, want [w1 w2]", woken)
+	}
+}
+
+func TestSignalEmptyCond(t *testing.T) {
+	var c Cond
+	if c.Signal() {
+		t.Fatal("Signal on empty cond reported a wake")
+	}
+	c.Broadcast() // must not panic
+}
+
+func TestDeadlockPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Run did not panic on deadlock")
+		}
+	}()
+	k := NewKernel()
+	var c Cond
+	k.Spawn("stuck", func(p *Proc) {
+		c.Wait(p) // never signaled
+	})
+	k.Run()
+}
+
+func TestScheduleIntoPastPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("schedule into the past did not panic")
+		}
+	}()
+	k := NewKernel()
+	k.now = 100
+	k.schedule(50, &Proc{k: k})
+}
+
+func TestYieldOrdering(t *testing.T) {
+	// A process that yields at the same instant lets an already-scheduled
+	// peer run first.
+	k := NewKernel()
+	var trace []string
+	k.Spawn("a", func(p *Proc) {
+		p.Hold(10)
+		trace = append(trace, "a1")
+		p.Yield()
+		trace = append(trace, "a2")
+	})
+	k.Spawn("b", func(p *Proc) {
+		p.Hold(10)
+		trace = append(trace, "b")
+	})
+	k.Run()
+	want := []string{"a1", "b", "a2"}
+	if !reflect.DeepEqual(trace, want) {
+		t.Fatalf("trace = %v, want %v", trace, want)
+	}
+}
+
+func TestProcIdentity(t *testing.T) {
+	k := NewKernel()
+	p0 := k.Spawn("zero", func(p *Proc) {})
+	p1 := k.Spawn("one", func(p *Proc) {})
+	if p0.ID() != 0 || p1.ID() != 1 {
+		t.Errorf("IDs = %d,%d want 0,1", p0.ID(), p1.ID())
+	}
+	if p0.Name() != "zero" || p1.Name() != "one" {
+		t.Errorf("names = %q,%q", p0.Name(), p1.Name())
+	}
+	k.Run()
+}
+
+func TestTimeSeconds(t *testing.T) {
+	if Time(1500).Seconds() != 1.5 {
+		t.Fatalf("Seconds conversion wrong: %v", Time(1500).Seconds())
+	}
+}
+
+func TestManyProcessesStress(t *testing.T) {
+	k := NewKernel()
+	r := NewResource("shared")
+	const n = 200
+	finished := 0
+	for i := 0; i < n; i++ {
+		k.Spawn("w", func(p *Proc) {
+			for j := 0; j < 5; j++ {
+				r.Use(p, 1)
+				p.Hold(0.5)
+			}
+			finished++
+		})
+	}
+	end := k.Run()
+	if finished != n {
+		t.Fatalf("finished = %d, want %d", finished, n)
+	}
+	// The resource serializes n*5 units of 1ms work, so the end time is at
+	// least 1000.
+	if end < 1000 {
+		t.Fatalf("end time %v too small for serialized load", end)
+	}
+	if r.Busy != n*5 {
+		t.Fatalf("busy = %v, want %d", r.Busy, n*5)
+	}
+}

@@ -1,0 +1,112 @@
+// Package stats provides the small numeric and rendering helpers the
+// experiment harness uses: series summaries and aligned text tables in the
+// style of the paper's tables and figure captions.
+package stats
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"text/tabwriter"
+)
+
+// Summary describes a numeric series.
+type Summary struct {
+	Min, Max, Mean float64
+	N              int
+}
+
+// Summarize computes min, max and mean of xs (zero Summary for empty input).
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{Min: xs[0], Max: xs[0], N: len(xs)}
+	var sum float64
+	for _, x := range xs {
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+		sum += x
+	}
+	s.Mean = sum / float64(len(xs))
+	return s
+}
+
+// Speedups converts a response-time series t(n) into speed-ups t1/t(n),
+// where t1 is the first element. Non-positive entries yield 0.
+func Speedups(times []float64) []float64 {
+	if len(times) == 0 {
+		return nil
+	}
+	t1 := times[0]
+	out := make([]float64, len(times))
+	for i, t := range times {
+		if t > 0 {
+			out[i] = t1 / t
+		}
+	}
+	return out
+}
+
+// Table renders rows as an aligned text table with a title and a header
+// line. Cells are converted with %v; floats should be pre-formatted by the
+// caller when a specific precision matters.
+type Table struct {
+	Title  string
+	Header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, header ...string) *Table {
+	return &Table{Title: title, Header: header}
+}
+
+// AddRow appends one row; values are formatted with %v.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = FormatFloat(v)
+		case string:
+			row[i] = v
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// Render writes the table to w.
+func (t *Table) Render(w io.Writer) {
+	if t.Title != "" {
+		fmt.Fprintf(w, "%s\n%s\n", t.Title, strings.Repeat("-", len(t.Title)))
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	if len(t.Header) > 0 {
+		fmt.Fprintln(tw, strings.Join(t.Header, "\t"))
+	}
+	for _, row := range t.rows {
+		fmt.Fprintln(tw, strings.Join(row, "\t"))
+	}
+	tw.Flush()
+	fmt.Fprintln(w)
+}
+
+// FormatFloat renders a float compactly: integers without decimals, small
+// values with enough precision to be useful.
+func FormatFloat(v float64) string {
+	switch {
+	case v == float64(int64(v)) && v < 1e15 && v > -1e15:
+		return fmt.Sprintf("%d", int64(v))
+	case v >= 100 || v <= -100:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.2f", v)
+	}
+}

@@ -1,0 +1,91 @@
+package stats
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{3, 1, 2})
+	if s.Min != 1 || s.Max != 3 || s.Mean != 2 || s.N != 3 {
+		t.Fatalf("Summarize = %+v", s)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	if s := Summarize(nil); s != (Summary{}) {
+		t.Fatalf("empty summary = %+v", s)
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s := Summarize([]float64{7})
+	if s.Min != 7 || s.Max != 7 || s.Mean != 7 || s.N != 1 {
+		t.Fatalf("single summary = %+v", s)
+	}
+}
+
+func TestSpeedups(t *testing.T) {
+	got := Speedups([]float64{100, 50, 25})
+	want := []float64{1, 2, 4}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Fatalf("Speedups = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSpeedupsEdge(t *testing.T) {
+	if Speedups(nil) != nil {
+		t.Fatal("nil input must return nil")
+	}
+	got := Speedups([]float64{10, 0})
+	if got[1] != 0 {
+		t.Fatalf("zero time speedup = %v, want 0", got[1])
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tab := NewTable("Title", "a", "b")
+	tab.AddRow(1, "x")
+	tab.AddRow(2.5, "y")
+	var buf bytes.Buffer
+	tab.Render(&buf)
+	out := buf.String()
+	for _, want := range []string{"Title", "a", "b", "1", "x", "2.50", "y"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTableNoTitle(t *testing.T) {
+	tab := NewTable("", "h")
+	tab.AddRow("v")
+	var buf bytes.Buffer
+	tab.Render(&buf)
+	if strings.Contains(buf.String(), "---") {
+		t.Fatal("untitled table must not render a rule")
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{5, "5"},
+		{-3, "-3"},
+		{1234.5, "1234.5"},
+		{0.125, "0.12"},
+		{99.5, "99.50"},
+		{150.25, "150.2"},
+	}
+	for _, c := range cases {
+		if got := FormatFloat(c.in); got != c.want {
+			t.Errorf("FormatFloat(%v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,155 @@
+package storage
+
+import (
+	"testing"
+
+	"spjoin/internal/sim"
+)
+
+func TestDefaultDiskParams(t *testing.T) {
+	p := DefaultDiskParams()
+	if p.PageRead != 16 {
+		t.Errorf("PageRead = %v, want 16 (9+6+1 ms)", p.PageRead)
+	}
+	if p.DataRead != 37.5 {
+		t.Errorf("DataRead = %v, want 37.5", p.DataRead)
+	}
+}
+
+func TestDiskForModuloPlacement(t *testing.T) {
+	a := NewDiskArray(8, DefaultDiskParams())
+	for id := PageID(0); id < 100; id++ {
+		if got, want := a.DiskFor(id), int(id)%8; got != want {
+			t.Fatalf("DiskFor(%d) = %d, want %d", id, got, want)
+		}
+	}
+	if a.Disks() != 8 {
+		t.Fatalf("Disks() = %d, want 8", a.Disks())
+	}
+}
+
+func TestNewDiskArrayRejectsZeroDisks(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for 0 disks")
+		}
+	}()
+	NewDiskArray(0, DefaultDiskParams())
+}
+
+func TestReadCostsAndCounters(t *testing.T) {
+	k := sim.NewKernel()
+	a := NewDiskArray(4, DefaultDiskParams())
+	var dirTime, dataTime sim.Time
+	k.Spawn("p", func(p *sim.Proc) {
+		dirTime = a.Read(p, 0, DirectoryPage)
+		dataTime = a.Read(p, 1, DataPage)
+	})
+	k.Run()
+	if dirTime != 16 {
+		t.Errorf("directory read = %v, want 16", dirTime)
+	}
+	if dataTime != 37.5 {
+		t.Errorf("data read = %v, want 37.5", dataTime)
+	}
+	if a.Accesses() != 2 || a.DataAccesses() != 1 {
+		t.Errorf("accesses = %d/%d, want 2/1", a.Accesses(), a.DataAccesses())
+	}
+}
+
+func TestReadInvalidPagePanics(t *testing.T) {
+	k := sim.NewKernel()
+	a := NewDiskArray(1, DefaultDiskParams())
+	panicked := false
+	k.Spawn("p", func(p *sim.Proc) {
+		defer func() {
+			if recover() != nil {
+				panicked = true
+			}
+		}()
+		a.Read(p, InvalidPage, DirectoryPage)
+	})
+	k.Run()
+	if !panicked {
+		t.Fatal("read of InvalidPage did not panic")
+	}
+}
+
+func TestSameDiskQueues(t *testing.T) {
+	// Two processors reading pages 0 and 4 on a 4-disk array contend for
+	// disk 0; the second read finishes at 32.
+	k := sim.NewKernel()
+	a := NewDiskArray(4, DefaultDiskParams())
+	var end1, end2 sim.Time
+	k.Spawn("p1", func(p *sim.Proc) {
+		a.Read(p, 0, DirectoryPage)
+		end1 = p.Now()
+	})
+	k.Spawn("p2", func(p *sim.Proc) {
+		a.Read(p, 4, DirectoryPage)
+		end2 = p.Now()
+	})
+	k.Run()
+	if end1 != 16 || end2 != 32 {
+		t.Fatalf("ends = %v, %v; want 16, 32 (same-disk serialization)", end1, end2)
+	}
+}
+
+func TestDifferentDisksParallel(t *testing.T) {
+	k := sim.NewKernel()
+	a := NewDiskArray(4, DefaultDiskParams())
+	var end1, end2 sim.Time
+	k.Spawn("p1", func(p *sim.Proc) {
+		a.Read(p, 0, DirectoryPage)
+		end1 = p.Now()
+	})
+	k.Spawn("p2", func(p *sim.Proc) {
+		a.Read(p, 1, DirectoryPage)
+		end2 = p.Now()
+	})
+	k.Run()
+	if end1 != 16 || end2 != 16 {
+		t.Fatalf("ends = %v, %v; want both 16 (independent disks)", end1, end2)
+	}
+}
+
+func TestSingleDiskBottleneck(t *testing.T) {
+	// The d=1 configuration of Figure 9: every read serializes.
+	k := sim.NewKernel()
+	a := NewDiskArray(1, DefaultDiskParams())
+	const procs = 8
+	for i := 0; i < procs; i++ {
+		k.Spawn("p", func(p *sim.Proc) {
+			a.Read(p, PageID(p.ID()), DirectoryPage)
+		})
+	}
+	end := k.Run()
+	if end != procs*16 {
+		t.Fatalf("end = %v, want %d", end, procs*16)
+	}
+	if a.BusyTime() != procs*16 {
+		t.Fatalf("busy = %v, want %d", a.BusyTime(), procs*16)
+	}
+}
+
+func TestResetCounters(t *testing.T) {
+	k := sim.NewKernel()
+	a := NewDiskArray(2, DefaultDiskParams())
+	k.Spawn("p", func(p *sim.Proc) {
+		a.Read(p, 0, DataPage)
+	})
+	k.Run()
+	a.ResetCounters()
+	if a.Accesses() != 0 || a.DataAccesses() != 0 {
+		t.Fatal("counters not reset")
+	}
+}
+
+func TestPageKindString(t *testing.T) {
+	if DirectoryPage.String() != "directory" || DataPage.String() != "data" {
+		t.Fatal("PageKind.String broken")
+	}
+	if PageKind(9).String() == "" {
+		t.Fatal("unknown kind must still format")
+	}
+}

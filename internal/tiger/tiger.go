@@ -1,0 +1,232 @@
+// Package tiger synthesizes the two test maps of the paper's §4.1. The
+// originals come from US Census TIGER/Line files for Californian counties:
+// map 1 holds 131,443 street segments, map 2 holds 127,312 administrative
+// boundaries, rivers and railway tracks. Those files are not shipped here,
+// so this package generates maps with the same cardinalities and the same
+// qualitative MBR statistics: streets are small, thin, strongly clustered
+// around population centers; map 2 features are fewer but much longer, with
+// boundary polygons of medium extent.
+//
+// The generator is fully deterministic in (seed, scale): identical inputs
+// give identical maps, which keeps every experiment reproducible.
+package tiger
+
+import (
+	"math"
+	"math/rand"
+
+	"spjoin/internal/geom"
+	"spjoin/internal/refine"
+	"spjoin/internal/rtree"
+)
+
+// World is the square coordinate space [0, World]² shared by both maps, in
+// abstract kilometers.
+const World = 600.0
+
+// Paper cardinalities (Table 1).
+const (
+	DefaultStreetCount = 131443
+	DefaultMixedCount  = 127312
+)
+
+// townCount is the number of population clusters streets concentrate in.
+const townCount = 48
+
+// towns returns deterministic cluster centers with Zipf-like weights; the
+// same centers are used by both maps so that their features overlap the way
+// real street and boundary data does.
+func towns(seed int64) ([]geom.Rect, []float64) {
+	rng := rand.New(rand.NewSource(seed ^ 0x7077_6e73)) // "towns"
+	centers := make([]geom.Rect, townCount)
+	weights := make([]float64, townCount)
+	var total float64
+	for i := range centers {
+		cx := rng.Float64() * World
+		cy := rng.Float64() * World
+		spread := 1.5 + rng.Float64()*4 // town radius in km
+		centers[i] = geom.NewRect(cx-spread, cy-spread, cx+spread, cy+spread)
+		weights[i] = 1 / float64(i+1) // Zipf: few big cities, many hamlets
+		total += weights[i]
+	}
+	for i := range weights {
+		weights[i] /= total
+	}
+	return centers, weights
+}
+
+// pickTown samples a town index by weight.
+func pickTown(rng *rand.Rand, weights []float64) int {
+	u := rng.Float64()
+	for i, w := range weights {
+		u -= w
+		if u <= 0 {
+			return i
+		}
+	}
+	return len(weights) - 1
+}
+
+// clamp keeps a rectangle inside the world square.
+func clamp(r geom.Rect) geom.Rect {
+	return geom.NewRect(
+		math.Max(0, math.Min(World, r.MinX)),
+		math.Max(0, math.Min(World, r.MinY)),
+		math.Max(0, math.Min(World, r.MaxX)),
+		math.Max(0, math.Min(World, r.MaxY)),
+	)
+}
+
+// segmentFrom builds the exact segment starting at (x, y) with the given
+// heading and length.
+func segmentFrom(x, y, heading, length float64) refine.Segment {
+	return refine.Segment{
+		X1: x, Y1: y,
+		X2: x + math.Cos(heading)*length,
+		Y2: y + math.Sin(heading)*length,
+	}
+}
+
+// segmentRect builds the MBR of a line segment from (x, y) with the given
+// heading and length; thin segments get a minimal width so areas stay
+// positive.
+func segmentRect(x, y, heading, length float64) geom.Rect {
+	dx := math.Cos(heading) * length
+	dy := math.Sin(heading) * length
+	r := geom.NewRect(x, y, x+dx, y+dy)
+	const minExtent = 1e-4
+	if r.MaxX-r.MinX < minExtent {
+		r.MaxX = r.MinX + minExtent
+	}
+	if r.MaxY-r.MinY < minExtent {
+		r.MaxY = r.MinY + minExtent
+	}
+	return clamp(r)
+}
+
+// Feature couples one object's exact geometry (segment or box) with the
+// conservative MBR the filter step indexes.
+type Feature struct {
+	ID    rtree.EntryID
+	Shape refine.Shape
+	Rect  geom.Rect
+}
+
+// Items projects features onto their filter-step items.
+func Items(fs []Feature) []rtree.Item {
+	items := make([]rtree.Item, len(fs))
+	for i, f := range fs {
+		items[i] = rtree.Item{ID: f.ID, Rect: f.Rect}
+	}
+	return items
+}
+
+// StreetFeatures generates the map 1 analogue with exact geometry: count
+// street segments, 80% clustered in towns (grid-aligned short segments,
+// like city blocks), 20% rural connectors with arbitrary headings and
+// longer spans.
+func StreetFeatures(count int, seed int64) []Feature {
+	rng := rand.New(rand.NewSource(seed))
+	centers, weights := towns(seed)
+	fs := make([]Feature, count)
+	for i := range fs {
+		var x, y, heading, length float64
+		if rng.Float64() < 0.8 {
+			t := pickTown(rng, weights)
+			c := centers[t]
+			spread := (c.MaxX - c.MinX) / 2
+			x = c.CenterX() + rng.NormFloat64()*spread/2
+			y = c.CenterY() + rng.NormFloat64()*spread/2
+			// City blocks: axis-parallel, 30–150 m.
+			length = 0.03 + rng.Float64()*0.12
+			heading = 0.0
+			if rng.Intn(2) == 1 {
+				heading = math.Pi / 2
+			}
+		} else {
+			x = rng.Float64() * World
+			y = rng.Float64() * World
+			length = 0.2 + rng.Float64()*1.2 // rural connector roads
+			heading = rng.Float64() * 2 * math.Pi
+		}
+		seg := segmentFrom(x, y, heading, length)
+		fs[i] = Feature{
+			ID:    rtree.EntryID(i),
+			Shape: refine.SegmentShape(seg),
+			Rect:  segmentRect(x, y, heading, length),
+		}
+	}
+	return fs
+}
+
+// Streets generates the map 1 items (MBRs only); see StreetFeatures.
+func Streets(count int, seed int64) []rtree.Item {
+	return Items(StreetFeatures(count, seed))
+}
+
+// MixedFeaturesExact generates the map 2 analogue with exact geometry:
+// administrative boundaries (40%, medium rectangles around towns), rivers
+// (35%, long gently sloped segments) and railway tracks (25%, long straight
+// segments).
+func MixedFeaturesExact(count int, seed int64) []Feature {
+	rng := rand.New(rand.NewSource(seed + 1))
+	centers, weights := towns(seed)
+	fs := make([]Feature, count)
+	for i := range fs {
+		var f Feature
+		f.ID = rtree.EntryID(i)
+		switch u := rng.Float64(); {
+		case u < 0.40: // administrative boundary piece
+			t := pickTown(rng, weights)
+			c := centers[t]
+			x := c.CenterX() + rng.NormFloat64()*8
+			y := c.CenterY() + rng.NormFloat64()*8
+			w := 0.05 + rng.Float64()*0.5
+			h := 0.05 + rng.Float64()*0.5
+			r := clamp(geom.NewRect(x, y, x+w, y+h))
+			f.Shape = refine.BoxShape(r)
+			f.Rect = r
+		case u < 0.75: // river reach: long, gently sloped
+			x := rng.Float64() * World
+			y := rng.Float64() * World
+			length := 0.3 + rng.Float64()*2.0
+			heading := rng.Float64() * 2 * math.Pi
+			f.Shape = refine.SegmentShape(segmentFrom(x, y, heading, length))
+			f.Rect = segmentRect(x, y, heading, length)
+		default: // railway track piece: long and straight
+			x := rng.Float64() * World
+			y := rng.Float64() * World
+			length := 0.8 + rng.Float64()*3.2
+			heading := rng.Float64() * math.Pi
+			f.Shape = refine.SegmentShape(segmentFrom(x, y, heading, length))
+			f.Rect = segmentRect(x, y, heading, length)
+		}
+		fs[i] = f
+	}
+	return fs
+}
+
+// MixedFeatures generates the map 2 items (MBRs only); see
+// MixedFeaturesExact.
+func MixedFeatures(count int, seed int64) []rtree.Item {
+	return Items(MixedFeaturesExact(count, seed))
+}
+
+// Maps returns both test maps at a fraction of the paper's cardinality:
+// scale 1.0 gives 131,443 and 127,312 objects; smaller scales shrink both
+// proportionally (minimum 1 object each). Tests and quick benchmarks use
+// small scales; the experiment harness uses 1.0.
+func Maps(scale float64, seed int64) (streets, mixed []rtree.Item) {
+	if scale <= 0 {
+		panic("tiger: scale must be positive")
+	}
+	nStreets := int(float64(DefaultStreetCount) * scale)
+	nMixed := int(float64(DefaultMixedCount) * scale)
+	if nStreets < 1 {
+		nStreets = 1
+	}
+	if nMixed < 1 {
+		nMixed = 1
+	}
+	return Streets(nStreets, seed), MixedFeatures(nMixed, seed)
+}

@@ -1,0 +1,173 @@
+package zorder
+
+import (
+	"math/rand"
+	"testing"
+
+	"spjoin/internal/geom"
+	"spjoin/internal/join"
+	"spjoin/internal/rtree"
+	"spjoin/internal/tiger"
+)
+
+func randItems(n int, seed int64, world, maxSide float64) []rtree.Item {
+	rng := rand.New(rand.NewSource(seed))
+	items := make([]rtree.Item, n)
+	for i := range items {
+		x := rng.Float64() * world
+		y := rng.Float64() * world
+		items[i] = rtree.Item{
+			ID:   rtree.EntryID(i),
+			Rect: geom.NewRect(x, y, x+rng.Float64()*maxSide, y+rng.Float64()*maxSide),
+		}
+	}
+	return items
+}
+
+type pairKey struct{ r, s rtree.EntryID }
+
+func TestInterleave(t *testing.T) {
+	if got := zValue(0, 0); got != 0 {
+		t.Fatalf("zValue(0,0) = %d", got)
+	}
+	if got := zValue(1, 0); got != 1 {
+		t.Fatalf("zValue(1,0) = %d, want 1", got)
+	}
+	if got := zValue(0, 1); got != 2 {
+		t.Fatalf("zValue(0,1) = %d, want 2", got)
+	}
+	if got := zValue(3, 3); got != 15 {
+		t.Fatalf("zValue(3,3) = %d, want 15", got)
+	}
+}
+
+func TestCellForNesting(t *testing.T) {
+	world := geom.NewRect(0, 0, 100, 100)
+	big := CellFor(geom.NewRect(10, 10, 40, 40), world, 16)
+	small := CellFor(geom.NewRect(12, 12, 13, 13), world, 16)
+	if !big.Contains(small) && !small.Contains(big) {
+		// They overlap spatially, so the quadtree cells must nest.
+		t.Fatalf("cells of nested rects do not nest: %+v vs %+v", big, small)
+	}
+	if big.Hi-big.Lo < small.Hi-small.Lo {
+		t.Fatal("bigger rect got a smaller cell")
+	}
+}
+
+func TestCellForStraddlingCenter(t *testing.T) {
+	world := geom.NewRect(0, 0, 100, 100)
+	// A tiny rect straddling the world center cannot be refined at all.
+	c := CellFor(geom.NewRect(49.9, 49.9, 50.1, 50.1), world, 16)
+	if c.Lo != 0 {
+		t.Fatalf("straddling rect cell = %+v, want the root cell", c)
+	}
+}
+
+func TestCellContainsRectAlways(t *testing.T) {
+	// Any two rects that intersect must get nesting (comparable) cells.
+	rng := rand.New(rand.NewSource(1))
+	world := geom.NewRect(0, 0, 100, 100)
+	for trial := 0; trial < 2000; trial++ {
+		a := randItems(1, int64(trial), 90, 10)[0].Rect
+		b := randItems(1, int64(trial)+9999, 90, 10)[0].Rect
+		if !a.Intersects(b) {
+			continue
+		}
+		ca := CellFor(a, world, 12)
+		cb := CellFor(b, world, 12)
+		if !ca.Contains(cb) && !cb.Contains(ca) {
+			t.Fatalf("trial %d: intersecting rects %v, %v got disjoint cells %+v, %+v",
+				trial, a, b, ca, cb)
+		}
+	}
+	_ = rng
+}
+
+func TestJoinMatchesBruteForce(t *testing.T) {
+	rs := randItems(500, 2, 100, 5)
+	ss := randItems(450, 3, 100, 5)
+	got := map[pairKey]bool{}
+	for _, c := range JoinItems(rs, ss, 16) {
+		k := pairKey{c.R, c.S}
+		if got[k] {
+			t.Fatalf("duplicate pair %v", k)
+		}
+		got[k] = true
+	}
+	want := 0
+	for _, r := range rs {
+		for _, s := range ss {
+			if r.Rect.Intersects(s.Rect) {
+				want++
+				if !got[pairKey{r.ID, s.ID}] {
+					t.Fatalf("missing pair %d/%d", r.ID, s.ID)
+				}
+			}
+		}
+	}
+	if len(got) != want {
+		t.Fatalf("got %d pairs, want %d", len(got), want)
+	}
+}
+
+func TestJoinMatchesRTreeJoinOnTigerData(t *testing.T) {
+	streets, mixed := tiger.Maps(0.01, 42)
+	zPairs := JoinItems(streets, mixed, 20)
+	r := rtree.BulkLoadSTR(rtree.DefaultParams(), streets, 0.73)
+	s := rtree.BulkLoadSTR(rtree.DefaultParams(), mixed, 0.73)
+	rPairs := join.Sequential(r, s, join.Options{})
+	if len(zPairs) != len(rPairs) {
+		t.Fatalf("z-join found %d pairs, R-tree join %d", len(zPairs), len(rPairs))
+	}
+	set := map[pairKey]bool{}
+	for _, c := range rPairs {
+		set[pairKey{c.R, c.S}] = true
+	}
+	for _, c := range zPairs {
+		if !set[pairKey{c.R, c.S}] {
+			t.Fatalf("z-join produced pair %d/%d the R-tree join lacks", c.R, c.S)
+		}
+	}
+}
+
+func TestJoinEmpty(t *testing.T) {
+	if got := JoinItems(nil, nil, 16); got != nil {
+		t.Fatalf("empty join returned %v", got)
+	}
+	items := randItems(5, 4, 10, 1)
+	if got := JoinItems(items, nil, 16); len(got) != 0 {
+		t.Fatalf("one-sided join returned %d pairs", len(got))
+	}
+}
+
+func TestJoinLevelClamping(t *testing.T) {
+	rs := randItems(100, 5, 100, 5)
+	ss := randItems(100, 6, 100, 5)
+	want := len(JoinItems(rs, ss, 16))
+	// Degenerate levels must still produce the complete result (coarser
+	// cells only add comparisons, never lose pairs).
+	for _, levels := range []int{0, 1, 99} {
+		if got := len(JoinItems(rs, ss, levels)); got != want {
+			t.Fatalf("levels=%d: %d pairs, want %d", levels, got, want)
+		}
+	}
+}
+
+func TestCoarserCellsMoreComparisons(t *testing.T) {
+	rs := randItems(800, 7, 100, 3)
+	ss := randItems(800, 8, 100, 3)
+	world := geom.NewRect(0, 0, 105, 105)
+	fine := Join(Prepare(rs, world, 16), Prepare(ss, world, 16), func(join.Candidate) {})
+	coarse := Join(Prepare(rs, world, 2), Prepare(ss, world, 2), func(join.Candidate) {})
+	if coarse <= fine {
+		t.Fatalf("coarse cells used %d comparisons <= fine %d", coarse, fine)
+	}
+}
+
+func BenchmarkZOrderJoin(b *testing.B) {
+	streets, mixed := tiger.Maps(0.02, 42)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		JoinItems(streets, mixed, 20)
+	}
+}

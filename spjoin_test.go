@@ -1,0 +1,199 @@
+package spjoin
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func sampleTrees(tb testing.TB) (*Tree, *Tree) {
+	tb.Helper()
+	streets, mixed := SampleMaps(0.01, 42)
+	return BuildSTR(streets, 0.73), BuildSTR(mixed, 0.73)
+}
+
+func TestBuildAndJoin(t *testing.T) {
+	streets, mixed := SampleMaps(0.005, 42)
+	r := Build(streets)
+	s := Build(mixed)
+	seq := Join(r, s)
+	par := JoinParallel(r, s, 4)
+	if len(seq) != len(par) {
+		t.Fatalf("sequential %d vs parallel %d candidates", len(seq), len(par))
+	}
+	seen := map[[2]ID]bool{}
+	for _, c := range seq {
+		seen[[2]ID{c.R, c.S}] = true
+	}
+	for _, c := range par {
+		if !seen[[2]ID{c.R, c.S}] {
+			t.Fatalf("parallel produced unexpected pair %v/%v", c.R, c.S)
+		}
+	}
+}
+
+func TestJoinParallelSortedDeterministic(t *testing.T) {
+	r, s := sampleTrees(t)
+	a := JoinParallel(r, s, 0)
+	b := JoinParallel(r, s, 8)
+	if len(a) != len(b) {
+		t.Fatal("worker count changed the result size")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("results diverge at %d", i)
+		}
+	}
+}
+
+func TestSimulateSmoke(t *testing.T) {
+	r, s := sampleTrees(t)
+	res := Simulate(r, s, DefaultSimConfig(8, 8, 200))
+	if res.Candidates == 0 {
+		t.Fatal("simulation found no candidates")
+	}
+	if res.ResponseTime <= 0 {
+		t.Fatal("no virtual time elapsed")
+	}
+	if res.Candidates != len(Join(r, s)) {
+		t.Fatalf("simulated candidates %d != sequential %d", res.Candidates, len(Join(r, s)))
+	}
+}
+
+func TestNewRect(t *testing.T) {
+	r := NewRect(2, 3, 0, 1)
+	if r.MinX != 0 || r.MinY != 1 || r.MaxX != 2 || r.MaxY != 3 {
+		t.Fatalf("NewRect = %v", r)
+	}
+}
+
+func TestDefaultTreeParams(t *testing.T) {
+	p := DefaultTreeParams()
+	if p.MaxDirEntries != 102 || p.MaxDataEntries != 26 {
+		t.Fatalf("unexpected defaults: %+v", p)
+	}
+}
+
+func TestSampleFeaturesAndJoinRefined(t *testing.T) {
+	streets, mixed := SampleFeatures(0.01, 42)
+	if len(streets) == 0 || len(mixed) == 0 {
+		t.Fatal("no features generated")
+	}
+	r := BuildFeatures(streets)
+	s := BuildFeatures(mixed)
+	candidates := JoinParallel(r, s, 4)
+	answers, falseHits := JoinRefined(r, s,
+		func(id ID) Shape { return streets[id].Shape },
+		func(id ID) Shape { return mixed[id].Shape }, 4)
+	if len(answers)+falseHits != len(candidates) {
+		t.Fatalf("answers %d + false hits %d != candidates %d",
+			len(answers), falseHits, len(candidates))
+	}
+	// Every answer must pass the exact predicate; every rejected candidate
+	// must fail it.
+	for _, a := range answers {
+		if !streets[a.R].Shape.Intersects(mixed[a.S].Shape) {
+			t.Fatalf("answer %d/%d fails the exact test", a.R, a.S)
+		}
+	}
+}
+
+func TestShapeConstructors(t *testing.T) {
+	seg := SegmentShape(0, 0, 2, 2)
+	box := BoxShape(NewRect(1, 1, 3, 3))
+	if !seg.Intersects(box) {
+		t.Fatal("segment should hit box")
+	}
+	if seg.Intersects(BoxShape(NewRect(5, 5, 6, 6))) {
+		t.Fatal("segment should miss far box")
+	}
+}
+
+func TestSimConfigEnumsExported(t *testing.T) {
+	cfg := DefaultSimConfig(2, 2, 10)
+	cfg.Assign = StaticRange
+	cfg.Buffer = LocalBuffers
+	cfg.Reassign = ReassignRoot
+	cfg.Victim = RandomVictim
+	r, s := sampleTrees(t)
+	res := Simulate(r, s, cfg)
+	if res.Candidates == 0 {
+		t.Fatal("configured simulation found nothing")
+	}
+	cfg.Buffer = GlobalBuffer
+	cfg.Assign = Dynamic
+	cfg.Reassign = ReassignAll
+	cfg.Victim = MostLoaded
+	res2 := Simulate(r, s, cfg)
+	if res2.Candidates != res.Candidates {
+		t.Fatal("variants disagree on candidates")
+	}
+}
+
+func TestOutOfCoreFacade(t *testing.T) {
+	r, s := sampleTrees(t)
+	dir := t.TempDir()
+	rPath := filepath.Join(dir, "r.spjf")
+	sPath := filepath.Join(dir, "s.spjf")
+	if err := SaveTree(r, rPath); err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveTree(s, sPath); err != nil {
+		t.Fatal(err)
+	}
+	pr, closeR, err := OpenTree(rPath, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeR()
+	ps, closeS, err := OpenTree(sPath, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeS()
+	pairs, reads, err := JoinOutOfCore(pr, ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reads == 0 {
+		t.Fatal("no physical reads")
+	}
+	if len(pairs) != len(Join(r, s)) {
+		t.Fatalf("out-of-core found %d pairs, in-memory %d", len(pairs), len(Join(r, s)))
+	}
+}
+
+func TestQueryWindowsFacade(t *testing.T) {
+	r, _ := sampleTrees(t)
+	windows := []Rect{
+		NewRect(0, 0, 300, 300),
+		NewRect(300, 300, 600, 600),
+		NewRect(-10, -10, -5, -5), // empty
+	}
+	res := QueryWindows(r, windows, 4)
+	if len(res) != 3 {
+		t.Fatalf("got %d result sets", len(res))
+	}
+	if len(res[2]) != 0 {
+		t.Fatalf("empty window returned %d ids", len(res[2]))
+	}
+	total := 0
+	for _, ids := range res {
+		total += len(ids)
+	}
+	if total == 0 {
+		t.Fatal("no query results at all")
+	}
+}
+
+func TestNearestNeighborsFacade(t *testing.T) {
+	r, _ := sampleTrees(t)
+	nn := NearestNeighbors(r, 300, 300, 5)
+	if len(nn) != 5 {
+		t.Fatalf("got %d neighbors", len(nn))
+	}
+	for i := 1; i < len(nn); i++ {
+		if nn[i].Dist < nn[i-1].Dist {
+			t.Fatal("neighbors not sorted by distance")
+		}
+	}
+}
