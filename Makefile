@@ -1,0 +1,21 @@
+# Tier-1 gate and maintenance targets. `make check` is the pre-merge bar
+# (see README.md): full build, vet, race tests on the concurrent executors,
+# then the whole test suite.
+
+.PHONY: check test bench bench-snapshot fuzz
+
+check:
+	./scripts/check.sh
+
+test:
+	go test ./...
+
+bench:
+	go test -run='^$$' -bench=. -benchmem .
+
+# Refresh BENCH_kernel.json (commit the result).
+bench-snapshot:
+	./scripts/bench_snapshot.sh
+
+fuzz:
+	go test -run='^$$' -fuzz=FuzzSweepSoAOracle -fuzztime=30s ./internal/geom/

@@ -114,10 +114,53 @@ func BenchmarkSimulatedJoin(b *testing.B) {
 // join.
 func BenchmarkSequentialJoin(b *testing.B) {
 	w := benchWorkload(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		join.Sequential(w.R, w.S, join.Options{})
 	}
+}
+
+// BenchmarkKernelExpand isolates the join kernel's steady state: node sweep
+// caches are prebuilt and the scratch buffers warmed, so the measured loop is
+// exactly the per-node-pair work the traversal repeats. Both sub-benchmarks
+// must report 0 allocs/op — that is the zero-allocation contract of
+// join.Scratch (see DESIGN.md, "Kernel layers").
+func BenchmarkKernelExpand(b *testing.B) {
+	w := benchWorkload(b)
+	w.R.PrepareSweep()
+	w.S.PrepareSweep()
+	src := join.DirectSource{R: w.R, S: w.S}
+	root, ok := join.RootPair(w.R, w.S)
+	if !ok {
+		b.Fatal("empty workload")
+	}
+
+	b.Run("expand-root", func(b *testing.B) {
+		nr := src.Node(join.SideR, root.RPage, root.RLevel)
+		ns := src.Node(join.SideS, root.SPage, root.SLevel)
+		var sc join.Scratch
+		sc.Expand(nr, ns, join.Options{}) // warm the scratch buffers
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			sc.Expand(nr, ns, join.Options{})
+		}
+	})
+
+	b.Run("engine-run", func(b *testing.B) {
+		e := join.Engine{
+			Src:           src,
+			OnCandidates:  func([]join.Candidate) {},
+			OnComparisons: func(int) {},
+		}
+		e.Run(root) // warm scratch and traversal stack to steady state
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			e.Run(root)
+		}
+	})
 }
 
 // --- ablation benches (DESIGN.md: design choices) ------------------------

@@ -143,5 +143,6 @@ func runNative(r, s *rtree.Tree, workers int) {
 	fmt.Printf("tasks (m):    %d\n", res.Tasks)
 	fmt.Printf("candidates:   %d\n", len(res.Candidates))
 	fmt.Printf("wall time:    %v\n", wall.Round(time.Microsecond))
-	fmt.Printf("tasks/worker: %v\n", res.PerWorker)
+	fmt.Printf("pairs/worker: %v\n", res.PerWorker)
+	fmt.Printf("steals:       %d\n", res.Steals)
 }

@@ -1,28 +1,70 @@
 package geom
 
-import "sort"
-
 // Pair identifies one intersecting pair produced by the plane sweep: the
 // indices refer to the two input sequences (R index, S index).
 type Pair struct {
 	R, S int
 }
 
+// IndexPair is one intersecting pair found by SweepPairsSoA; the indices
+// refer to the rect slices the sweep ran over.
+type IndexPair struct {
+	R, S int32
+}
+
+// rectLess is the total order the plane sweep requires: ascending MinX, ties
+// broken on MinY and then on the original index for determinism.
+func rectLess(a, b Rect, ia, ib int) bool {
+	if a.MinX != b.MinX {
+		return a.MinX < b.MinX
+	}
+	if a.MinY != b.MinY {
+		return a.MinY < b.MinY
+	}
+	return ia < ib
+}
+
 // SortRectsByMinX sorts idx so that rects[idx[i]].MinX is non-decreasing.
 // The R*-tree node join sorts entries by their lower x-coordinate before
-// sweeping (§2.2 of the paper).
+// sweeping (§2.2 of the paper). Node entry lists are short (at most the
+// directory fanout), so a binary-insertion sort beats the reflection-based
+// sort.Slice and performs no allocation.
 func SortRectsByMinX(rects []Rect, idx []int) {
-	sort.Slice(idx, func(a, b int) bool {
-		ra, rb := rects[idx[a]], rects[idx[b]]
-		if ra.MinX != rb.MinX {
-			return ra.MinX < rb.MinX
+	for i := 1; i < len(idx); i++ {
+		v := idx[i]
+		r := rects[v]
+		lo, hi := 0, i
+		for lo < hi {
+			mid := int(uint(lo+hi) >> 1)
+			if rectLess(r, rects[idx[mid]], v, idx[mid]) {
+				hi = mid
+			} else {
+				lo = mid + 1
+			}
 		}
-		// Tie-break on MinY and then index for determinism.
-		if ra.MinY != rb.MinY {
-			return ra.MinY < rb.MinY
+		copy(idx[lo+1:i+1], idx[lo:i])
+		idx[lo] = v
+	}
+}
+
+// SortOrderByMinX is SortRectsByMinX over an int32 order slice — the form
+// the R*-tree node sweep cache stores. Allocation-free.
+func SortOrderByMinX(rects []Rect, order []int32) {
+	for i := 1; i < len(order); i++ {
+		v := order[i]
+		r := rects[v]
+		lo, hi := 0, i
+		for lo < hi {
+			mid := int(uint(lo+hi) >> 1)
+			if rectLess(r, rects[order[mid]], int(v), int(order[mid])) {
+				hi = mid
+			} else {
+				lo = mid + 1
+			}
 		}
-		return idx[a] < idx[b]
-	})
+		copy(order[lo+1:i+1], order[lo:i])
+		order[lo] = v
+	}
 }
 
 // SweepVisitor receives each intersecting pair discovered by SweepPairs, in
@@ -108,6 +150,57 @@ func SweepPairsIndexed(r, s []Rect, ri, si []int, visit SweepVisitor) (compariso
 		}
 	}
 	return comparisons
+}
+
+// SweepPairsSoA is the allocation-free batch form of SweepPairsIndexed,
+// operating on structure-of-arrays rect views: ri and si index into r and s
+// and must be sorted by ascending MinX (the R*-tree node sweep cache stores
+// exactly this order). Every intersecting pair is appended to out — in local
+// plane-sweep order, as original (ri, si) indices — and the grown slice is
+// returned together with the number of rectangle pairs tested, which is
+// identical to SweepPairsIndexed's count on the same inputs.
+//
+// Compared to the visitor form it performs no indirect calls in the inner
+// loop: the sweep rectangle's bounds are held in locals and each scan is a
+// straight compare-and-append, which is what lets the join kernel run a
+// node pair without touching the heap (pass a cap-sufficient out).
+func SweepPairsSoA(r, s []Rect, ri, si []int32, out []IndexPair) ([]IndexPair, int) {
+	comparisons := 0
+	i, j := 0, 0
+	for i < len(ri) && j < len(si) {
+		if r[ri[i]].MinX <= s[si[j]].MinX {
+			t := r[ri[i]]
+			tMaxX, tMinY, tMaxY := t.MaxX, t.MinY, t.MaxY
+			oi := ri[i]
+			for k := j; k < len(si); k++ {
+				c := s[si[k]]
+				if c.MinX > tMaxX {
+					break
+				}
+				comparisons++
+				if tMinY <= c.MaxY && c.MinY <= tMaxY {
+					out = append(out, IndexPair{R: oi, S: si[k]})
+				}
+			}
+			i++
+		} else {
+			t := s[si[j]]
+			tMaxX, tMinY, tMaxY := t.MaxX, t.MinY, t.MaxY
+			oj := si[j]
+			for k := i; k < len(ri); k++ {
+				c := r[ri[k]]
+				if c.MinX > tMaxX {
+					break
+				}
+				comparisons++
+				if c.MinY <= tMaxY && tMinY <= c.MaxY {
+					out = append(out, IndexPair{R: ri[k], S: oj})
+				}
+			}
+			j++
+		}
+	}
+	return out, comparisons
 }
 
 // BruteForcePairs enumerates all intersecting pairs by testing every

@@ -249,3 +249,184 @@ func TestSweepTouchingOnlyAtX(t *testing.T) {
 		t.Fatal("x-touching rectangles not paired")
 	}
 }
+
+func identity32(n int) []int32 {
+	idx := make([]int32, n)
+	for i := range idx {
+		idx[i] = int32(i)
+	}
+	return idx
+}
+
+// runSoA sorts fresh order slices and runs the SoA sweep, returning its
+// pairs and comparison count.
+func runSoA(rs, ss []Rect) ([]IndexPair, int) {
+	ri, si := identity32(len(rs)), identity32(len(ss))
+	SortOrderByMinX(rs, ri)
+	SortOrderByMinX(ss, si)
+	return SweepPairsSoA(rs, ss, ri, si, nil)
+}
+
+// checkSoAAgainstOracles verifies the three contracts of SweepPairsSoA on
+// one input: (1) the pair set equals BruteForcePairs' (correctness), (2) the
+// emission order and (3) the comparison count equal SweepPairsIndexed's on
+// the same sorted views (the simulated cost model depends on the count, so
+// the batch kernel must not drift from the visitor kernel by a single test).
+func checkSoAAgainstOracles(t *testing.T, rs, ss []Rect) {
+	t.Helper()
+	got, gotCmp := runSoA(rs, ss)
+
+	var brute []Pair
+	BruteForcePairs(rs, ss, func(r, s int) bool {
+		brute = append(brute, Pair{r, s})
+		return true
+	})
+	gotSet := make(map[Pair]bool, len(got))
+	for _, p := range got {
+		gotSet[Pair{int(p.R), int(p.S)}] = true
+	}
+	if len(got) != len(brute) || len(gotSet) != len(brute) {
+		t.Fatalf("SoA sweep found %d pairs (%d unique), brute force %d",
+			len(got), len(gotSet), len(brute))
+	}
+	for _, p := range brute {
+		if !gotSet[p] {
+			t.Fatalf("SoA sweep missed pair %v", p)
+		}
+	}
+
+	ri, si := identity(len(rs)), identity(len(ss))
+	SortRectsByMinX(rs, ri)
+	SortRectsByMinX(ss, si)
+	var ref []Pair
+	refCmp := SweepPairsIndexed(rs, ss, ri, si, func(r, s int) bool {
+		ref = append(ref, Pair{r, s})
+		return true
+	})
+	if gotCmp != refCmp {
+		t.Fatalf("SoA sweep counted %d comparisons, SweepPairsIndexed %d", gotCmp, refCmp)
+	}
+	for i, p := range got {
+		if int(p.R) != ref[i].R || int(p.S) != ref[i].S {
+			t.Fatalf("emission order diverges at %d: SoA %v, indexed %v", i, p, ref[i])
+		}
+	}
+}
+
+func TestSweepSoAMatchesOraclesRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 100; trial++ {
+		rs := make([]Rect, rng.Intn(40))
+		ss := make([]Rect, rng.Intn(40))
+		for i := range rs {
+			rs[i] = randomRect(rng)
+		}
+		for i := range ss {
+			ss[i] = randomRect(rng)
+		}
+		checkSoAAgainstOracles(t, rs, ss)
+	}
+}
+
+func TestSweepSoAEdgeCases(t *testing.T) {
+	ident := NewRect(1, 1, 2, 2)
+	same := make([]Rect, 10)
+	for i := range same {
+		same[i] = ident
+	}
+	cases := [][2][]Rect{
+		{nil, nil},
+		{{ident}, nil},
+		{nil, {ident}},
+		{same, same[:7]}, // full cross product
+		{{NewRect(0, 0, 1, 1)}, {NewRect(1, 0, 2, 1)}},       // x-touching
+		{{NewRect(0, 0, 1, 1)}, {NewRect(2, 0, 3, 1)}},       // disjoint in x
+		{{NewRect(0, 0, 1, 1)}, {NewRect(0.5, 2, 1.5, 3)}},   // x-overlap, y-disjoint
+		{{NewRect(0, 0, 10, 1), NewRect(0, 5, 10, 6)}, same}, // long spanners
+	}
+	for i, c := range cases {
+		rs := append([]Rect(nil), c[0]...)
+		ss := append([]Rect(nil), c[1]...)
+		checkSoAAgainstOracles(t, rs, ss)
+		if i == 0 {
+			out, cmp := runSoA(rs, ss)
+			if len(out) != 0 || cmp != 0 {
+				t.Fatal("empty inputs produced work")
+			}
+		}
+	}
+}
+
+func TestSweepSoAReusesOutBuffer(t *testing.T) {
+	// The zero-allocation contract: with a cap-sufficient out slice the SoA
+	// sweep must append into it rather than allocate a fresh backing array.
+	rs := []Rect{NewRect(0, 0, 2, 2), NewRect(1, 0, 3, 2)}
+	ss := []Rect{NewRect(0, 1, 2, 3), NewRect(1, 1, 3, 3)}
+	buf := make([]IndexPair, 0, 16)
+	ri, si := identity32(len(rs)), identity32(len(ss))
+	SortOrderByMinX(rs, ri)
+	SortOrderByMinX(ss, si)
+	out, _ := SweepPairsSoA(rs, ss, ri, si, buf)
+	if len(out) == 0 {
+		t.Fatal("no pairs found")
+	}
+	if &out[0] != &buf[:1][0] {
+		t.Fatal("SoA sweep abandoned the provided buffer despite sufficient capacity")
+	}
+}
+
+// fuzzRects decodes raw fuzz bytes into two small rect sets with
+// intersection-rich integer coordinates (small grid, modest extents).
+func fuzzRects(data []byte) (rs, ss []Rect) {
+	if len(data) == 0 {
+		return nil, nil
+	}
+	nr := int(data[0]) % 24
+	data = data[1:]
+	decode := func() []Rect {
+		var out []Rect
+		for len(data) >= 4 {
+			x := float64(data[0] % 32)
+			y := float64(data[1] % 32)
+			w := float64(data[2] % 8)
+			h := float64(data[3] % 8)
+			data = data[4:]
+			out = append(out, NewRect(x, y, x+w, y+h))
+		}
+		return out
+	}
+	all := decode()
+	if nr > len(all) {
+		nr = len(all)
+	}
+	return all[:nr], all[nr:]
+}
+
+func FuzzSweepSoAOracle(f *testing.F) {
+	f.Add([]byte{2, 0, 0, 4, 4, 1, 1, 4, 4, 3, 3, 2, 2, 8, 8, 1, 1})
+	f.Add([]byte{0})
+	f.Add([]byte{7, 5, 5, 0, 0, 5, 5, 0, 0, 5, 5, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rs, ss := fuzzRects(data)
+		checkSoAAgainstOracles(t, rs, ss)
+	})
+}
+
+func BenchmarkSweepPairsSoA1000(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	rs := make([]Rect, 1000)
+	ss := make([]Rect, 1000)
+	for i := range rs {
+		rs[i] = randomRect(rng)
+		ss[i] = randomRect(rng)
+	}
+	ri, si := identity32(len(rs)), identity32(len(ss))
+	SortOrderByMinX(rs, ri)
+	SortOrderByMinX(ss, si)
+	out := make([]IndexPair, 0, 1<<16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, _ = SweepPairsSoA(rs, ss, ri, si, out[:0])
+	}
+}

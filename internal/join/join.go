@@ -83,135 +83,221 @@ type Options struct {
 	NestedLoops bool
 }
 
+// Scratch holds the reusable buffers of the node-pair expansion kernel.
+// A zero Scratch is ready to use; after a few expansions the buffers reach
+// steady-state capacity and Expand performs no heap allocation per node
+// pair. A Scratch is for use by a single goroutine (one per worker).
+type Scratch struct {
+	rIdx, sIdx []int32          // restricted entry sets
+	hits       []geom.IndexPair // sweep output batch
+	cands      []Candidate      // leaf/leaf results of the last Expand
+	pairs      []NodePair       // directory results of the last Expand
+}
+
 // Expand computes the qualifying child pairs of the node pair (nr, ns) in
-// local plane-sweep order. Leaf/leaf pairs are emitted as candidates; all
+// local plane-sweep order. Leaf/leaf pairs are returned as candidates; all
 // other combinations as NodePairs to descend into. Nodes of unequal level
 // (possible with trees of different height) descend on the deeper side
-// only. The returned count is the number of rectangle comparisons performed,
-// which drives the CPU cost model.
-func Expand(nr, ns *rtree.Node, opts Options,
-	emitCandidate func(Candidate), emitPair func(NodePair)) (comparisons int) {
+// only. comparisons is the number of rectangle comparisons performed, which
+// drives the CPU cost model — it is a function of the nodes and opts alone,
+// never of the caching or batching below.
+//
+// The returned slices are views into the scratch, valid until the next
+// Expand call; callers must copy what they keep.
+//
+// The kernel reads each node through its sweep cache (rtree.Node.SweepView):
+// the SoA rect view, the MinX-sorted entry order, and the MBR are computed
+// once per node at build/load time, so steady-state expansion neither sorts
+// nor copies entry rectangles. Restricting a set of entries that is already
+// in sweep order yields the restricted set in sweep order, which is what
+// lets the cached order replace the per-visit sort of the original code.
+func (sc *Scratch) Expand(nr, ns *rtree.Node, opts Options) (cands []Candidate, pairs []NodePair, comparisons int) {
+	sc.cands = sc.cands[:0]
+	sc.pairs = sc.pairs[:0]
 	switch {
 	case nr.Level == 0 && ns.Level == 0:
-		return expandEqual(nr, ns, opts, func(er, es *rtree.Entry) {
-			emitCandidate(Candidate{R: er.Obj, S: es.Obj, RRect: er.Rect, SRect: es.Rect})
-		})
+		comparisons = sc.expandEqual(nr, ns, opts, true)
+		return sc.cands, nil, comparisons
 	case nr.Level == ns.Level:
-		return expandEqual(nr, ns, opts, func(er, es *rtree.Entry) {
-			emitPair(NodePair{
-				RPage: er.Child, SPage: es.Child,
-				RLevel: nr.Level - 1, SLevel: ns.Level - 1,
-			})
-		})
+		comparisons = sc.expandEqual(nr, ns, opts, false)
+		return nil, sc.pairs, comparisons
 	case nr.Level > ns.Level:
-		return expandOneSided(nr, ns.MBR(), opts, func(er *rtree.Entry) {
-			emitPair(NodePair{
-				RPage: er.Child, SPage: ns.Page,
-				RLevel: nr.Level - 1, SLevel: ns.Level,
-			})
-		})
+		comparisons = sc.expandOneSided(nr, ns, opts, true)
+		return nil, sc.pairs, comparisons
 	default: // ns deeper on the R side
-		return expandOneSided(ns, nr.MBR(), opts, func(es *rtree.Entry) {
-			emitPair(NodePair{
-				RPage: nr.Page, SPage: es.Child,
-				RLevel: nr.Level, SLevel: ns.Level - 1,
-			})
-		})
+		comparisons = sc.expandOneSided(ns, nr, opts, false)
+		return nil, sc.pairs, comparisons
 	}
 }
 
-// expandEqual enumerates intersecting entry pairs of two same-level nodes.
-func expandEqual(nr, ns *rtree.Node, opts Options, emit func(er, es *rtree.Entry)) int {
+// expandEqual enumerates intersecting entry pairs of two same-level nodes
+// into sc.cands (leaf) or sc.pairs (directory).
+func (sc *Scratch) expandEqual(nr, ns *rtree.Node, opts Options, leaf bool) int {
 	comparisons := 0
-	rRects := entryRects(nr)
-	sRects := entryRects(ns)
-
-	// Technique (i): restrict both entry sets to the intersection of the
-	// node MBRs.
-	rIdx := allIndices(len(rRects))
-	sIdx := allIndices(len(sRects))
-	if !opts.DisableRestriction {
-		inter := nr.MBR().Intersection(ns.MBR())
-		comparisons += len(rRects) + len(sRects)
-		rIdx = filterIndices(rRects, rIdx, inter)
-		sIdx = filterIndices(sRects, sIdx, inter)
-	}
+	rRects, rOrder, rMBR := nr.SweepView()
+	sRects, sOrder, sMBR := ns.SweepView()
 
 	if opts.NestedLoops {
+		// Ablation baseline: quadratic enumeration in entry order (which
+		// also destroys the plane-sweep page order).
+		rIdx, sIdx := sc.rIdx[:0], sc.sIdx[:0]
+		if opts.DisableRestriction {
+			for i := range rRects {
+				rIdx = append(rIdx, int32(i))
+			}
+			for j := range sRects {
+				sIdx = append(sIdx, int32(j))
+			}
+		} else {
+			inter := rMBR.Intersection(sMBR)
+			comparisons += len(rRects) + len(sRects)
+			for i := range rRects {
+				if rRects[i].Intersects(inter) {
+					rIdx = append(rIdx, int32(i))
+				}
+			}
+			for j := range sRects {
+				if sRects[j].Intersects(inter) {
+					sIdx = append(sIdx, int32(j))
+				}
+			}
+		}
+		sc.rIdx, sc.sIdx = rIdx, sIdx
 		for _, i := range rIdx {
 			for _, j := range sIdx {
 				comparisons++
 				if rRects[i].Intersects(sRects[j]) {
-					emit(&nr.Entries[i], &ns.Entries[j])
+					sc.emit(nr, ns, i, j, leaf)
 				}
 			}
 		}
 		return comparisons
 	}
 
-	// Technique (ii): plane-sweep in ascending MinX.
-	geom.SortRectsByMinX(rRects, rIdx)
-	geom.SortRectsByMinX(sRects, sIdx)
-	comparisons += geom.SweepPairsIndexed(rRects, sRects, rIdx, sIdx,
-		func(i, j int) bool {
-			emit(&nr.Entries[i], &ns.Entries[j])
-			return true
+	// Technique (i): restrict both entry sets to the intersection of the
+	// node MBRs. Walking the cached order keeps the restricted sets in
+	// ascending MinX for free.
+	rIdx, sIdx := sc.rIdx[:0], sc.sIdx[:0]
+	if opts.DisableRestriction {
+		rIdx = append(rIdx, rOrder...)
+		sIdx = append(sIdx, sOrder...)
+	} else {
+		inter := rMBR.Intersection(sMBR)
+		comparisons += len(rRects) + len(sRects)
+		for _, i := range rOrder {
+			if rRects[i].Intersects(inter) {
+				rIdx = append(rIdx, i)
+			}
+		}
+		for _, j := range sOrder {
+			if sRects[j].Intersects(inter) {
+				sIdx = append(sIdx, j)
+			}
+		}
+	}
+	sc.rIdx, sc.sIdx = rIdx, sIdx
+
+	// Technique (ii): plane-sweep in ascending MinX over the SoA views.
+	var n int
+	sc.hits, n = geom.SweepPairsSoA(rRects, sRects, rIdx, sIdx, sc.hits[:0])
+	comparisons += n
+	for _, h := range sc.hits {
+		sc.emit(nr, ns, h.R, h.S, leaf)
+	}
+	return comparisons
+}
+
+// emit records one qualifying entry pair (i of nr, j of ns).
+func (sc *Scratch) emit(nr, ns *rtree.Node, i, j int32, leaf bool) {
+	er, es := &nr.Entries[i], &ns.Entries[j]
+	if leaf {
+		sc.cands = append(sc.cands, Candidate{
+			R: er.Obj, S: es.Obj, RRect: er.Rect, SRect: es.Rect,
 		})
-	return comparisons
+		return
+	}
+	sc.pairs = append(sc.pairs, NodePair{
+		RPage: er.Child, SPage: es.Child,
+		RLevel: nr.Level - 1, SLevel: ns.Level - 1,
+	})
 }
 
-// expandOneSided enumerates the entries of node n that intersect the other
-// subtree's MBR, in ascending MinX (sweep order).
-func expandOneSided(n *rtree.Node, other geom.Rect, opts Options, emit func(e *rtree.Entry)) int {
-	comparisons := 0
-	rects := entryRects(n)
-	idx := allIndices(len(rects))
-	if !opts.NestedLoops {
-		geom.SortRectsByMinX(rects, idx)
+// expandOneSided enumerates the entries of the deeper node that intersect
+// the other subtree's MBR, in ascending MinX (sweep order). rDeeper says
+// which side descends.
+func (sc *Scratch) expandOneSided(deep, other *rtree.Node, opts Options, rDeeper bool) int {
+	rects, order, _ := deep.SweepView()
+	_, _, otherMBR := other.SweepView()
+	comparisons := len(rects)
+	if opts.NestedLoops {
+		// Entry order instead of sweep order.
+		for i := range rects {
+			if rects[i].Intersects(otherMBR) {
+				sc.emitOneSided(deep, other, int32(i), rDeeper)
+			}
+		}
+		return comparisons
 	}
-	for _, i := range idx {
-		comparisons++
-		if rects[i].Intersects(other) {
-			emit(&n.Entries[i])
+	for _, i := range order {
+		if rects[i].Intersects(otherMBR) {
+			sc.emitOneSided(deep, other, i, rDeeper)
 		}
 	}
 	return comparisons
 }
 
-func entryRects(n *rtree.Node) []geom.Rect {
-	rects := make([]geom.Rect, len(n.Entries))
-	for i := range n.Entries {
-		rects[i] = n.Entries[i].Rect
+// emitOneSided records a pair descending into entry i of the deeper node.
+func (sc *Scratch) emitOneSided(deep, other *rtree.Node, i int32, rDeeper bool) {
+	e := &deep.Entries[i]
+	if rDeeper {
+		sc.pairs = append(sc.pairs, NodePair{
+			RPage: e.Child, SPage: other.Page,
+			RLevel: deep.Level - 1, SLevel: other.Level,
+		})
+		return
 	}
-	return rects
+	sc.pairs = append(sc.pairs, NodePair{
+		RPage: other.Page, SPage: e.Child,
+		RLevel: other.Level, SLevel: deep.Level - 1,
+	})
 }
 
-func allIndices(n int) []int {
-	idx := make([]int, n)
-	for i := range idx {
-		idx[i] = i
+// Expand is the callback form of Scratch.Expand, kept for call sites outside
+// the hot path. It allocates a scratch per call; performance-sensitive
+// callers hold a Scratch (or an Engine) instead.
+func Expand(nr, ns *rtree.Node, opts Options,
+	emitCandidate func(Candidate), emitPair func(NodePair)) (comparisons int) {
+	var sc Scratch
+	cands, pairs, comparisons := sc.Expand(nr, ns, opts)
+	for _, c := range cands {
+		emitCandidate(c)
 	}
-	return idx
-}
-
-func filterIndices(rects []geom.Rect, idx []int, window geom.Rect) []int {
-	out := idx[:0]
-	for _, i := range idx {
-		if rects[i].Intersects(window) {
-			out = append(out, i)
-		}
+	for _, p := range pairs {
+		emitPair(p)
 	}
-	return out
+	return comparisons
 }
 
 // Engine runs the sequential [BKS 93] filter join depth-first from the two
 // roots. Costs are whatever the Source charges; comparisons are reported
 // through OnComparisons if set.
+//
+// The engine owns a Scratch and a traversal stack, both reused across Run
+// calls: a warmed-up engine performs zero heap allocations per node pair
+// (the candidate hooks may of course allocate on their side). Engines are
+// for use by a single goroutine — give each worker its own.
 type Engine struct {
-	Src           Source
-	Opts          Options
-	OnCandidate   func(Candidate) // receives every filter-step result
-	OnComparisons func(int)       // optional CPU accounting hook
+	Src  Source
+	Opts Options
+	// OnCandidates, when set, receives each leaf pair's filter results as
+	// one batch (a view valid only during the call) — the cheapest hook for
+	// bulk consumers. Otherwise OnCandidate receives them one at a time.
+	OnCandidates  func([]Candidate)
+	OnCandidate   func(Candidate)
+	OnComparisons func(int) // optional CPU accounting hook
+
+	scratch Scratch
+	stack   []NodePair
 }
 
 // Run joins the subtrees rooted at the given pair (normally the two roots).
@@ -219,22 +305,24 @@ type Engine struct {
 // pairs are visited in local plane-sweep order.
 func (e *Engine) Run(root NodePair) {
 	// Explicit stack; children pushed in reverse so they pop in sweep order.
-	stack := []NodePair{root}
-	var children []NodePair
+	stack := append(e.stack[:0], root)
 	for len(stack) > 0 {
 		p := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 
 		nr := e.Src.Node(SideR, p.RPage, p.RLevel)
 		ns := e.Src.Node(SideS, p.SPage, p.SLevel)
-		children = children[:0]
-		comparisons := Expand(nr, ns, e.Opts,
-			func(c Candidate) {
-				if e.OnCandidate != nil {
+		cands, children, comparisons := e.scratch.Expand(nr, ns, e.Opts)
+		if len(cands) > 0 {
+			// The candidate-hook dispatch is per batch, not per candidate.
+			if e.OnCandidates != nil {
+				e.OnCandidates(cands)
+			} else if e.OnCandidate != nil {
+				for _, c := range cands {
 					e.OnCandidate(c)
 				}
-			},
-			func(np NodePair) { children = append(children, np) })
+			}
+		}
 		if e.OnComparisons != nil {
 			e.OnComparisons(comparisons)
 		}
@@ -242,6 +330,7 @@ func (e *Engine) Run(root NodePair) {
 			stack = append(stack, children[i])
 		}
 	}
+	e.stack = stack[:0]
 }
 
 // RootPair returns the NodePair of two trees' roots, or false if the trees
@@ -266,9 +355,9 @@ func Sequential(r, s *rtree.Tree, opts Options) []Candidate {
 		return nil
 	}
 	e := Engine{
-		Src:         DirectSource{R: r, S: s},
-		Opts:        opts,
-		OnCandidate: func(c Candidate) { out = append(out, c) },
+		Src:          DirectSource{R: r, S: s},
+		Opts:         opts,
+		OnCandidates: func(cs []Candidate) { out = append(out, cs...) },
 	}
 	e.Run(root)
 	return out

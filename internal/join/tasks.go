@@ -9,6 +9,7 @@ package join
 // "root level" for reassignment purposes); comparisons counts the rectangle
 // tests spent.
 func CreateTasks(src Source, root NodePair, opts Options, minTasks int) (tasks []NodePair, level int, comparisons int) {
+	var sc Scratch
 	tasks = []NodePair{root}
 	for len(tasks) < minTasks {
 		next := make([]NodePair, 0, 4*len(tasks))
@@ -21,11 +22,12 @@ func CreateTasks(src Source, root NodePair, opts Options, minTasks int) (tasks [
 			expandedAny = true
 			nr := src.Node(SideR, p.RPage, p.RLevel)
 			ns := src.Node(SideS, p.SPage, p.SLevel)
-			comparisons += Expand(nr, ns, opts,
-				func(Candidate) {
-					panic("join: candidate emitted during task creation")
-				},
-				func(np NodePair) { next = append(next, np) })
+			cands, children, comp := sc.Expand(nr, ns, opts)
+			if len(cands) > 0 {
+				panic("join: candidate emitted during task creation")
+			}
+			comparisons += comp
+			next = append(next, children...)
 		}
 		tasks = next
 		if !expandedAny {

@@ -113,9 +113,8 @@ type procState struct {
 	stats   ProcStats
 	cands   []join.Candidate // only with CollectCandidates
 
-	// scratch buffers reused across process() calls
-	children []join.NodePair
-	newCands []join.Candidate
+	// scratch holds the expansion kernel's reusable buffers.
+	scratch join.Scratch
 }
 
 func newProcState(id, height int) *procState {
@@ -185,16 +184,12 @@ func (st *runState) process(ps *procState, p *sim.Proc, item join.NodePair) {
 	nr := st.fetch(ps, p, join.SideR, item.RPage, item.RLevel)
 	ns := st.fetch(ps, p, join.SideS, item.SPage, item.SLevel)
 
-	ps.children = ps.children[:0]
-	ps.newCands = ps.newCands[:0]
-	comparisons := join.Expand(nr, ns, st.cfg.Join,
-		func(c join.Candidate) { ps.newCands = append(ps.newCands, c) },
-		func(np join.NodePair) { ps.children = append(ps.children, np) })
+	newCands, children, comparisons := ps.scratch.Expand(nr, ns, st.cfg.Join)
 	p.Hold(sim.Time(comparisons) * st.cfg.CPU.PerComparison)
 
 	// The refinement of a candidate is executed by the processor that found
 	// it (§3); the exact test is modeled by the calibrated waiting period.
-	for _, c := range ps.newCands {
+	for _, c := range newCands {
 		p.Hold(st.cfg.Refine.CostFor(c.RRect, c.SRect))
 		ps.stats.Candidates++
 		if st.cfg.CollectCandidates {
@@ -202,10 +197,10 @@ func (st *runState) process(ps *procState, p *sim.Proc, item join.NodePair) {
 		}
 	}
 
-	if len(ps.children) > 0 {
+	if len(children) > 0 {
 		// Push in reverse so pops continue in plane-sweep order.
-		for i := len(ps.children) - 1; i >= 0; i-- {
-			ps.pending = append(ps.pending, ps.children[i])
+		for i := len(children) - 1; i >= 0; i-- {
+			ps.pending = append(ps.pending, children[i])
 		}
 		// New pending work may satisfy idle processors waiting to help.
 		if st.cfg.Reassign != ReassignNone && st.waitCond.WaiterCount() > 0 {

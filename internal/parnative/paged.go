@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
-	"sync/atomic"
 
 	"spjoin/internal/join"
 	"spjoin/internal/rtree"
@@ -12,8 +11,9 @@ import (
 
 // JoinPaged runs the parallel filter join out-of-core: both trees live in
 // real page files and every node access goes through their (concurrency-
-// safe) buffer pools. Task creation and dynamic assignment work exactly as
-// in Join; each worker drives its own paged source.
+// safe) buffer pools. Task creation and work-stealing scheduling work
+// exactly as in Join; each worker drives its own paged source, and the
+// first I/O error aborts the whole join at the next scheduling point.
 func JoinPaged(r, s *rtree.PagedTree, cfg Config) (Result, error) {
 	if cfg.Workers <= 0 {
 		cfg.Workers = runtime.GOMAXPROCS(0)
@@ -46,11 +46,14 @@ func JoinPaged(r, s *rtree.PagedTree, cfg Config) (Result, error) {
 		return res, fmt.Errorf("parnative: task creation: %w", err)
 	}
 	res.Tasks = len(tasks)
+	if len(tasks) == 0 {
+		return res, nil
+	}
 
 	perWorker := make([][]join.Candidate, cfg.Workers)
 	falseHits := make([]int, cfg.Workers)
 	workerErrs := make([]error, cfg.Workers)
-	var next atomic.Int64
+	sched := newStealScheduler(cfg.Workers, tasks)
 	var wg sync.WaitGroup
 	for w := 0; w < cfg.Workers; w++ {
 		w := w
@@ -58,32 +61,40 @@ func JoinPaged(r, s *rtree.PagedTree, cfg Config) (Result, error) {
 		go func() {
 			defer wg.Done()
 			src, srcErr := join.NewPagedSource(r, s)
-			engine := join.Engine{
-				Src:  src,
-				Opts: cfg.Opts,
-				OnCandidate: func(c join.Candidate) {
-					if cfg.Refiner != nil && !cfg.Refiner(c) {
-						falseHits[w]++
-						return
-					}
-					perWorker[w] = append(perWorker[w], c)
-				},
-			}
+			var sc join.Scratch
 			for {
-				i := next.Add(1) - 1
-				if int(i) >= len(tasks) {
-					break
-				}
-				res.PerWorker[w]++
-				engine.Run(tasks[i])
-				if err := srcErr(); err != nil {
-					workerErrs[w] = err
+				p, ok := sched.next(w)
+				if !ok {
 					return
 				}
+				res.PerWorker[w]++
+				nr := src.Node(join.SideR, p.RPage, p.RLevel)
+				ns := src.Node(join.SideS, p.SPage, p.SLevel)
+				cands, children, _ := sc.Expand(nr, ns, cfg.Opts)
+				if err := srcErr(); err != nil {
+					workerErrs[w] = err
+					sched.abort()
+					return
+				}
+				if len(cands) > 0 {
+					if cfg.Refiner != nil {
+						for _, c := range cands {
+							if cfg.Refiner(c) {
+								perWorker[w] = append(perWorker[w], c)
+							} else {
+								falseHits[w]++
+							}
+						}
+					} else {
+						perWorker[w] = append(perWorker[w], cands...)
+					}
+				}
+				sched.complete(w, children)
 			}
 		}()
 	}
 	wg.Wait()
+	res.Steals = int(sched.steals.Load())
 	for _, err := range workerErrs {
 		if err != nil {
 			return res, fmt.Errorf("parnative: paged traversal: %w", err)

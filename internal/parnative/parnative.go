@@ -1,16 +1,18 @@
 // Package parnative executes the parallel spatial join with real goroutines
 // on the host machine. Where package parjoin reproduces the paper's
 // measurements in simulated virtual time, this package delivers the actual
-// result set with task parallelism: task creation and dynamic task
-// assignment follow §3 (a shared queue drained by workers), and each worker
-// runs the sequential [BKS 93] engine on its pairs of subtrees.
+// result set with task parallelism: task creation follows §3.1, and the
+// created tasks are balanced across workers with per-worker deques plus
+// work-stealing whose victim selection mirrors the paper's §3.3 task
+// reassignment heuristic (help the worker with the largest remaining
+// (level, tasks) work load). Each worker expands node pairs with the
+// zero-allocation sequential kernel and emits candidates in batches.
 package parnative
 
 import (
 	"runtime"
 	"sort"
 	"sync"
-	"sync/atomic"
 
 	"spjoin/internal/join"
 	"spjoin/internal/parjoin"
@@ -45,9 +47,13 @@ type Result struct {
 	Tasks int
 	// Workers is the number of goroutines actually used.
 	Workers int
-	// PerWorker counts the tasks each worker processed (diagnostic for
-	// load-balance inspection).
+	// PerWorker counts the node pairs each worker expanded (diagnostic for
+	// load-balance inspection). The sum is the total pairs visited, which
+	// is at least Tasks: every task is itself a pair, and deeper pairs are
+	// scheduled individually so they can be stolen.
 	PerWorker []int
+	// Steals counts how often an idle worker took work from a loaded one.
+	Steals int
 	// FalseHits counts candidates the Refiner rejected (0 without one).
 	FalseHits int
 }
@@ -61,6 +67,10 @@ func Join(r, s *rtree.Tree, cfg Config) Result {
 	if cfg.TaskFactor <= 0 {
 		cfg.TaskFactor = 3
 	}
+	// Workers share the in-memory nodes; build every node's sweep cache up
+	// front so no lazy construction races inside the join.
+	r.PrepareSweep()
+	s.PrepareSweep()
 	tasks, _, _ := parjoin.CreateTasks(r, s, cfg.Opts, cfg.TaskFactor*cfg.Workers)
 	res := Result{
 		Tasks:     len(tasks),
@@ -73,36 +83,43 @@ func Join(r, s *rtree.Tree, cfg Config) Result {
 
 	perWorker := make([][]join.Candidate, cfg.Workers)
 	falseHits := make([]int, cfg.Workers)
-	var next atomic.Int64
+	sched := newStealScheduler(cfg.Workers, tasks)
+	src := join.DirectSource{R: r, S: s}
 	var wg sync.WaitGroup
 	for w := 0; w < cfg.Workers; w++ {
 		w := w
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			engine := join.Engine{
-				Src:  join.DirectSource{R: r, S: s},
-				Opts: cfg.Opts,
-				OnCandidate: func(c join.Candidate) {
-					if cfg.Refiner != nil && !cfg.Refiner(c) {
-						falseHits[w]++
-						return
-					}
-					perWorker[w] = append(perWorker[w], c)
-				},
-			}
-			// Dynamic task assignment: take the next task when idle.
+			var sc join.Scratch
 			for {
-				i := next.Add(1) - 1
-				if int(i) >= len(tasks) {
+				p, ok := sched.next(w)
+				if !ok {
 					return
 				}
 				res.PerWorker[w]++
-				engine.Run(tasks[i])
+				nr := src.Node(join.SideR, p.RPage, p.RLevel)
+				ns := src.Node(join.SideS, p.SPage, p.SLevel)
+				cands, children, _ := sc.Expand(nr, ns, cfg.Opts)
+				if len(cands) > 0 {
+					if cfg.Refiner != nil {
+						for _, c := range cands {
+							if cfg.Refiner(c) {
+								perWorker[w] = append(perWorker[w], c)
+							} else {
+								falseHits[w]++
+							}
+						}
+					} else {
+						perWorker[w] = append(perWorker[w], cands...)
+					}
+				}
+				sched.complete(w, children)
 			}
 		}()
 	}
 	wg.Wait()
+	res.Steals = int(sched.steals.Load())
 
 	total := 0
 	for _, cands := range perWorker {

@@ -106,9 +106,59 @@ func TestDefaultsApplied(t *testing.T) {
 	for _, n := range res.PerWorker {
 		total += n
 	}
-	if total != res.Tasks {
-		t.Fatalf("per-worker task counts sum to %d, want %d", total, res.Tasks)
+	// PerWorker counts expanded node pairs; every task is at least one pair
+	// and deeper pairs are scheduled individually.
+	if total < res.Tasks {
+		t.Fatalf("per-worker pair counts sum to %d, want >= %d tasks", total, res.Tasks)
 	}
+}
+
+// TestSortedMatchesSequentialExactly pins the determinism contract: with
+// Sorted set, the native parallel join must return a byte-identical
+// candidate slice to the sequential engine — same pairs, same order — for
+// any worker count and across repeated runs (scheduling noise must never
+// leak into the output).
+func TestSortedMatchesSequentialExactly(t *testing.T) {
+	r, s := testTrees(t)
+	want := join.Sequential(r, s, join.Options{})
+	sortCandidates(want)
+	for _, workers := range []int{1, 2, 8} {
+		for run := 0; run < 3; run++ {
+			res := Join(r, s, Config{Workers: workers, Sorted: true})
+			if len(res.Candidates) != len(want) {
+				t.Fatalf("workers=%d run=%d: %d candidates, want %d",
+					workers, run, len(res.Candidates), len(want))
+			}
+			for i := range want {
+				if res.Candidates[i] != want[i] {
+					t.Fatalf("workers=%d run=%d: candidate %d = %+v, want %+v",
+						workers, run, i, res.Candidates[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestStealingMovesWork drives a skewed task distribution hard enough that
+// stealing must kick in at least once across attempts: with many workers and
+// few initial tasks, most workers start empty and can only obtain work by
+// stealing from the loaded deques.
+func TestStealingMovesWork(t *testing.T) {
+	if runtime.GOMAXPROCS(0) < 2 {
+		t.Skip("needs >= 2 CPUs")
+	}
+	streets, mixed := tiger.Maps(0.3, 42)
+	r := rtree.BulkLoadSTR(rtree.DefaultParams(), streets, 0.73)
+	s := rtree.BulkLoadSTR(rtree.DefaultParams(), mixed, 0.73)
+	for attempt := 0; attempt < 5; attempt++ {
+		// TaskFactor 1 leaves the initial distribution coarse, so load
+		// imbalance (and therefore stealing) is likely.
+		res := Join(r, s, Config{Workers: 8, TaskFactor: 1})
+		if res.Steals > 0 {
+			return
+		}
+	}
+	t.Error("no steal occurred in 5 skewed runs; work-stealing appears inert")
 }
 
 func TestWorkersShareTasks(t *testing.T) {

@@ -74,6 +74,9 @@ func BulkLoadSTR(params Params, items []Item, fill float64) *Tree {
 	}
 	t.root = nodes[0].Page
 	t.size = len(items)
+	// Build time is the one moment every node is known immutable: precompute
+	// the join sweep caches so the first join never sorts.
+	t.PrepareSweep()
 	return t
 }
 

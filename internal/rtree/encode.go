@@ -128,6 +128,7 @@ func ReadTree(r io.Reader) (*Tree, error) {
 	if err := t.CheckIntegrity(); err != nil {
 		return nil, fmt.Errorf("rtree: decoded tree invalid: %w", err)
 	}
+	t.PrepareSweep()
 	return t, nil
 }
 

@@ -33,6 +33,11 @@ func assertTreesEqual(t *testing.T, a, b *Tree) {
 	if len(a.nodes) != len(b.nodes) {
 		t.Fatalf("page counts differ: %d vs %d", len(a.nodes), len(b.nodes))
 	}
+	// Sweep caches are derived data built at different times (decode builds
+	// eagerly, dynamic trees lazily); materialize both sides so DeepEqual
+	// compares their contents instead of nil vs. built.
+	a.PrepareSweep()
+	b.PrepareSweep()
 	for i := range a.nodes {
 		na, nb := a.nodes[i], b.nodes[i]
 		if (na == nil) != (nb == nil) {

@@ -24,6 +24,7 @@ func (t *Tree) Insert(id EntryID, r geom.Rect) {
 func (t *Tree) insertEntry(e Entry, level int, reinserted map[int]bool) {
 	n := t.chooseSubtree(e.Rect, level)
 	n.Entries = append(n.Entries, e)
+	n.invalidateSweep()
 	if level > 0 {
 		t.Node(e.Child).Parent = n.Page
 	}
@@ -145,6 +146,7 @@ func (t *Tree) reinsert(n *Node, reinserted map[int]bool) {
 	for i := p; i < len(all); i++ {
 		n.Entries = append(n.Entries, all[i].e)
 	}
+	n.invalidateSweep()
 	t.adjustMBRUp(n)
 
 	// Close reinsert: smallest distance first (reverse of removal order).
@@ -165,6 +167,7 @@ func (t *Tree) adjustMBRUp(n *Node) {
 			return
 		}
 		parent.Entries[i].Rect = mbr
+		parent.invalidateSweep()
 		n = parent
 	}
 }

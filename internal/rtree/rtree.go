@@ -40,6 +40,10 @@ type Node struct {
 	Parent  storage.PageID // InvalidPage for the root
 	Level   int
 	Entries []Entry
+
+	// sweep caches the join views of this node (SoA rects, MinX order,
+	// MBR); nil until built. See sweepcache.go.
+	sweep *sweepCache
 }
 
 // Kind returns the storage classification of the node's page.

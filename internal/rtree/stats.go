@@ -71,6 +71,9 @@ func (t *Tree) CheckIntegrity() error {
 	count := 0
 	var check func(n *Node) error
 	check = func(n *Node) error {
+		if err := n.checkSweepCache(); err != nil {
+			return err
+		}
 		if n.Page != t.root {
 			if len(n.Entries) < t.minFill(n) {
 				return fmt.Errorf("rtree: page %d underfull: %d < %d",
