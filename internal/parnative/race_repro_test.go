@@ -1,0 +1,20 @@
+package parnative
+
+import (
+	"testing"
+
+	"spjoin/internal/join"
+)
+
+// Stress the complete() publish-before-count window: many workers, tiny
+// tasks, repeated runs, comparing candidate counts against sequential.
+func TestStressPrematureTermination(t *testing.T) {
+	r, s := testTrees(t)
+	want := len(join.Sequential(r, s, join.Options{}))
+	for i := 0; i < 3000; i++ {
+		res := Join(r, s, Config{Workers: 16, TaskFactor: 1})
+		if len(res.Candidates) != want {
+			t.Fatalf("iteration %d: %d candidates, want %d (premature termination)", i, len(res.Candidates), want)
+		}
+	}
+}
