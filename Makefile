@@ -2,7 +2,7 @@
 # (see README.md): full build, vet, race tests on the concurrent executors,
 # then the whole test suite.
 
-.PHONY: check test bench bench-snapshot fuzz
+.PHONY: check test bench bench-snapshot bench-diff cover fuzz
 
 check:
 	./scripts/check.sh
@@ -16,6 +16,15 @@ bench:
 # Refresh BENCH_kernel.json (commit the result).
 bench-snapshot:
 	./scripts/bench_snapshot.sh
+
+# Compare a fresh kernel snapshot against BENCH_kernel.json; fails on >10%
+# ns/op regressions or any allocs/op growth. TOLERANCE overrides the percent.
+bench-diff:
+	./scripts/bench_diff.sh $(or $(TOLERANCE),10)
+
+# Test with coverage and enforce the floor used by CI.
+cover:
+	./scripts/cover.sh
 
 fuzz:
 	go test -run='^$$' -fuzz=FuzzSweepSoAOracle -fuzztime=30s ./internal/geom/

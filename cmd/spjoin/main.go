@@ -8,6 +8,7 @@
 //	       [-procs 8] [-disks 8] [-buffer 800]
 //	       [-variant gd|gsrr|lsr|sn|est] [-reassign none|root|all]
 //	       [-victim loaded|random] [-native]
+//	       [-metrics out.json] [-trace out.jsonl]
 //	       [-loadR r.csv -loadS s.csv]
 package main
 
@@ -16,14 +17,124 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sort"
+	"strings"
 	"time"
 
 	"spjoin/internal/mapio"
+	"spjoin/internal/metrics"
 	"spjoin/internal/parjoin"
 	"spjoin/internal/parnative"
 	"spjoin/internal/rtree"
+	"spjoin/internal/stats"
 	"spjoin/internal/tiger"
 )
+
+// observability bundles the optional -metrics registry and -trace sink.
+type observability struct {
+	reg         *metrics.Registry
+	sink        *metrics.JSONLSink
+	traceFile   *os.File
+	metricsPath string
+	tracePath   string
+}
+
+// newObservability opens the requested outputs; empty paths disable them.
+func newObservability(metricsPath, tracePath string) (*observability, error) {
+	o := &observability{metricsPath: metricsPath, tracePath: tracePath}
+	if metricsPath != "" {
+		o.reg = metrics.NewRegistry()
+	}
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			return nil, err
+		}
+		o.traceFile = f
+		o.sink = metrics.NewJSONLSink(f)
+	}
+	return o, nil
+}
+
+// trace returns the sink as the interface type, nil when tracing is off
+// (a typed-nil *JSONLSink inside a TraceSink would defeat the emit guards).
+func (o *observability) trace() metrics.TraceSink {
+	if o.sink == nil {
+		return nil
+	}
+	return o.sink
+}
+
+// finish writes the metrics snapshot, flushes the trace, and prints a
+// summary table of every registered instrument.
+func (o *observability) finish() error {
+	if o.sink != nil {
+		if err := o.sink.Flush(); err != nil {
+			return fmt.Errorf("flush trace: %w", err)
+		}
+		if err := o.traceFile.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("trace:                  %d events -> %s\n", o.sink.Events(), o.tracePath)
+	}
+	if o.reg == nil {
+		return nil
+	}
+	f, err := os.Create(o.metricsPath)
+	if err != nil {
+		return err
+	}
+	if err := o.reg.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("metrics:                %s\n\n", o.metricsPath)
+	renderSnapshot(o.reg.Snapshot())
+	return nil
+}
+
+// renderSnapshot prints every counter, gauge and histogram as an aligned
+// table, sorted by name so the output is reproducible.
+func renderSnapshot(snap metrics.Snapshot) {
+	t := stats.NewTable("Metrics", "name", "value")
+	names := make([]string, 0, len(snap.Counters))
+	for name := range snap.Counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		t.AddRow(name, snap.Counters[name])
+	}
+	names = names[:0]
+	for name := range snap.Gauges {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		t.AddRow(name, fmt.Sprintf("%.3f", snap.Gauges[name]))
+	}
+	names = names[:0]
+	for name := range snap.Histograms {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		h := snap.Histograms[name]
+		cells := make([]string, 0, len(h.Counts))
+		for i, c := range h.Counts {
+			bound := "inf"
+			if i < len(h.Bounds) {
+				bound = fmt.Sprintf("%d", h.Bounds[i])
+			}
+			cells = append(cells, fmt.Sprintf("le%s:%d", bound, c))
+		}
+		t.AddRow(name, fmt.Sprintf("n=%d sum=%d [%s]", h.Count, h.Sum, strings.Join(cells, " ")))
+	}
+	t.Render(os.Stdout)
+}
 
 func main() {
 	scale := flag.Float64("scale", 0.1, "workload scale (1.0 = paper cardinalities)")
@@ -35,9 +146,17 @@ func main() {
 	reassign := flag.String("reassign", "all", "task reassignment: none | root | all")
 	victim := flag.String("victim", "loaded", "victim selection: loaded | random")
 	native := flag.Bool("native", false, "run natively with goroutines instead of simulating")
+	metricsOut := flag.String("metrics", "", "write a JSON metrics snapshot to this file")
+	traceOut := flag.String("trace", "", "write a JSONL event trace to this file")
 	loadR := flag.String("loadR", "", "CSV file for relation R (default: generated streets)")
 	loadS := flag.String("loadS", "", "CSV file for relation S (default: generated mixed features)")
 	flag.Parse()
+
+	obs, err := newObservability(*metricsOut, *traceOut)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "spjoin: %v\n", err)
+		os.Exit(1)
+	}
 
 	var streets, mixed []rtree.Item
 	if *loadR != "" || *loadS != "" {
@@ -66,7 +185,11 @@ func main() {
 		time.Since(t0).Round(time.Millisecond), r.Len(), s.Len(), r.Height(), s.Height())
 
 	if *native {
-		runNative(r, s, *procs)
+		runNative(r, s, *procs, obs)
+		if err := obs.finish(); err != nil {
+			fmt.Fprintf(os.Stderr, "spjoin: %v\n", err)
+			os.Exit(1)
+		}
 		return
 	}
 
@@ -103,6 +226,9 @@ func main() {
 		os.Exit(2)
 	}
 
+	cfg.Metrics = obs.reg
+	cfg.Trace = obs.trace()
+
 	t0 = time.Now()
 	res := parjoin.Run(r, s, cfg)
 	wall := time.Since(t0)
@@ -121,6 +247,10 @@ func main() {
 	fmt.Printf("path buffer hits:       %d\n", res.PathBufferHits)
 	fmt.Printf("task reassignments:     %d\n", res.Reassignments)
 	fmt.Printf("simulated in:           %v wall time\n", wall.Round(time.Millisecond))
+	if err := obs.finish(); err != nil {
+		fmt.Fprintf(os.Stderr, "spjoin: %v\n", err)
+		os.Exit(1)
+	}
 }
 
 func loadCSV(path string) ([]rtree.Item, error) {
@@ -132,12 +262,16 @@ func loadCSV(path string) ([]rtree.Item, error) {
 	return mapio.Read(f)
 }
 
-func runNative(r, s *rtree.Tree, workers int) {
+func runNative(r, s *rtree.Tree, workers int, obs *observability) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	t0 := time.Now()
-	res := parnative.Join(r, s, parnative.Config{Workers: workers})
+	res := parnative.Join(r, s, parnative.Config{
+		Workers: workers,
+		Metrics: obs.reg,
+		Trace:   obs.trace(),
+	})
 	wall := time.Since(t0)
 	fmt.Printf("native parallel join with %d goroutines\n", res.Workers)
 	fmt.Printf("tasks (m):    %d\n", res.Tasks)

@@ -79,6 +79,9 @@ type Manager interface {
 	Fetch(p *sim.Proc, proc int, key PageKey, kind storage.PageKind) Class
 	// Stats returns the access counters so far.
 	Stats() Stats
+	// Instrument attaches optional observability (nil detaches). It must
+	// not change the manager's timing or replacement behavior.
+	Instrument(m *Metrics)
 }
 
 // LocalBuffers is the organization of §3.1: every processor has a private
@@ -89,6 +92,7 @@ type LocalBuffers struct {
 	costs CostParams
 	bufs  []*LRU
 	stats Stats
+	met   *Metrics
 }
 
 // NewLocalBuffers creates n private buffers of perProcCapacity pages each.
@@ -108,17 +112,24 @@ func (l *LocalBuffers) Fetch(p *sim.Proc, proc int, key PageKey, kind storage.Pa
 	buf := l.bufs[proc]
 	if buf.Touch(key) {
 		l.stats.LocalHits++
+		l.met.access(LocalHit, p, proc, key)
 		p.Hold(l.costs.LocalHit)
 		return LocalHit
 	}
 	l.stats.Misses++
+	l.met.access(Miss, p, proc, key)
 	l.disk.Read(p, key.Page, kind)
-	buf.Insert(key)
+	if evicted, didEvict := buf.Insert(key); didEvict {
+		l.met.evict(p, proc, evicted)
+	}
 	return Miss
 }
 
 // Stats implements Manager.
 func (l *LocalBuffers) Stats() Stats { return l.stats }
+
+// Instrument implements Manager.
+func (l *LocalBuffers) Instrument(m *Metrics) { l.met = m }
 
 // Resident reports whether proc's buffer holds key (test support).
 func (l *LocalBuffers) Resident(proc int, key PageKey) bool {
@@ -139,6 +150,7 @@ type GlobalBuffer struct {
 	dir     map[PageKey]int // resident page -> owning processor
 	pending map[PageKey]*sim.Cond
 	stats   Stats
+	met     *Metrics
 }
 
 // NewGlobalBuffer creates a global buffer over n partitions of
@@ -168,10 +180,12 @@ func (g *GlobalBuffer) Fetch(p *sim.Proc, proc int, key PageKey, kind storage.Pa
 			g.parts[owner].Touch(key)
 			if owner == proc {
 				g.stats.LocalHits++
+				g.met.access(LocalHit, p, proc, key)
 				p.Hold(g.costs.LocalHit)
 				return LocalHit
 			}
 			g.stats.RemoteHits++
+			g.met.access(RemoteHit, p, proc, key)
 			p.Hold(g.costs.RemoteHit)
 			return RemoteHit
 		}
@@ -185,8 +199,11 @@ func (g *GlobalBuffer) Fetch(p *sim.Proc, proc int, key PageKey, kind storage.Pa
 		cond := &sim.Cond{}
 		g.pending[key] = cond
 		g.stats.Misses++
+		g.met.access(Miss, p, proc, key)
 		g.disk.Read(p, key.Page, kind)
-		g.insertAsOwner(proc, key)
+		if evicted, didEvict := g.insertAsOwner(proc, key); didEvict {
+			g.met.evict(p, proc, evicted)
+		}
 		delete(g.pending, key)
 		cond.Broadcast()
 		return Miss
@@ -194,16 +211,20 @@ func (g *GlobalBuffer) Fetch(p *sim.Proc, proc int, key PageKey, kind storage.Pa
 }
 
 // insertAsOwner places key in proc's partition, maintaining the directory.
-func (g *GlobalBuffer) insertAsOwner(proc int, key PageKey) {
+func (g *GlobalBuffer) insertAsOwner(proc int, key PageKey) (PageKey, bool) {
 	evicted, didEvict := g.parts[proc].Insert(key)
 	if didEvict {
 		delete(g.dir, evicted)
 	}
 	g.dir[key] = proc
+	return evicted, didEvict
 }
 
 // Stats implements Manager.
 func (g *GlobalBuffer) Stats() Stats { return g.stats }
+
+// Instrument implements Manager.
+func (g *GlobalBuffer) Instrument(m *Metrics) { g.met = m }
 
 // Owner returns which processor's memory holds key, or -1 (test support).
 func (g *GlobalBuffer) Owner(key PageKey) int {

@@ -22,6 +22,7 @@ type SharedNothing struct {
 	ship  sim.Time
 	bufs  []*LRU
 	stats Stats
+	met   *Metrics
 }
 
 // DefaultShipCost is the page-shipping cost used by the experiments:
@@ -52,6 +53,7 @@ func (s *SharedNothing) Home(key PageKey) int {
 func (s *SharedNothing) Fetch(p *sim.Proc, proc int, key PageKey, kind storage.PageKind) Class {
 	if s.bufs[proc].Touch(key) {
 		s.stats.LocalHits++
+		s.met.access(LocalHit, p, proc, key)
 		p.Hold(s.costs.LocalHit)
 		return LocalHit
 	}
@@ -59,29 +61,42 @@ func (s *SharedNothing) Fetch(p *sim.Proc, proc int, key PageKey, kind storage.P
 	if home == proc {
 		// Own disk: plain read into the own buffer.
 		s.stats.Misses++
+		s.met.access(Miss, p, proc, key)
 		s.disk.Read(p, key.Page, kind)
-		s.bufs[proc].Insert(key)
+		s.insert(p, proc, key)
 		return Miss
 	}
 	if s.bufs[home].Touch(key) {
 		// The home still caches the page: ship a copy.
 		s.stats.RemoteHits++
+		s.met.access(RemoteHit, p, proc, key)
 		p.Hold(s.ship)
-		s.bufs[proc].Insert(key)
+		s.insert(p, proc, key)
 		return RemoteHit
 	}
 	// Cold: the home must read its disk, then ship. The requester spends
 	// the disk time (waiting for the home's response) plus the shipping.
 	s.stats.Misses++
+	s.met.access(Miss, p, proc, key)
 	s.disk.Read(p, key.Page, kind)
 	p.Hold(s.ship)
-	s.bufs[home].Insert(key)
-	s.bufs[proc].Insert(key)
+	s.insert(p, home, key)
+	s.insert(p, proc, key)
 	return Miss
+}
+
+// insert places key in owner's buffer, recording any eviction.
+func (s *SharedNothing) insert(p *sim.Proc, owner int, key PageKey) {
+	if evicted, didEvict := s.bufs[owner].Insert(key); didEvict {
+		s.met.evict(p, owner, evicted)
+	}
 }
 
 // Stats implements Manager.
 func (s *SharedNothing) Stats() Stats { return s.stats }
+
+// Instrument implements Manager.
+func (s *SharedNothing) Instrument(m *Metrics) { s.met = m }
 
 // Resident reports whether proc's buffer caches key (test support).
 func (s *SharedNothing) Resident(proc int, key PageKey) bool {

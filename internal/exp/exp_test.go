@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"strings"
 	"testing"
+
+	"spjoin/internal/metrics"
 )
 
 // testWorkload is small enough for fast experiment smoke runs.
@@ -33,8 +35,8 @@ func TestByName(t *testing.T) {
 	if _, ok := ByName("nope"); ok {
 		t.Fatal("bogus experiment found")
 	}
-	if len(All()) != 9 {
-		t.Fatalf("expected 9 experiments, got %d", len(All()))
+	if len(All()) != 10 {
+		t.Fatalf("expected 10 experiments, got %d", len(All()))
 	}
 }
 
@@ -152,5 +154,46 @@ func TestExtensionExperimentsRender(t *testing.T) {
 	out := buf.String()
 	if !strings.Contains(out, "Pearson") || !strings.Contains(out, "dynamic") {
 		t.Fatalf("est experiment output incomplete:\n%s", out)
+	}
+}
+
+// TestMetricsObservationOnly asserts the two contracts of the metrics
+// layer: an instrumented run reproduces the uninstrumented Result exactly
+// (counting never advances virtual time), and the registry's counters agree
+// with the simulator's own accounting.
+func TestMetricsObservationOnly(t *testing.T) {
+	w := testWorkload(t)
+	for _, v := range []string{"lsr", "gsrr", "gd"} {
+		plain := w.run(w.config(8, 8, 800).Variant(v))
+
+		reg := metrics.NewRegistry()
+		sink := metrics.NewCountingSink(false)
+		cfg := w.config(8, 8, 800).Variant(v)
+		cfg.Metrics = reg
+		cfg.Trace = sink
+		res := w.run(cfg)
+
+		if res.ResponseTime != plain.ResponseTime || res.DiskAccesses != plain.DiskAccesses ||
+			res.Candidates != plain.Candidates || res.Buffer != plain.Buffer {
+			t.Fatalf("%s: instrumented run diverged from plain run:\n%+v\nvs\n%+v", v, res, plain)
+		}
+
+		snap := reg.Snapshot()
+		disk := snap.Counters["sim.disk.reads.directory"] + snap.Counters["sim.disk.reads.data"]
+		if disk != res.DiskAccesses {
+			t.Errorf("%s: registry disk reads %d, result %d", v, disk, res.DiskAccesses)
+		}
+		if got := sink.Count(metrics.EvDiskRead); got != res.DiskAccesses {
+			t.Errorf("%s: trace disk-read events %d, result %d", v, got, res.DiskAccesses)
+		}
+		if got := snap.Counters["sim.buffer.misses"]; got != res.Buffer.Misses {
+			t.Errorf("%s: registry buffer misses %d, result %d", v, got, res.Buffer.Misses)
+		}
+		if got := snap.Counters["sim.join.candidates"]; got != int64(res.Candidates) {
+			t.Errorf("%s: registry candidates %d, result %d", v, got, res.Candidates)
+		}
+		if got := snap.Gauges["sim.response_s"]; got != res.ResponseTime.Seconds() {
+			t.Errorf("%s: registry response %v, result %v", v, got, res.ResponseTime.Seconds())
+		}
 	}
 }

@@ -18,6 +18,7 @@ package join
 import (
 	"spjoin/internal/buffer"
 	"spjoin/internal/geom"
+	"spjoin/internal/metrics"
 	"spjoin/internal/rtree"
 	"spjoin/internal/storage"
 )
@@ -278,6 +279,33 @@ func Expand(nr, ns *rtree.Node, opts Options,
 	return comparisons
 }
 
+// Metrics bundles the filter-join counters of one Engine (or any caller of
+// the expansion kernel): node pairs expanded, rectangle comparisons (the
+// paper's CPU cost driver), candidates emitted. All fields are nil-safe.
+type Metrics struct {
+	Pairs       *metrics.Counter
+	Comparisons *metrics.Counter
+	Candidates  *metrics.Counter
+}
+
+// NewMetrics registers the join counters under prefix (for example
+// "sim.join") in reg. A nil registry yields inert instruments.
+func NewMetrics(reg *metrics.Registry, prefix string) *Metrics {
+	return &Metrics{
+		Pairs:       reg.Counter(prefix + ".pairs_expanded"),
+		Comparisons: reg.Counter(prefix + ".comparisons"),
+		Candidates:  reg.Counter(prefix + ".candidates"),
+	}
+}
+
+// observe records one expansion; kept out of line so Engine.Run's loop
+// stays branch-light when Met is nil.
+func (m *Metrics) observe(cands, comparisons int) {
+	m.Pairs.Inc()
+	m.Comparisons.Add(int64(comparisons))
+	m.Candidates.Add(int64(cands))
+}
+
 // Engine runs the sequential [BKS 93] filter join depth-first from the two
 // roots. Costs are whatever the Source charges; comparisons are reported
 // through OnComparisons if set.
@@ -295,6 +323,9 @@ type Engine struct {
 	OnCandidates  func([]Candidate)
 	OnCandidate   func(Candidate)
 	OnComparisons func(int) // optional CPU accounting hook
+	// Met, when set, receives the run's counters (pairs expanded,
+	// comparisons, candidates). Costs one branch per node pair when nil.
+	Met *Metrics
 
 	scratch Scratch
 	stack   []NodePair
@@ -325,6 +356,9 @@ func (e *Engine) Run(root NodePair) {
 		}
 		if e.OnComparisons != nil {
 			e.OnComparisons(comparisons)
+		}
+		if e.Met != nil {
+			e.Met.observe(len(cands), comparisons)
 		}
 		for i := len(children) - 1; i >= 0; i-- {
 			stack = append(stack, children[i])

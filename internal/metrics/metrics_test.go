@@ -1,0 +1,155 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("a.b")
+	c.Inc()
+	c.Add(41)
+	if got := c.Load(); got != 42 {
+		t.Fatalf("counter = %d, want 42", got)
+	}
+	if r.Counter("a.b") != c {
+		t.Fatal("re-lookup returned a different counter")
+	}
+	g := r.Gauge("g")
+	g.Set(2.5)
+	if got := g.Load(); got != 2.5 {
+		t.Fatalf("gauge = %v, want 2.5", got)
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	g := r.Gauge("y")
+	h := r.Histogram("z", []int64{1, 2})
+	c.Inc()
+	c.Add(5)
+	g.Set(1)
+	h.Observe(3)
+	if c.Load() != 0 || g.Load() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil instruments must be inert")
+	}
+	snap := r.Snapshot()
+	if len(snap.Counters) != 0 {
+		t.Fatal("nil registry snapshot not empty")
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("q", []int64{1, 4, 16})
+	for _, v := range []int64{0, 1, 2, 4, 5, 16, 17, 1000} {
+		h.Observe(v)
+	}
+	snap := r.Snapshot().Histograms["q"]
+	want := []int64{2, 2, 2, 2} // (<=1)=0,1 (<=4)=2,4 (<=16)=5,16 (over)=17,1000
+	for i, w := range want {
+		if snap.Counts[i] != w {
+			t.Fatalf("bucket %d = %d, want %d (counts %v)", i, snap.Counts[i], w, snap.Counts)
+		}
+	}
+	if snap.Count != 8 || snap.Sum != 0+1+2+4+5+16+17+1000 {
+		t.Fatalf("count/sum = %d/%d", snap.Count, snap.Sum)
+	}
+}
+
+func TestHistogramBadBoundsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("descending bounds must panic")
+		}
+	}()
+	NewRegistry().Histogram("bad", []int64{4, 1})
+}
+
+// TestSteadyStateZeroAlloc pins the package contract: increments and
+// observations never allocate once the instrument exists.
+func TestSteadyStateZeroAlloc(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c")
+	g := r.Gauge("g")
+	h := r.Histogram("h", []int64{1, 8, 64})
+	if n := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		c.Add(3)
+		g.Set(1.5)
+		h.Observe(7)
+	}); n != 0 {
+		t.Fatalf("steady-state instruments allocate %v allocs/op, want 0", n)
+	}
+}
+
+func TestConcurrentIncrements(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := r.Counter("shared")
+			h := r.Histogram("hist", []int64{10})
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				h.Observe(int64(j % 20))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("shared").Load(); got != 8000 {
+		t.Fatalf("shared counter = %d, want 8000", got)
+	}
+	if got := r.Histogram("hist", nil).Count(); got != 8000 {
+		t.Fatalf("hist count = %d, want 8000", got)
+	}
+}
+
+// TestWriteJSONDeterministic asserts two equal registries export
+// byte-identical documents — the golden-metrics harness relies on it.
+func TestWriteJSONDeterministic(t *testing.T) {
+	build := func() *Registry {
+		r := NewRegistry()
+		r.Counter("z.last").Add(3)
+		r.Counter("a.first").Add(1)
+		r.Gauge("mid").Set(4.465)
+		r.Histogram("depth", []int64{1, 2, 4}).Observe(3)
+		return r
+	}
+	var b1, b2 bytes.Buffer
+	if err := build().WriteJSON(&b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := build().WriteJSON(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+		t.Fatalf("JSON export not deterministic:\n%s\nvs\n%s", b1.Bytes(), b2.Bytes())
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(b1.Bytes(), &snap); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if snap.Counters["a.first"] != 1 || snap.Counters["z.last"] != 3 {
+		t.Fatalf("round-trip lost counters: %+v", snap)
+	}
+}
+
+func TestSnapshotNames(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b")
+	r.Counter("a")
+	r.Gauge("g")
+	r.Histogram("h", []int64{1})
+	cs, gs, hs := r.Snapshot().Names()
+	if strings.Join(cs, ",") != "a,b" || strings.Join(gs, ",") != "g" || strings.Join(hs, ",") != "h" {
+		t.Fatalf("names = %v %v %v", cs, gs, hs)
+	}
+}

@@ -1,0 +1,197 @@
+package metrics
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"sync"
+)
+
+// EventKind identifies one kind of structured join event.
+type EventKind uint8
+
+const (
+	// EvPairExpanded: a node pair was expanded by a worker/processor.
+	// Level is the pair's max level; A/B are the R/S page numbers.
+	EvPairExpanded EventKind = iota
+	// EvBufferLocalHit: a page request was served from the requester's own
+	// buffer (A = page, B = tree id).
+	EvBufferLocalHit
+	// EvBufferRemoteHit: served from another processor's partition of the
+	// global buffer, or shipped from its home in the shared-nothing
+	// organization (A = page, B = tree id).
+	EvBufferRemoteHit
+	// EvBufferMiss: the page was not resident anywhere and had to be read
+	// from disk (A = page, B = tree id).
+	EvBufferMiss
+	// EvBufferEvict: a resident page was evicted to make room
+	// (A = evicted page, B = tree id).
+	EvBufferEvict
+	// EvDiskRead: one physical page fetch (A = page, B = 1 for a data
+	// page with its geometry cluster, 0 for a directory page).
+	EvDiskRead
+	// EvTaskStolen: a native work-stealing success (Worker = thief,
+	// A = pairs moved, B = victim worker).
+	EvTaskStolen
+	// EvTaskReassigned: a simulated §3.4 task reassignment (Worker =
+	// helped/idle processor, A = pairs moved, B = victim processor).
+	EvTaskReassigned
+	// EvWorkerIdle: a worker left an idle span (F = span length — virtual
+	// ms in the simulator).
+	EvWorkerIdle
+)
+
+// String returns the JSONL event name.
+func (k EventKind) String() string {
+	switch k {
+	case EvPairExpanded:
+		return "pair-expanded"
+	case EvBufferLocalHit:
+		return "buffer-local-hit"
+	case EvBufferRemoteHit:
+		return "buffer-remote-hit"
+	case EvBufferMiss:
+		return "buffer-miss"
+	case EvBufferEvict:
+		return "buffer-evict"
+	case EvDiskRead:
+		return "disk-read"
+	case EvTaskStolen:
+		return "task-stolen"
+	case EvTaskReassigned:
+		return "task-reassigned"
+	case EvWorkerIdle:
+		return "worker-idle"
+	default:
+		return fmt.Sprintf("EventKind(%d)", uint8(k))
+	}
+}
+
+// Event is one structured join event. The struct is fixed-size and flat so
+// emission never allocates on the producer side; sinks decide how to encode
+// it. T is the event time — virtual milliseconds in the simulator, wall
+// milliseconds since join start in the native executor. Worker is the
+// processor/goroutine index (-1 when not applicable). The meaning of
+// Level, A, B and F depends on Kind (see the kind constants).
+type Event struct {
+	Kind   EventKind
+	T      float64
+	Worker int32
+	Level  int32
+	A, B   int64
+	F      float64
+}
+
+// TraceSink consumes events. Emission sites guard with a nil check, so an
+// uninstalled sink costs one branch and the event struct is never built —
+// tracing is compiled out of the hot path when disabled. Sinks must be
+// safe for concurrent use (the native executor emits from many
+// goroutines).
+type TraceSink interface {
+	Emit(Event)
+}
+
+// JSONLSink writes one JSON object per event line. It buffers internally;
+// call Flush (or Close) when the run completes. Safe for concurrent use.
+type JSONLSink struct {
+	mu  sync.Mutex
+	w   *bufio.Writer
+	buf []byte
+	n   int64
+}
+
+// NewJSONLSink wraps w.
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	return &JSONLSink{w: bufio.NewWriterSize(w, 1<<16)}
+}
+
+// Emit implements TraceSink.
+func (s *JSONLSink) Emit(e Event) {
+	s.mu.Lock()
+	b := s.buf[:0]
+	b = append(b, `{"ev":"`...)
+	b = append(b, e.Kind.String()...)
+	b = append(b, `","t":`...)
+	b = strconv.AppendFloat(b, e.T, 'f', 3, 64)
+	b = append(b, `,"w":`...)
+	b = strconv.AppendInt(b, int64(e.Worker), 10)
+	b = append(b, `,"lvl":`...)
+	b = strconv.AppendInt(b, int64(e.Level), 10)
+	b = append(b, `,"a":`...)
+	b = strconv.AppendInt(b, e.A, 10)
+	b = append(b, `,"b":`...)
+	b = strconv.AppendInt(b, e.B, 10)
+	if e.F != 0 {
+		b = append(b, `,"f":`...)
+		b = strconv.AppendFloat(b, e.F, 'f', 3, 64)
+	}
+	b = append(b, '}', '\n')
+	s.w.Write(b)
+	s.buf = b
+	s.n++
+	s.mu.Unlock()
+}
+
+// Events returns how many events were written.
+func (s *JSONLSink) Events() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.n
+}
+
+// Flush drains the internal buffer to the underlying writer.
+func (s *JSONLSink) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.w.Flush()
+}
+
+// CountingSink counts events by kind; test and diagnostic support.
+type CountingSink struct {
+	mu     sync.Mutex
+	counts map[EventKind]int64
+	events []Event
+	keep   bool
+}
+
+// NewCountingSink returns a sink that tallies events; with keep it also
+// retains every event in order.
+func NewCountingSink(keep bool) *CountingSink {
+	return &CountingSink{counts: make(map[EventKind]int64), keep: keep}
+}
+
+// Emit implements TraceSink.
+func (s *CountingSink) Emit(e Event) {
+	s.mu.Lock()
+	s.counts[e.Kind]++
+	if s.keep {
+		s.events = append(s.events, e)
+	}
+	s.mu.Unlock()
+}
+
+// Count returns how many events of kind k were seen.
+func (s *CountingSink) Count(k EventKind) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.counts[k]
+}
+
+// Total returns the total event count.
+func (s *CountingSink) Total() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var n int64
+	for _, c := range s.counts {
+		n += c
+	}
+	return n
+}
+
+// Events returns the retained events (nil unless created with keep).
+func (s *CountingSink) Events() []Event {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Event(nil), s.events...)
+}

@@ -1,0 +1,105 @@
+package metrics
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+)
+
+func TestJSONLSinkValidLines(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewJSONLSink(&buf)
+	s.Emit(Event{Kind: EvDiskRead, T: 12.5, Worker: 3, Level: 1, A: 55, B: 1})
+	s.Emit(Event{Kind: EvWorkerIdle, T: 100, Worker: -1, Level: -1, F: 3.25})
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Events() != 2 {
+		t.Fatalf("event count = %d", s.Events())
+	}
+	sc := bufio.NewScanner(bytes.NewReader(buf.Bytes()))
+	var lines []map[string]interface{}
+	for sc.Scan() {
+		var m map[string]interface{}
+		if err := json.Unmarshal(sc.Bytes(), &m); err != nil {
+			t.Fatalf("line %q: %v", sc.Text(), err)
+		}
+		lines = append(lines, m)
+	}
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines", len(lines))
+	}
+	if lines[0]["ev"] != "disk-read" || lines[0]["a"] != float64(55) || lines[0]["b"] != float64(1) {
+		t.Fatalf("line 0 = %v", lines[0])
+	}
+	if lines[1]["ev"] != "worker-idle" || lines[1]["f"] != 3.25 {
+		t.Fatalf("line 1 = %v", lines[1])
+	}
+}
+
+func TestJSONLSinkConcurrent(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewJSONLSink(&buf)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				s.Emit(Event{Kind: EvPairExpanded, Worker: int32(w), A: int64(i)})
+			}
+		}()
+	}
+	wg.Wait()
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(bytes.NewReader(buf.Bytes()))
+	n := 0
+	for sc.Scan() {
+		var m map[string]interface{}
+		if err := json.Unmarshal(sc.Bytes(), &m); err != nil {
+			t.Fatalf("interleaved write corrupted line %d: %v", n, err)
+		}
+		n++
+	}
+	if n != 1600 {
+		t.Fatalf("got %d lines, want 1600", n)
+	}
+}
+
+func TestCountingSink(t *testing.T) {
+	s := NewCountingSink(true)
+	s.Emit(Event{Kind: EvBufferMiss})
+	s.Emit(Event{Kind: EvBufferMiss})
+	s.Emit(Event{Kind: EvTaskStolen, A: 4})
+	if s.Count(EvBufferMiss) != 2 || s.Count(EvTaskStolen) != 1 || s.Total() != 3 {
+		t.Fatalf("counts wrong: miss=%d stolen=%d total=%d",
+			s.Count(EvBufferMiss), s.Count(EvTaskStolen), s.Total())
+	}
+	evs := s.Events()
+	if len(evs) != 3 || evs[2].A != 4 {
+		t.Fatalf("events = %+v", evs)
+	}
+}
+
+func TestEventKindStrings(t *testing.T) {
+	kinds := []EventKind{
+		EvPairExpanded, EvBufferLocalHit, EvBufferRemoteHit, EvBufferMiss,
+		EvBufferEvict, EvDiskRead, EvTaskStolen, EvTaskReassigned, EvWorkerIdle,
+	}
+	seen := map[string]bool{}
+	for _, k := range kinds {
+		s := k.String()
+		if s == "" || seen[s] {
+			t.Fatalf("kind %d has empty or duplicate name %q", k, s)
+		}
+		seen[s] = true
+	}
+	if EventKind(200).String() == "" {
+		t.Fatal("unknown kind must still render")
+	}
+}

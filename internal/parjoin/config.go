@@ -13,6 +13,7 @@ import (
 
 	"spjoin/internal/buffer"
 	"spjoin/internal/join"
+	"spjoin/internal/metrics"
 	"spjoin/internal/refine"
 	"spjoin/internal/sim"
 	"spjoin/internal/storage"
@@ -195,6 +196,18 @@ type Config struct {
 	// CollectCandidates stores every filter result in Result.Candidates
 	// (test support; large at full scale).
 	CollectCandidates bool
+
+	// Metrics, when set, receives every counter of the run under the
+	// "sim." prefix (disk reads by kind and by tree level, buffer access
+	// classes, join kernel counters, reassignments, per-processor pairs, a
+	// queue-depth histogram, and finish-time gauges). Counting never
+	// advances virtual time, so an instrumented run reproduces the
+	// uninstrumented Result exactly — the golden-metrics harness pins this.
+	Metrics *metrics.Registry
+	// Trace, when set, receives one structured Event per join occurrence
+	// (pair expanded, buffer hit/miss, disk read, reassignment, idle span)
+	// stamped with virtual time. Nil disables all event construction.
+	Trace metrics.TraceSink
 }
 
 // DefaultConfig returns the paper's best variant (gd with reassignment on

@@ -46,6 +46,9 @@ func Run(r, s *rtree.Tree, cfg Config) Result {
 
 	// Task assignment (phase 2, sequential).
 	height := maxInt(r.Height(), s.Height())
+	if cfg.Metrics != nil || cfg.Trace != nil {
+		st.met = newSimMetrics(st, cfg.Procs, height)
+	}
 	st.procs = make([]*procState, cfg.Procs)
 	var initial [][]join.NodePair
 	switch cfg.Assign {
@@ -89,6 +92,7 @@ type runState struct {
 	procs     []*procState
 	taskLevel int
 	rng       *rand.Rand
+	met       *simMetrics // nil unless Config.Metrics/Trace are set
 
 	queue     []join.NodePair // dynamic task queue (drained via queueHead)
 	queueHead int
@@ -170,7 +174,9 @@ func (st *runState) nextWork(ps *procState, p *sim.Proc) (join.NodePair, bool) {
 			st.waitCond.Broadcast()
 			return join.NodePair{}, false
 		}
+		idleStart := p.Now()
 		st.waitCond.Wait(p)
+		st.met.idled(p, ps.id, p.Now()-idleStart)
 		if st.done {
 			return join.NodePair{}, false
 		}
@@ -181,10 +187,12 @@ func (st *runState) nextWork(ps *procState, p *sim.Proc) (join.NodePair, bool) {
 // process joins one pair of nodes: fetch both pages, expand, charge CPU,
 // refine candidates, push child pairs.
 func (st *runState) process(ps *procState, p *sim.Proc, item join.NodePair) {
+	depth := len(ps.pending)
 	nr := st.fetch(ps, p, join.SideR, item.RPage, item.RLevel)
 	ns := st.fetch(ps, p, join.SideS, item.SPage, item.SLevel)
 
 	newCands, children, comparisons := ps.scratch.Expand(nr, ns, st.cfg.Join)
+	st.met.pairExpanded(p, ps.id, item, len(newCands), comparisons, depth)
 	p.Hold(sim.Time(comparisons) * st.cfg.CPU.PerComparison)
 
 	// The refinement of a candidate is executed by the processor that found
@@ -220,7 +228,9 @@ func (st *runState) fetch(ps *procState, p *sim.Proc, side buffer.TreeID, page s
 	if level == 0 {
 		kind = storage.DataPage
 	}
-	st.mgr.Fetch(p, ps.id, buffer.PageKey{Tree: side, Page: page}, kind)
+	if st.mgr.Fetch(p, ps.id, buffer.PageKey{Tree: side, Page: page}, kind) == buffer.Miss {
+		st.met.diskMiss(level)
+	}
 	if st.cfg.PathBuffer {
 		ps.pathBuf[side][level] = page
 	}
@@ -266,6 +276,7 @@ func (st *runState) workReport(ps *procState) (hl, ns int, ok bool) {
 // stealable work load (bottom-most pairs first) to ps. Reports whether work
 // was transferred.
 func (st *runState) trySteal(ps *procState, p *sim.Proc) bool {
+	st.met.attempt()
 	victim := st.pickVictim(ps)
 	if victim == nil {
 		return false
@@ -275,6 +286,7 @@ func (st *runState) trySteal(ps *procState, p *sim.Proc) bool {
 		return false
 	}
 	st.reassignments++
+	st.met.reassigned(p, ps.id, victim.id, len(moved))
 	ps.stats.Stolen += len(moved)
 	victim.stats.StolenFrom += len(moved)
 
@@ -415,6 +427,7 @@ func (st *runState) buildResult(tasks []join.NodePair) Result {
 		}
 	}
 	res.AvgFinish = sumFinish / sim.Time(len(st.procs))
+	st.met.finish(&res)
 	return res
 }
 

@@ -15,6 +15,7 @@ import (
 	"sync"
 
 	"spjoin/internal/join"
+	"spjoin/internal/metrics"
 	"spjoin/internal/parjoin"
 	"spjoin/internal/rtree"
 )
@@ -37,6 +38,13 @@ type Config struct {
 	// refinement runs in parallel too. The Refiner must be safe for
 	// concurrent use (pure functions over immutable geometry are).
 	Refiner func(join.Candidate) bool
+	// Metrics, when set, receives the run's counters under the "native."
+	// prefix. Workers accumulate locally and flush on exit, so the hot
+	// expansion loop is not slowed by shared counters.
+	Metrics *metrics.Registry
+	// Trace, when set, receives one Event per steal (EvTaskStolen) stamped
+	// with wall milliseconds since join start. Nil disables emission.
+	Trace metrics.TraceSink
 }
 
 // Result of a native parallel join.
@@ -52,8 +60,11 @@ type Result struct {
 	// is at least Tasks: every task is itself a pair, and deeper pairs are
 	// scheduled individually so they can be stolen.
 	PerWorker []int
-	// Steals counts how often an idle worker took work from a loaded one.
-	Steals int
+	// Steals counts how often an idle worker took work from a loaded one;
+	// StealAttempts additionally counts the failed tries (empty victims,
+	// lost races).
+	Steals        int
+	StealAttempts int
 	// FalseHits counts candidates the Refiner rejected (0 without one).
 	FalseHits int
 }
@@ -81,9 +92,14 @@ func Join(r, s *rtree.Tree, cfg Config) Result {
 		return res
 	}
 
+	var met *nativeMetrics
+	if cfg.Metrics != nil || cfg.Trace != nil {
+		met = newNativeMetrics(cfg.Metrics, cfg.Trace, cfg.Workers)
+	}
 	perWorker := make([][]join.Candidate, cfg.Workers)
 	falseHits := make([]int, cfg.Workers)
 	sched := newStealScheduler(cfg.Workers, tasks)
+	sched.met = met
 	src := join.DirectSource{R: r, S: s}
 	var wg sync.WaitGroup
 	for w := 0; w < cfg.Workers; w++ {
@@ -92,15 +108,20 @@ func Join(r, s *rtree.Tree, cfg Config) Result {
 		go func() {
 			defer wg.Done()
 			var sc join.Scratch
+			// Hot-path counts stay in locals; flushed once on exit.
+			var pairs, comps, candTotal int64
 			for {
 				p, ok := sched.next(w)
 				if !ok {
-					return
+					break
 				}
 				res.PerWorker[w]++
+				pairs++
 				nr := src.Node(join.SideR, p.RPage, p.RLevel)
 				ns := src.Node(join.SideS, p.SPage, p.SLevel)
-				cands, children, _ := sc.Expand(nr, ns, cfg.Opts)
+				cands, children, comparisons := sc.Expand(nr, ns, cfg.Opts)
+				comps += int64(comparisons)
+				candTotal += int64(len(cands))
 				if len(cands) > 0 {
 					if cfg.Refiner != nil {
 						for _, c := range cands {
@@ -116,10 +137,12 @@ func Join(r, s *rtree.Tree, cfg Config) Result {
 				}
 				sched.complete(w, children)
 			}
+			met.flushWorker(w, pairs, comps, candTotal, int64(falseHits[w]))
 		}()
 	}
 	wg.Wait()
 	res.Steals = int(sched.steals.Load())
+	res.StealAttempts = int(sched.attempts.Load())
 
 	total := 0
 	for _, cands := range perWorker {
@@ -135,6 +158,7 @@ func Join(r, s *rtree.Tree, cfg Config) Result {
 	if cfg.Sorted {
 		sortCandidates(res.Candidates)
 	}
+	met.finish(&res)
 	return res
 }
 

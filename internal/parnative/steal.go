@@ -53,6 +53,14 @@ func (d *workerDeque) push(children []join.NodePair) {
 	d.mu.Unlock()
 }
 
+// size returns the current deque length (metrics support).
+func (d *workerDeque) size() int {
+	d.mu.Lock()
+	n := len(d.items)
+	d.mu.Unlock()
+	return n
+}
+
 // report returns the paper's (hl, ns) victim-selection measure: the highest
 // subtree level among the pending pairs and how many pairs sit at that
 // level. hl is -1 when the deque is empty.
@@ -119,7 +127,12 @@ type stealScheduler struct {
 	// complete when it reaches zero.
 	inflight atomic.Int64
 	steals   atomic.Int64
+	attempts atomic.Int64
 	aborted  atomic.Bool
+
+	// met is the optional observability bundle (nil disables everything
+	// beyond the always-on steals/attempts counters above).
+	met *nativeMetrics
 
 	mu      sync.Mutex
 	cond    *sync.Cond
@@ -202,6 +215,9 @@ func (s *stealScheduler) next(w int) (join.NodePair, bool) {
 func (s *stealScheduler) complete(w int, children []join.NodePair) {
 	if len(children) > 0 {
 		s.deques[w].push(children)
+		if s.met != nil {
+			s.met.queueDepth.Observe(int64(s.deques[w].size()))
+		}
 		s.mu.Lock()
 		s.version++
 		if s.waiters > 0 {
@@ -220,6 +236,7 @@ func (s *stealScheduler) complete(w int, children []join.NodePair) {
 // of its deque from the bottom, and returns the first stolen pair (the rest
 // goes under w's own deque).
 func (s *stealScheduler) steal(w int) (join.NodePair, bool) {
+	s.attempts.Add(1)
 	best, bestHl, bestNs := -1, -1, 0
 	for i := range s.deques {
 		if i == w {
@@ -242,6 +259,9 @@ func (s *stealScheduler) steal(w int) (join.NodePair, bool) {
 		return join.NodePair{}, false // raced: the victim drained meanwhile
 	}
 	s.steals.Add(1)
+	if s.met != nil {
+		s.met.stole(w, best, len(moved))
+	}
 	s.deques[w].pushBottom(moved)
 	if item, ok := s.deques[w].pop(); ok {
 		return item, true

@@ -115,15 +115,24 @@ func (t *Tree) packLevel(entries []Entry, level, maxEntries int) []*Node {
 
 	// Only the globally last node can be short (every other run is exactly
 	// maxEntries long). If it falls below the minimum fill, steal entries
-	// from its (full) predecessor so both satisfy the R*-tree invariant.
+	// from its (full) predecessor so both satisfy the R*-tree invariant —
+	// unless the predecessor cannot spare them without going underfull
+	// itself, in which case the two nodes together hold fewer than two
+	// minimum fills, which always fits a single node (minFill ≤ capacity/2):
+	// merge them instead.
 	if len(nodes) >= 2 {
 		last := nodes[len(nodes)-1]
 		if need := t.minFill(last) - len(last.Entries); need > 0 {
 			prev := nodes[len(nodes)-2]
-			cut := len(prev.Entries) - need
-			moved := append([]Entry(nil), prev.Entries[cut:]...)
-			prev.Entries = prev.Entries[:cut]
-			last.Entries = append(moved, last.Entries...)
+			if cut := len(prev.Entries) - need; cut >= t.minFill(prev) {
+				moved := append([]Entry(nil), prev.Entries[cut:]...)
+				prev.Entries = prev.Entries[:cut]
+				last.Entries = append(moved, last.Entries...)
+			} else {
+				prev.Entries = append(prev.Entries, last.Entries...)
+				t.freeNode(last.Page)
+				nodes = nodes[:len(nodes)-1]
+			}
 		}
 	}
 	return nodes

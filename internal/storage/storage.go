@@ -9,6 +9,7 @@ package storage
 import (
 	"fmt"
 
+	"spjoin/internal/metrics"
 	"spjoin/internal/sim"
 )
 
@@ -68,6 +69,11 @@ type DiskArray struct {
 
 	accesses     int64 // total page reads
 	dataAccesses int64 // of which data pages
+
+	// Optional observability (see Instrument). The counters are nil-safe;
+	// the sink is guarded so disabled tracing costs one branch.
+	cDir, cData *metrics.Counter
+	sink        metrics.TraceSink
 }
 
 // NewDiskArray creates an array of d disks (d >= 1) with the given timing
@@ -86,6 +92,13 @@ func NewDiskArray(d int, params DiskParams) *DiskArray {
 // Disks returns the number of disks.
 func (a *DiskArray) Disks() int { return len(a.disks) }
 
+// Instrument attaches observability: dir/data count page reads by kind,
+// sink (optional) receives one EvDiskRead event per physical read. The
+// existing Accesses/DataAccesses counters keep working independently.
+func (a *DiskArray) Instrument(dir, data *metrics.Counter, sink metrics.TraceSink) {
+	a.cDir, a.cData, a.sink = dir, data, sink
+}
+
 // DiskFor returns the disk index holding page id (modulo placement, §4.2).
 func (a *DiskArray) DiskFor(id PageID) int { return int(id) % len(a.disks) }
 
@@ -98,9 +111,20 @@ func (a *DiskArray) Read(p *sim.Proc, id PageID, kind PageKind) sim.Time {
 	}
 	a.accesses++
 	service := a.params.PageRead
+	isData := int64(0)
 	if kind == DataPage {
 		service = a.params.DataRead
 		a.dataAccesses++
+		a.cData.Inc()
+		isData = 1
+	} else {
+		a.cDir.Inc()
+	}
+	if a.sink != nil {
+		a.sink.Emit(metrics.Event{
+			Kind: metrics.EvDiskRead, T: float64(p.Now()),
+			Worker: int32(p.ID()), Level: -1, A: int64(id), B: isData,
+		})
 	}
 	return a.disks[a.DiskFor(id)].Use(p, service)
 }
