@@ -2,7 +2,7 @@
 # (see README.md): full build, vet, race tests on the concurrent executors,
 # then the whole test suite.
 
-.PHONY: check test bench bench-snapshot bench-diff cover fuzz
+.PHONY: check test bench bench-snapshot bench-diff cover fuzz timeline-smoke timeline-diff
 
 check:
 	./scripts/check.sh
@@ -28,3 +28,14 @@ cover:
 
 fuzz:
 	go test -run='^$$' -fuzz=FuzzSweepSoAOracle -fuzztime=30s ./internal/geom/
+
+# Export the seed-workload Perfetto trace + critical-path report (to
+# artifacts/) and validate the trace against the trace-event schema.
+timeline-smoke:
+	./scripts/timeline_smoke.sh
+
+# Compare the seed critical-path attribution against the committed snapshot;
+# fails on shifts beyond TOLERANCE percentage points (default 2).
+# Refresh the snapshot with: ./scripts/timeline_diff.sh 2 update
+timeline-diff:
+	./scripts/timeline_diff.sh $(or $(TOLERANCE),2)

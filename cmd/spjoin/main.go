@@ -9,12 +9,23 @@
 //	       [-variant gd|gsrr|lsr|sn|est] [-reassign none|root|all]
 //	       [-victim loaded|random] [-native]
 //	       [-metrics out.json] [-trace out.jsonl]
+//	       [-timeline out.json] [-report] [-pprof :6060]
 //	       [-loadR r.csv -loadS s.csv]
+//
+// -timeline writes a Perfetto/Chrome trace-event file (open it at
+// ui.perfetto.dev); -report prints the critical-path attribution and the
+// per-processor utilization/skew tables; -pprof serves net/http/pprof and
+// expvar (including a live metrics snapshot) on the given address for the
+// duration of the run.
 package main
 
 import (
+	"expvar"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"runtime"
 	"sort"
@@ -26,8 +37,10 @@ import (
 	"spjoin/internal/parjoin"
 	"spjoin/internal/parnative"
 	"spjoin/internal/rtree"
+	"spjoin/internal/sim"
 	"spjoin/internal/stats"
 	"spjoin/internal/tiger"
+	"spjoin/internal/timeline"
 )
 
 // observability bundles the optional -metrics registry and -trace sink.
@@ -77,7 +90,9 @@ func (o *observability) finish() error {
 		}
 		fmt.Printf("trace:                  %d events -> %s\n", o.sink.Events(), o.tracePath)
 	}
-	if o.reg == nil {
+	if o.reg == nil || o.metricsPath == "" {
+		// -pprof alone creates a registry for the expvar snapshot without a
+		// metrics output file; nothing to write then.
 		return nil
 	}
 	f, err := os.Create(o.metricsPath)
@@ -148,6 +163,9 @@ func main() {
 	native := flag.Bool("native", false, "run natively with goroutines instead of simulating")
 	metricsOut := flag.String("metrics", "", "write a JSON metrics snapshot to this file")
 	traceOut := flag.String("trace", "", "write a JSONL event trace to this file")
+	timelineOut := flag.String("timeline", "", "write a Perfetto trace-event timeline to this file")
+	report := flag.Bool("report", false, "print the critical-path / load-balance report")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof and expvar on this address (e.g. :6060)")
 	loadR := flag.String("loadR", "", "CSV file for relation R (default: generated streets)")
 	loadS := flag.String("loadS", "", "CSV file for relation S (default: generated mixed features)")
 	flag.Parse()
@@ -156,6 +174,21 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "spjoin: %v\n", err)
 		os.Exit(1)
+	}
+
+	if *pprofAddr != "" {
+		if obs.reg == nil {
+			obs.reg = metrics.NewRegistry()
+		}
+		reg := obs.reg
+		expvar.Publish("spjoin.metrics", expvar.Func(func() interface{} { return reg.Snapshot() }))
+		ln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "spjoin: -pprof: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("pprof/expvar on http://%s/debug/pprof/\n", ln.Addr())
+		go http.Serve(ln, nil)
 	}
 
 	var streets, mixed []rtree.Item
@@ -185,12 +218,33 @@ func main() {
 		time.Since(t0).Round(time.Millisecond), r.Len(), s.Len(), r.Height(), s.Height())
 
 	if *native {
-		runNative(r, s, *procs, obs)
+		workers := *procs
+		if workers <= 0 {
+			workers = runtime.GOMAXPROCS(0)
+		}
+		var rec *timeline.Recorder
+		if *timelineOut != "" || *report {
+			rec = timeline.NewWallRecorder(workers)
+		}
+		runNative(r, s, workers, obs, rec)
+		if rec != nil {
+			// No simulated response time: the wall response is the latest
+			// recorded span end.
+			if err := finishTimeline(rec, *timelineOut, *report, rec.MaxEnd()); err != nil {
+				fmt.Fprintf(os.Stderr, "spjoin: %v\n", err)
+				os.Exit(1)
+			}
+		}
 		if err := obs.finish(); err != nil {
 			fmt.Fprintf(os.Stderr, "spjoin: %v\n", err)
 			os.Exit(1)
 		}
 		return
+	}
+
+	var rec *timeline.Recorder
+	if *timelineOut != "" || *report {
+		rec = timeline.NewRecorder(*procs, *disks)
 	}
 
 	var cfg parjoin.Config
@@ -228,6 +282,7 @@ func main() {
 
 	cfg.Metrics = obs.reg
 	cfg.Trace = obs.trace()
+	cfg.Timeline = rec
 
 	t0 = time.Now()
 	res := parjoin.Run(r, s, cfg)
@@ -247,10 +302,41 @@ func main() {
 	fmt.Printf("path buffer hits:       %d\n", res.PathBufferHits)
 	fmt.Printf("task reassignments:     %d\n", res.Reassignments)
 	fmt.Printf("simulated in:           %v wall time\n", wall.Round(time.Millisecond))
+	if err := finishTimeline(rec, *timelineOut, *report, res.ResponseTime); err != nil {
+		fmt.Fprintf(os.Stderr, "spjoin: %v\n", err)
+		os.Exit(1)
+	}
 	if err := obs.finish(); err != nil {
 		fmt.Fprintf(os.Stderr, "spjoin: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// finishTimeline writes the Perfetto export and/or prints the analyzer
+// report; a nil recorder (profiling off) is a no-op.
+func finishTimeline(rec *timeline.Recorder, path string, report bool, response sim.Time) error {
+	if rec == nil {
+		return nil
+	}
+	if path != "" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := rec.WritePerfetto(f); err != nil {
+			f.Close()
+			return fmt.Errorf("write timeline: %w", err)
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("timeline:               %d spans -> %s (open at ui.perfetto.dev)\n", rec.SpanCount(), path)
+	}
+	if report {
+		fmt.Println()
+		timeline.Analyze(rec, response).Render(os.Stdout)
+	}
+	return nil
 }
 
 func loadCSV(path string) ([]rtree.Item, error) {
@@ -262,15 +348,13 @@ func loadCSV(path string) ([]rtree.Item, error) {
 	return mapio.Read(f)
 }
 
-func runNative(r, s *rtree.Tree, workers int, obs *observability) {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
+func runNative(r, s *rtree.Tree, workers int, obs *observability, rec *timeline.Recorder) {
 	t0 := time.Now()
 	res := parnative.Join(r, s, parnative.Config{
-		Workers: workers,
-		Metrics: obs.reg,
-		Trace:   obs.trace(),
+		Workers:  workers,
+		Metrics:  obs.reg,
+		Trace:    obs.trace(),
+		Timeline: rec,
 	})
 	wall := time.Since(t0)
 	fmt.Printf("native parallel join with %d goroutines\n", res.Workers)

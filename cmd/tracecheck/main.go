@@ -1,0 +1,50 @@
+// Command tracecheck validates a Perfetto/Chrome trace-event JSON file
+// against the schema subset package timeline emits: a traceEvents array of
+// named events with pid/tid, ts/dur on complete events, ids on flow events
+// and args on metadata events. The CI smoke job runs every exported seed
+// trace through it.
+//
+// Usage:
+//
+//	tracecheck trace.json        # or: tracecheck < trace.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"spjoin/internal/timeline"
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: tracecheck [trace.json]")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	var data []byte
+	var err error
+	name := "<stdin>"
+	switch flag.NArg() {
+	case 0:
+		data, err = io.ReadAll(os.Stdin)
+	case 1:
+		name = flag.Arg(0)
+		data, err = os.ReadFile(name)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tracecheck: %v\n", err)
+		os.Exit(1)
+	}
+	if err := timeline.ValidateTraceEvents(data); err != nil {
+		fmt.Fprintf(os.Stderr, "tracecheck: %s: %v\n", name, err)
+		os.Exit(1)
+	}
+	fmt.Printf("tracecheck: %s: valid trace-event JSON (%d bytes)\n", name, len(data))
+}

@@ -5,6 +5,7 @@ import (
 
 	"spjoin/internal/sim"
 	"spjoin/internal/storage"
+	"spjoin/internal/timeline"
 )
 
 // Class categorizes one page access by where it was satisfied.
@@ -113,7 +114,9 @@ func (l *LocalBuffers) Fetch(p *sim.Proc, proc int, key PageKey, kind storage.Pa
 	if buf.Touch(key) {
 		l.stats.LocalHits++
 		l.met.access(LocalHit, p, proc, key)
+		p.BeginSpan(timeline.KindLocalBuffer, sim.SpanArgs{A: int64(key.Page), B: int64(key.Tree)})
 		p.Hold(l.costs.LocalHit)
+		p.EndSpan()
 		return LocalHit
 	}
 	l.stats.Misses++
@@ -175,6 +178,7 @@ func NewGlobalBuffer(n, perProcCapacity int, disk *storage.DiskArray, costs Cost
 // Fetch implements Manager.
 func (g *GlobalBuffer) Fetch(p *sim.Proc, proc int, key PageKey, kind storage.PageKind) Class {
 	for {
+		start := p.Now()
 		p.Hold(g.costs.Lock) // directory lookup under lock
 		if owner, ok := g.dir[key]; ok {
 			g.parts[owner].Touch(key)
@@ -182,17 +186,25 @@ func (g *GlobalBuffer) Fetch(p *sim.Proc, proc int, key PageKey, kind storage.Pa
 				g.stats.LocalHits++
 				g.met.access(LocalHit, p, proc, key)
 				p.Hold(g.costs.LocalHit)
+				p.Span(start, timeline.KindLocalBuffer, sim.SpanArgs{A: int64(key.Page), B: int64(key.Tree)})
 				return LocalHit
 			}
 			g.stats.RemoteHits++
 			g.met.access(RemoteHit, p, proc, key)
 			p.Hold(g.costs.RemoteHit)
+			p.Span(start, timeline.KindRemoteBuffer, sim.SpanArgs{A: int64(key.Page), B: int64(key.Tree), C: int64(owner)})
 			return RemoteHit
 		}
 		if cond, ok := g.pending[key]; ok {
 			// Another processor is reading this page right now; wait for it
 			// and re-check (the page will normally be resident then).
 			cond.Wait(p)
+			// No disk of our own: the wait was for the in-flight read.
+			isData := int64(0)
+			if kind == storage.DataPage {
+				isData = 1
+			}
+			p.Span(start, timeline.KindDiskWait, sim.SpanArgs{A: int64(key.Page), B: isData, C: -1})
 			continue
 		}
 		// We are the reader of record for this page.
@@ -200,6 +212,9 @@ func (g *GlobalBuffer) Fetch(p *sim.Proc, proc int, key PageKey, kind storage.Pa
 		g.pending[key] = cond
 		g.stats.Misses++
 		g.met.access(Miss, p, proc, key)
+		// The lock sliver before the read shows up as a (tiny) buffer span;
+		// the read itself is tagged by the storage layer.
+		p.Span(start, timeline.KindLocalBuffer, sim.SpanArgs{A: int64(key.Page), B: int64(key.Tree)})
 		g.disk.Read(p, key.Page, kind)
 		if evicted, didEvict := g.insertAsOwner(proc, key); didEvict {
 			g.met.evict(p, proc, evicted)

@@ -3,6 +3,7 @@ package buffer
 import (
 	"spjoin/internal/sim"
 	"spjoin/internal/storage"
+	"spjoin/internal/timeline"
 )
 
 // SharedNothing models the architecture of the paper's §5 future work: no
@@ -54,7 +55,9 @@ func (s *SharedNothing) Fetch(p *sim.Proc, proc int, key PageKey, kind storage.P
 	if s.bufs[proc].Touch(key) {
 		s.stats.LocalHits++
 		s.met.access(LocalHit, p, proc, key)
+		p.BeginSpan(timeline.KindLocalBuffer, sim.SpanArgs{A: int64(key.Page), B: int64(key.Tree)})
 		p.Hold(s.costs.LocalHit)
+		p.EndSpan()
 		return LocalHit
 	}
 	home := s.Home(key)
@@ -70,7 +73,9 @@ func (s *SharedNothing) Fetch(p *sim.Proc, proc int, key PageKey, kind storage.P
 		// The home still caches the page: ship a copy.
 		s.stats.RemoteHits++
 		s.met.access(RemoteHit, p, proc, key)
+		p.BeginSpan(timeline.KindRemoteBuffer, sim.SpanArgs{A: int64(key.Page), B: int64(key.Tree), C: int64(home)})
 		p.Hold(s.ship)
+		p.EndSpan()
 		s.insert(p, proc, key)
 		return RemoteHit
 	}
@@ -79,7 +84,9 @@ func (s *SharedNothing) Fetch(p *sim.Proc, proc int, key PageKey, kind storage.P
 	s.stats.Misses++
 	s.met.access(Miss, p, proc, key)
 	s.disk.Read(p, key.Page, kind)
+	p.BeginSpan(timeline.KindRemoteBuffer, sim.SpanArgs{A: int64(key.Page), B: int64(key.Tree), C: int64(home)})
 	p.Hold(s.ship)
+	p.EndSpan()
 	s.insert(p, home, key)
 	s.insert(p, proc, key)
 	return Miss

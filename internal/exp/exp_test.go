@@ -35,8 +35,8 @@ func TestByName(t *testing.T) {
 	if _, ok := ByName("nope"); ok {
 		t.Fatal("bogus experiment found")
 	}
-	if len(All()) != 10 {
-		t.Fatalf("expected 10 experiments, got %d", len(All()))
+	if len(All()) != 11 {
+		t.Fatalf("expected 11 experiments, got %d", len(All()))
 	}
 }
 

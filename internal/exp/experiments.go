@@ -35,6 +35,7 @@ func All() []Experiment {
 		{"sn", "Extension (§5 future work): shared-virtual-memory vs. shared-nothing", ExpSN},
 		{"est", "Extension (§3.4): estimation-based static balancing vs. dynamic reassignment", ExpEst},
 		{"metrics", "Cross-check: metrics registry vs. simulator results (observation-only instrumentation)", ExpMetrics},
+		{"timeline", "Cross-check: span profiler — critical path, utilization/skew, determinism (observation-only)", ExpTimeline},
 	}
 }
 

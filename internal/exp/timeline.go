@@ -1,0 +1,37 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"spjoin/internal/timeline"
+)
+
+// ExpTimeline runs the best variant (gd, reassignment on all levels) with
+// the span profiler attached and reports the critical-path attribution and
+// the utilization/skew tables. It also checks the profiler's two contracts
+// in place: observation-only (the profiled run reproduces the unprofiled
+// Result exactly) and determinism (two profiled runs produce equal span
+// digests).
+func ExpTimeline(w *Workload, out io.Writer) {
+	plain := w.run(w.config(8, 8, 800))
+
+	rec := timeline.NewRecorder(8, 8)
+	cfg := w.config(8, 8, 800)
+	cfg.Timeline = rec
+	res := w.run(cfg)
+
+	rec2 := timeline.NewRecorder(8, 8)
+	cfg2 := w.config(8, 8, 800)
+	cfg2.Timeline = rec2
+	w.run(cfg2)
+
+	identical := res.ResponseTime == plain.ResponseTime && res.DiskAccesses == plain.DiskAccesses &&
+		res.Candidates == plain.Candidates && res.Buffer == plain.Buffer
+	fmt.Fprintf(out, "profiled run reproduces unprofiled result: %v\n", identical)
+	fmt.Fprintf(out, "run-to-run span digests equal: %v (%d spans)\n\n",
+		rec.Digest() == rec2.Digest(), rec.SpanCount())
+
+	rep := timeline.Analyze(rec, res.ResponseTime)
+	rep.Render(out)
+}

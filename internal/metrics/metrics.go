@@ -102,7 +102,9 @@ func newHistogram(bounds []int64) *Histogram {
 	return h
 }
 
-// Observe records one value.
+// Observe records one value. Bucket edges are inclusive upper bounds: a
+// value exactly equal to Bounds[i] lands in bucket i, not the next one —
+// the boundary-observation regression test pins this.
 func (h *Histogram) Observe(v int64) {
 	if h == nil {
 		return

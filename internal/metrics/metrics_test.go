@@ -62,6 +62,28 @@ func TestHistogramBuckets(t *testing.T) {
 	}
 }
 
+// TestHistogramBoundaryObservations pins the bucket-edge semantics with
+// exact-boundary values only: v equal to Bounds[i] counts in bucket i, never
+// in bucket i+1. A regression to an exclusive upper bound (v >= bounds[i])
+// would shift every observation here one bucket up.
+func TestHistogramBoundaryObservations(t *testing.T) {
+	r := NewRegistry()
+	bounds := []int64{0, 1, 2, 4, 8, 16, 32, 64, 128, 256}
+	h := r.Histogram("edge", bounds)
+	for _, v := range bounds {
+		h.Observe(v)
+	}
+	snap := r.Snapshot().Histograms["edge"]
+	for i := range bounds {
+		if snap.Counts[i] != 1 {
+			t.Errorf("bucket le%d = %d, want exactly 1 (counts %v)", bounds[i], snap.Counts[i], snap.Counts)
+		}
+	}
+	if over := snap.Counts[len(bounds)]; over != 0 {
+		t.Errorf("overflow bucket = %d, want 0: a boundary value leaked past its bucket", over)
+	}
+}
+
 func TestHistogramBadBoundsPanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {

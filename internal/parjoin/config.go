@@ -17,6 +17,7 @@ import (
 	"spjoin/internal/refine"
 	"spjoin/internal/sim"
 	"spjoin/internal/storage"
+	"spjoin/internal/timeline"
 )
 
 // Assignment selects how tasks reach the processors (§3.1, §3.3).
@@ -208,6 +209,15 @@ type Config struct {
 	// (pair expanded, buffer hit/miss, disk read, reassignment, idle span)
 	// stamped with virtual time. Nil disables all event construction.
 	Trace metrics.TraceSink
+
+	// Timeline, when set, records a span per simulated interval (cpu-sweep,
+	// disk-wait, buffer accesses, idle waits, reassignments) keyed to
+	// virtual time — the input of the Perfetto exporter and the
+	// critical-path analyzer. Like Metrics/Trace it is observation-only:
+	// recording never advances the clock, so a profiled run reproduces the
+	// unprofiled Result bit for bit. Size it with
+	// timeline.NewRecorder(Procs, Disks).
+	Timeline *timeline.Recorder
 }
 
 // DefaultConfig returns the paper's best variant (gd with reassignment on

@@ -9,6 +9,7 @@ import (
 	"spjoin/internal/rtree"
 	"spjoin/internal/sim"
 	"spjoin/internal/storage"
+	"spjoin/internal/timeline"
 )
 
 // Run executes one parallel spatial join of trees r and s under cfg and
@@ -25,6 +26,11 @@ func Run(r, s *rtree.Tree, cfg Config) Result {
 		kernel:    sim.NewKernel(),
 		taskLevel: taskLevel,
 		rng:       rand.New(rand.NewSource(cfg.Seed)),
+		lastWaker: -1,
+	}
+	if cfg.Timeline != nil {
+		st.rec = cfg.Timeline
+		st.kernel.SetTracer(st.rec)
 	}
 	st.disk = storage.NewDiskArray(cfg.Disks, cfg.Disk)
 	perProc := cfg.BufferPages / cfg.Procs
@@ -92,10 +98,17 @@ type runState struct {
 	procs     []*procState
 	taskLevel int
 	rng       *rand.Rand
-	met       *simMetrics // nil unless Config.Metrics/Trace are set
+	met       *simMetrics        // nil unless Config.Metrics/Trace are set
+	rec       *timeline.Recorder // nil unless Config.Timeline is set
 
 	queue     []join.NodePair // dynamic task queue (drained via queueHead)
 	queueHead int
+
+	// lastWaker is the processor whose new pending work triggered the most
+	// recent waitCond.Broadcast (-1 for the final "join complete"
+	// broadcast) — recorded as the queue-idle span's blocking edge for the
+	// critical-path analyzer.
+	lastWaker int
 
 	idleCount      int
 	waitCond       sim.Cond
@@ -159,7 +172,9 @@ func (st *runState) nextWork(ps *procState, p *sim.Proc) (join.NodePair, bool) {
 			st.queueHead++
 			ps.stats.Tasks++
 			start := p.Now()
+			p.BeginSpan(timeline.KindReassign, sim.SpanArgs{A: -1, B: 1})
 			p.Hold(st.cfg.CPU.TaskQueueOp + st.cfg.BufferCosts.Lock)
+			p.EndSpan()
 			ps.stats.Busy += p.Now() - start
 			return item, true
 		}
@@ -171,11 +186,14 @@ func (st *runState) nextWork(ps *procState, p *sim.Proc) (join.NodePair, bool) {
 		st.idleCount++
 		if st.idleCount == st.cfg.Procs {
 			st.done = true
+			st.lastWaker = -1
 			st.waitCond.Broadcast()
 			return join.NodePair{}, false
 		}
 		idleStart := p.Now()
+		p.BeginSpan(timeline.KindQueueIdle, sim.SpanArgs{A: -1})
 		st.waitCond.Wait(p)
+		p.EndSpanArgs(sim.SpanArgs{A: int64(st.lastWaker)})
 		st.met.idled(p, ps.id, p.Now()-idleStart)
 		if st.done {
 			return join.NodePair{}, false
@@ -193,16 +211,25 @@ func (st *runState) process(ps *procState, p *sim.Proc, item join.NodePair) {
 
 	newCands, children, comparisons := ps.scratch.Expand(nr, ns, st.cfg.Join)
 	st.met.pairExpanded(p, ps.id, item, len(newCands), comparisons, depth)
+	p.BeginSpan(timeline.KindCPUSweep, sim.SpanArgs{
+		A: int64(item.RPage), B: int64(item.SPage),
+		C: int64(item.MaxLevel()), D: int64(comparisons),
+	})
 	p.Hold(sim.Time(comparisons) * st.cfg.CPU.PerComparison)
+	p.EndSpan()
 
 	// The refinement of a candidate is executed by the processor that found
 	// it (§3); the exact test is modeled by the calibrated waiting period.
-	for _, c := range newCands {
-		p.Hold(st.cfg.Refine.CostFor(c.RRect, c.SRect))
-		ps.stats.Candidates++
-		if st.cfg.CollectCandidates {
-			ps.cands = append(ps.cands, c)
+	if len(newCands) > 0 {
+		p.BeginSpan(timeline.KindRefineWait, sim.SpanArgs{A: int64(len(newCands))})
+		for _, c := range newCands {
+			p.Hold(st.cfg.Refine.CostFor(c.RRect, c.SRect))
+			ps.stats.Candidates++
+			if st.cfg.CollectCandidates {
+				ps.cands = append(ps.cands, c)
+			}
 		}
+		p.EndSpan()
 	}
 
 	if len(children) > 0 {
@@ -212,6 +239,7 @@ func (st *runState) process(ps *procState, p *sim.Proc, item join.NodePair) {
 		}
 		// New pending work may satisfy idle processors waiting to help.
 		if st.cfg.Reassign != ReassignNone && st.waitCond.WaiterCount() > 0 {
+			st.lastWaker = ps.id
 			st.waitCond.Broadcast()
 		}
 	}
@@ -281,6 +309,12 @@ func (st *runState) trySteal(ps *procState, p *sim.Proc) bool {
 	if victim == nil {
 		return false
 	}
+	// The victim's (hl, ns) work report goes on the reassign span, so the
+	// trace shows what made this victim the one worth helping.
+	var hl, ns int
+	if st.rec != nil {
+		hl, ns, _ = st.workReport(victim)
+	}
 	moved := st.splitWorkload(victim)
 	if len(moved) == 0 {
 		return false
@@ -291,7 +325,15 @@ func (st *runState) trySteal(ps *procState, p *sim.Proc) bool {
 	victim.stats.StolenFrom += len(moved)
 
 	start := p.Now()
+	p.BeginSpan(timeline.KindReassign, sim.SpanArgs{
+		A: int64(victim.id), B: int64(len(moved)), C: int64(hl), D: int64(ns),
+	})
 	p.Hold(st.cfg.CPU.ReassignOverhead + st.cfg.BufferCosts.Lock)
+	p.EndSpan()
+	if st.rec != nil {
+		// Flow event: the moved pairs' old owner -> their new owner.
+		st.rec.AddFlow(ps.id, victim.id, p.Now())
+	}
 	ps.stats.Busy += p.Now() - start
 
 	// The moved pairs are in plane-sweep order; push reversed so the thief
@@ -302,6 +344,7 @@ func (st *runState) trySteal(ps *procState, p *sim.Proc) bool {
 	// The thief's new work load is itself reassignable: let other idle
 	// processors re-check.
 	if st.waitCond.WaiterCount() > 0 {
+		st.lastWaker = ps.id
 		st.waitCond.Broadcast()
 	}
 	return true

@@ -10,14 +10,18 @@
 package parnative
 
 import (
+	"fmt"
 	"runtime"
 	"sort"
 	"sync"
+	"time"
 
 	"spjoin/internal/join"
 	"spjoin/internal/metrics"
 	"spjoin/internal/parjoin"
 	"spjoin/internal/rtree"
+	"spjoin/internal/sim"
+	"spjoin/internal/timeline"
 )
 
 // Config controls a native parallel join.
@@ -45,6 +49,12 @@ type Config struct {
 	// Trace, when set, receives one Event per steal (EvTaskStolen) stamped
 	// with wall milliseconds since join start. Nil disables emission.
 	Trace metrics.TraceSink
+	// Timeline, when set, records wall-clock spans (cpu-sweep per expanded
+	// pair, refine-wait, queue-idle, reassign) — the lighter native mirror
+	// of the simulator's virtual-time profiler. Size it with
+	// timeline.NewWallRecorder over the resolved worker count; each worker
+	// writes only its own track, so recording needs no locks.
+	Timeline *timeline.Recorder
 }
 
 // Result of a native parallel join.
@@ -100,6 +110,16 @@ func Join(r, s *rtree.Tree, cfg Config) Result {
 	falseHits := make([]int, cfg.Workers)
 	sched := newStealScheduler(cfg.Workers, tasks)
 	sched.met = met
+	rec := cfg.Timeline
+	var epoch time.Time
+	if rec != nil {
+		if got := len(rec.Procs()); got != cfg.Workers {
+			panic(fmt.Sprintf("parnative: Timeline has %d tracks, need %d (size with NewWallRecorder(Workers))",
+				got, cfg.Workers))
+		}
+		epoch = time.Now()
+		sched.rec, sched.epoch = rec, epoch
+	}
 	src := join.DirectSource{R: r, S: s}
 	var wg sync.WaitGroup
 	for w := 0; w < cfg.Workers; w++ {
@@ -117,19 +137,36 @@ func Join(r, s *rtree.Tree, cfg Config) Result {
 				}
 				res.PerWorker[w]++
 				pairs++
+				var t0 sim.Time
+				if rec != nil {
+					t0 = wallSince(epoch)
+				}
 				nr := src.Node(join.SideR, p.RPage, p.RLevel)
 				ns := src.Node(join.SideS, p.SPage, p.SLevel)
 				cands, children, comparisons := sc.Expand(nr, ns, cfg.Opts)
+				if rec != nil {
+					rec.Complete(w, t0, wallSince(epoch), timeline.KindCPUSweep, sim.SpanArgs{
+						A: int64(p.RPage), B: int64(p.SPage), C: int64(p.MaxLevel()), D: int64(comparisons),
+					})
+				}
 				comps += int64(comparisons)
 				candTotal += int64(len(cands))
 				if len(cands) > 0 {
 					if cfg.Refiner != nil {
+						r0 := sim.Time(0)
+						if rec != nil {
+							r0 = wallSince(epoch)
+						}
 						for _, c := range cands {
 							if cfg.Refiner(c) {
 								perWorker[w] = append(perWorker[w], c)
 							} else {
 								falseHits[w]++
 							}
+						}
+						if rec != nil {
+							rec.Complete(w, r0, wallSince(epoch), timeline.KindRefineWait,
+								sim.SpanArgs{A: int64(len(cands))})
 						}
 					} else {
 						perWorker[w] = append(perWorker[w], cands...)
@@ -160,6 +197,11 @@ func Join(r, s *rtree.Tree, cfg Config) Result {
 	}
 	met.finish(&res)
 	return res
+}
+
+// wallSince returns wall milliseconds since epoch on the recorder's clock.
+func wallSince(epoch time.Time) sim.Time {
+	return sim.Time(float64(time.Since(epoch)) / float64(time.Millisecond))
 }
 
 // sortCandidates orders candidates by (R, S) id for deterministic output.

@@ -3,8 +3,11 @@ package parnative
 import (
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"spjoin/internal/join"
+	"spjoin/internal/sim"
+	"spjoin/internal/timeline"
 )
 
 // Work-stealing scheduler for the native executor. Every worker owns a
@@ -133,6 +136,10 @@ type stealScheduler struct {
 	// met is the optional observability bundle (nil disables everything
 	// beyond the always-on steals/attempts counters above).
 	met *nativeMetrics
+	// rec, when set, records queue-idle and reassign spans stamped with
+	// wall time since epoch. Each worker writes only its own track.
+	rec   *timeline.Recorder
+	epoch time.Time
 
 	mu      sync.Mutex
 	cond    *sync.Cond
@@ -199,7 +206,16 @@ func (s *stealScheduler) next(w int) (join.NodePair, bool) {
 		// published between our failed steal and this lock).
 		if !s.done && s.version == v {
 			s.waiters++
+			var t0 sim.Time
+			if s.rec != nil {
+				t0 = wallSince(s.epoch)
+			}
 			s.cond.Wait()
+			if s.rec != nil {
+				// The native scheduler broadcasts anonymously, so no waker
+				// is recorded (-1), unlike the simulated executor.
+				s.rec.Complete(w, t0, wallSince(s.epoch), timeline.KindQueueIdle, sim.SpanArgs{A: -1})
+			}
 			s.waiters--
 		}
 		done := s.done
@@ -261,6 +277,13 @@ func (s *stealScheduler) steal(w int) (join.NodePair, bool) {
 	s.steals.Add(1)
 	if s.met != nil {
 		s.met.stole(w, best, len(moved))
+	}
+	if s.rec != nil {
+		now := wallSince(s.epoch)
+		s.rec.Complete(w, now, now, timeline.KindReassign, sim.SpanArgs{
+			A: int64(best), B: int64(len(moved)), C: int64(bestHl), D: int64(bestNs),
+		})
+		s.rec.AddFlow(w, best, now)
 	}
 	s.deques[w].pushBottom(moved)
 	if item, ok := s.deques[w].pop(); ok {

@@ -47,6 +47,35 @@ func (h *eventHeap) Pop() interface{} {
 	return ev
 }
 
+// SpanKind tags a traced interval. The kernel treats it as opaque; the set
+// of kinds belongs to the driver (package timeline defines the canonical
+// ones: cpu-sweep, disk-wait, local-buffer, ...).
+type SpanKind uint8
+
+// SpanArgs is flat, fixed-size per-span metadata so that emission never
+// allocates. The meaning of the four slots depends on the SpanKind (page
+// ids, tree levels, (hl, ns) work reports, victim indices, ...).
+type SpanArgs struct {
+	A, B, C, D int64
+}
+
+// Tracer receives span boundaries from simulated processes. All methods are
+// invoked from inside the (single-threaded) simulation, ordered by virtual
+// time, so implementations need no locking for kernel-driven traffic.
+type Tracer interface {
+	// BeginSpan opens a span on proc's timeline at virtual time at.
+	BeginSpan(proc int, at Time, kind SpanKind, args SpanArgs)
+	// EndSpan closes proc's most recently opened span at virtual time at.
+	// With setArgs, args replace the ones given at BeginSpan (for metadata
+	// only known when the interval ends, e.g. who woke an idle processor).
+	EndSpan(proc int, at Time, args SpanArgs, setArgs bool)
+	// ProcSpan records a complete span [start, end] on proc's timeline.
+	ProcSpan(proc int, start, end Time, kind SpanKind, args SpanArgs)
+	// ResourceSpan records a complete span [start, end] on the timeline of
+	// an auxiliary resource (e.g. one disk of the array), identified by res.
+	ResourceSpan(res int, start, end Time, kind SpanKind, args SpanArgs)
+}
+
 // Kernel owns the virtual clock and the event queue. The zero value is not
 // usable; create kernels with NewKernel.
 type Kernel struct {
@@ -56,6 +85,7 @@ type Kernel struct {
 	yield  chan struct{}
 	procs  []*Proc
 	live   int // spawned but not yet finished
+	tracer Tracer
 }
 
 // NewKernel returns an empty simulation.
@@ -65,6 +95,11 @@ func NewKernel() *Kernel {
 
 // Now returns the current virtual time.
 func (k *Kernel) Now() Time { return k.now }
+
+// SetTracer installs t as the span consumer (nil detaches). When no tracer
+// is installed, every span hook is a single nil-check branch — the
+// simulation pays nothing for the capability.
+func (k *Kernel) SetTracer(t Tracer) { k.tracer = t }
 
 // schedule enqueues a wake-up for p at time t (t must be >= now).
 func (k *Kernel) schedule(t Time, p *Proc) {
@@ -104,6 +139,48 @@ func (p *Proc) Name() string { return p.name }
 
 // Now returns the current virtual time.
 func (p *Proc) Now() Time { return p.k.now }
+
+// BeginSpan opens a span of the given kind on this process's timeline. It
+// is a no-op without an installed tracer. Spans may nest; each BeginSpan
+// must be paired with an EndSpan (or EndSpanArgs).
+func (p *Proc) BeginSpan(kind SpanKind, args SpanArgs) {
+	if t := p.k.tracer; t != nil {
+		t.BeginSpan(p.id, p.k.now, kind, args)
+	}
+}
+
+// EndSpan closes the most recently opened span at the current virtual time.
+func (p *Proc) EndSpan() {
+	if t := p.k.tracer; t != nil {
+		t.EndSpan(p.id, p.k.now, SpanArgs{}, false)
+	}
+}
+
+// EndSpanArgs closes the most recently opened span and replaces its args —
+// for metadata only known once the interval is over (e.g. which processor
+// ended an idle wait).
+func (p *Proc) EndSpanArgs(args SpanArgs) {
+	if t := p.k.tracer; t != nil {
+		t.EndSpan(p.id, p.k.now, args, true)
+	}
+}
+
+// Span records a complete span from start to the current virtual time on
+// this process's timeline — for intervals whose kind is only known at the
+// end (e.g. a buffer access classified after the directory lookup).
+func (p *Proc) Span(start Time, kind SpanKind, args SpanArgs) {
+	if t := p.k.tracer; t != nil {
+		t.ProcSpan(p.id, start, p.k.now, kind, args)
+	}
+}
+
+// ResourceSpan records a complete span [start, end] on resource timeline
+// res (e.g. the service interval of one disk of the array).
+func (p *Proc) ResourceSpan(res int, start, end Time, kind SpanKind, args SpanArgs) {
+	if t := p.k.tracer; t != nil {
+		t.ResourceSpan(res, start, end, kind, args)
+	}
+}
 
 // Spawn creates a process that starts executing body at the current virtual
 // time once Run is called (or immediately if the simulation is running).

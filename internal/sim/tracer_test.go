@@ -1,0 +1,115 @@
+package sim
+
+import "testing"
+
+// spanCall records one Tracer invocation for assertion.
+type spanCall struct {
+	op         string // "begin", "end", "proc", "res"
+	proc       int
+	start, end Time
+	kind       SpanKind
+	args       SpanArgs
+	setArgs    bool
+}
+
+type recordingTracer struct{ calls []spanCall }
+
+func (r *recordingTracer) BeginSpan(proc int, at Time, kind SpanKind, args SpanArgs) {
+	r.calls = append(r.calls, spanCall{op: "begin", proc: proc, start: at, kind: kind, args: args})
+}
+func (r *recordingTracer) EndSpan(proc int, at Time, args SpanArgs, setArgs bool) {
+	r.calls = append(r.calls, spanCall{op: "end", proc: proc, end: at, args: args, setArgs: setArgs})
+}
+func (r *recordingTracer) ProcSpan(proc int, start, end Time, kind SpanKind, args SpanArgs) {
+	r.calls = append(r.calls, spanCall{op: "proc", proc: proc, start: start, end: end, kind: kind, args: args})
+}
+func (r *recordingTracer) ResourceSpan(res int, start, end Time, kind SpanKind, args SpanArgs) {
+	r.calls = append(r.calls, spanCall{op: "res", proc: res, start: start, end: end, kind: kind, args: args})
+}
+
+// TestTracerReceivesSpans drives every Proc span hook once and checks the
+// tracer sees the right processor ids, virtual times and args.
+func TestTracerReceivesSpans(t *testing.T) {
+	k := NewKernel()
+	tr := &recordingTracer{}
+	k.SetTracer(tr)
+	k.Spawn("p0", func(p *Proc) {
+		p.BeginSpan(3, SpanArgs{A: 7})
+		p.Hold(10)
+		p.EndSpan()
+
+		p.BeginSpan(4, SpanArgs{A: 1})
+		p.Hold(5)
+		p.EndSpanArgs(SpanArgs{A: 42})
+
+		start := p.Now()
+		p.Hold(2)
+		p.Span(start, 1, SpanArgs{B: 9})
+
+		p.ResourceSpan(2, 11, 13, 5, SpanArgs{C: -1})
+	})
+	k.Run()
+
+	want := []spanCall{
+		{op: "begin", proc: 0, start: 0, kind: 3, args: SpanArgs{A: 7}},
+		{op: "end", proc: 0, end: 10},
+		{op: "begin", proc: 0, start: 10, kind: 4, args: SpanArgs{A: 1}},
+		{op: "end", proc: 0, end: 15, args: SpanArgs{A: 42}, setArgs: true},
+		{op: "proc", proc: 0, start: 15, end: 17, kind: 1, args: SpanArgs{B: 9}},
+		{op: "res", proc: 2, start: 11, end: 13, kind: 5, args: SpanArgs{C: -1}},
+	}
+	if len(tr.calls) != len(want) {
+		t.Fatalf("got %d tracer calls, want %d: %+v", len(tr.calls), len(want), tr.calls)
+	}
+	for i, w := range want {
+		if tr.calls[i] != w {
+			t.Errorf("call %d = %+v, want %+v", i, tr.calls[i], w)
+		}
+	}
+}
+
+// TestSpanHooksWithoutTracer pins the zero-cost-off contract: every hook is
+// a no-op (not a panic) when no tracer is installed.
+func TestSpanHooksWithoutTracer(t *testing.T) {
+	k := NewKernel()
+	k.Spawn("p0", func(p *Proc) {
+		p.BeginSpan(0, SpanArgs{})
+		p.Hold(1)
+		p.EndSpan()
+		p.EndSpanArgs(SpanArgs{A: 1}) // unbalanced on purpose: still a no-op
+		p.Span(0, 1, SpanArgs{})
+		p.ResourceSpan(0, 0, 1, 2, SpanArgs{})
+	})
+	if end := k.Run(); end != 1 {
+		t.Fatalf("response time %v, want 1", end)
+	}
+}
+
+// TestTracerProcIDs checks spans land on the spawning processor's id even
+// with several interleaved processes.
+func TestTracerProcIDs(t *testing.T) {
+	k := NewKernel()
+	tr := &recordingTracer{}
+	k.SetTracer(tr)
+	for i := 0; i < 3; i++ {
+		k.Spawn("p", func(p *Proc) {
+			p.BeginSpan(0, SpanArgs{A: int64(p.ID())})
+			p.Hold(Time(p.ID() + 1))
+			p.EndSpan()
+		})
+	}
+	k.Run()
+	begins := 0
+	for _, c := range tr.calls {
+		if c.op != "begin" {
+			continue
+		}
+		begins++
+		if c.args.A != int64(c.proc) {
+			t.Errorf("span on proc %d carries args.A=%d", c.proc, c.args.A)
+		}
+	}
+	if begins != 3 {
+		t.Fatalf("got %d begin calls, want 3", begins)
+	}
+}

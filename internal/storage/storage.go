@@ -11,6 +11,7 @@ import (
 
 	"spjoin/internal/metrics"
 	"spjoin/internal/sim"
+	"spjoin/internal/timeline"
 )
 
 // PageID identifies one page of an R*-tree file. IDs are assigned densely in
@@ -126,7 +127,15 @@ func (a *DiskArray) Read(p *sim.Proc, id PageID, kind PageKind) sim.Time {
 			Worker: int32(p.ID()), Level: -1, A: int64(id), B: isData,
 		})
 	}
-	return a.disks[a.DiskFor(id)].Use(p, service)
+	diskIdx := a.DiskFor(id)
+	p.BeginSpan(timeline.KindDiskWait, sim.SpanArgs{A: int64(id), B: isData, C: int64(diskIdx)})
+	total := a.disks[diskIdx].Use(p, service)
+	// Use ends exactly when the service interval does, so [Now-service, Now]
+	// is this read's slot on the disk track (queueing excluded).
+	p.ResourceSpan(diskIdx, p.Now()-service, p.Now(), timeline.KindDiskService,
+		sim.SpanArgs{A: int64(id), B: isData, C: int64(p.ID())})
+	p.EndSpan()
+	return total
 }
 
 // Accesses returns the total number of page reads so far; this is the

@@ -1,0 +1,287 @@
+package timeline
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"spjoin/internal/sim"
+	"spjoin/internal/stats"
+)
+
+// Critical-path and load-balance analysis over a recorded timeline.
+//
+// The response time of a parallel join is the finish time of the last
+// processor (§4's "response time"). Walking that processor's track
+// backwards attributes every moment of the response time to a span kind;
+// whenever the walk reaches a queue-idle span, the blocking edge is
+// followed to the processor that produced the work that ended the wait
+// (the recorded waker), and the walk continues on that track — so time an
+// idle processor spent waiting is charged to whatever the producer was
+// doing meanwhile (typically disk-wait or cpu-sweep), which is exactly the
+// sense in which that work was on the critical path. Moments covered by no
+// span are reported as "untracked"; the attribution always sums to the
+// response time.
+
+// KindShare is one row of the critical-path attribution.
+type KindShare struct {
+	Kind  string
+	Time  sim.Time
+	Share float64 // fraction of the response time
+}
+
+// TrackUtil is the utilization summary of one processor or disk track.
+type TrackUtil struct {
+	Name string
+	// Busy is the summed duration of non-idle spans.
+	Busy sim.Time
+	// BusyFrac is Busy / response time.
+	BusyFrac float64
+	// IdleTail is the span between the track's last non-idle activity and
+	// the response time — the §3.3 "processors finishing early" tail that
+	// task reassignment shrinks.
+	IdleTail sim.Time
+}
+
+// Report is the analyzer's result.
+type Report struct {
+	// Unit is the recorder's clock ("virtual" or "wall").
+	Unit string
+	// Response is the analyzed response time (ms).
+	Response sim.Time
+	// LastFinisher is the track the critical-path walk started on.
+	LastFinisher string
+	// Attribution has one entry per span kind on the critical path (zero
+	// rows omitted) plus an "untracked" row; it sums to Response.
+	Attribution []KindShare
+	// PathJumps counts blocking edges followed between tracks.
+	PathJumps int
+	// Procs and Disks summarize per-track utilization.
+	Procs []TrackUtil
+	Disks []TrackUtil
+	// MaxMeanRatio is max/mean processor busy time — the load-balance skew
+	// (1.0 = perfectly balanced).
+	MaxMeanRatio float64
+}
+
+// Analyze walks the recorded timeline and produces the critical-path
+// attribution and the utilization/skew report. response is the run's
+// response time; pass rec.MaxEnd() when no simulator Result is at hand.
+func Analyze(rec *Recorder, response sim.Time) *Report {
+	rep := &Report{Unit: rec.Unit(), Response: response}
+
+	procs := rec.Procs()
+	last := lastFinisher(procs)
+	if last >= 0 {
+		rep.LastFinisher = procs[last].Name
+		byKind, untracked, jumps := criticalPath(procs, last, response)
+		rep.PathJumps = jumps
+		for k := sim.SpanKind(0); k < NumKinds; k++ {
+			if byKind[k] > 0 {
+				rep.Attribution = append(rep.Attribution, share(KindNames[k], byKind[k], response))
+			}
+		}
+		rep.Attribution = append(rep.Attribution, share("untracked", untracked, response))
+		sort.SliceStable(rep.Attribution, func(i, j int) bool {
+			return rep.Attribution[i].Time > rep.Attribution[j].Time
+		})
+	}
+
+	var sumBusy, maxBusy sim.Time
+	for i := range procs {
+		u := trackUtil(&procs[i], response)
+		rep.Procs = append(rep.Procs, u)
+		sumBusy += u.Busy
+		if u.Busy > maxBusy {
+			maxBusy = u.Busy
+		}
+	}
+	if len(procs) > 0 && sumBusy > 0 {
+		rep.MaxMeanRatio = float64(maxBusy) / (float64(sumBusy) / float64(len(procs)))
+	}
+	disks := rec.Disks()
+	for i := range disks {
+		rep.Disks = append(rep.Disks, trackUtil(&disks[i], response))
+	}
+	return rep
+}
+
+func share(kind string, t, response sim.Time) KindShare {
+	s := KindShare{Kind: kind, Time: t}
+	if response > 0 {
+		s.Share = float64(t) / float64(response)
+	}
+	return s
+}
+
+// lastFinisher returns the track whose last non-idle span ends latest
+// (ties go to the lowest index, matching the deterministic simulator), or
+// -1 when nothing was recorded.
+func lastFinisher(procs []Track) int {
+	best, bestEnd := -1, sim.Time(-1)
+	for i := range procs {
+		for j := len(procs[i].Spans) - 1; j >= 0; j-- {
+			s := procs[i].Spans[j]
+			if s.Kind == KindQueueIdle {
+				continue
+			}
+			if s.End > bestEnd {
+				best, bestEnd = i, s.End
+			}
+			break
+		}
+	}
+	return best
+}
+
+// criticalPath walks backwards from (procs[start], response) and attributes
+// each moment to a span kind, following queue-idle spans' waker edges.
+func criticalPath(procs []Track, start int, response sim.Time) (byKind [NumKinds]sim.Time, untracked sim.Time, jumps int) {
+	const eps = 1e-9
+	cur := start
+	t := response
+	// guard bounds the walk: each non-jump step consumes time, and jumps
+	// are bounded by the number of recorded spans in any sane timeline.
+	guard := 0
+	maxSteps := 16
+	for i := range procs {
+		maxSteps += 2 * len(procs[i].Spans)
+	}
+	for t > eps {
+		guard++
+		if guard > maxSteps {
+			// Defensive: a waker cycle would livelock the walk; charge the
+			// remainder to queue-idle and stop.
+			byKind[KindQueueIdle] += t
+			return byKind, untracked, jumps
+		}
+		s, ok := spanBefore(&procs[cur], t)
+		if !ok {
+			untracked += t
+			return byKind, untracked, jumps
+		}
+		if s.End < t-eps {
+			untracked += t - s.End
+			t = s.End
+			continue
+		}
+		if s.Kind == KindQueueIdle {
+			waker := int(s.Args.A)
+			if waker >= 0 && waker < len(procs) && waker != cur {
+				// Blocking edge: the waker's activity up to t explains the
+				// wait; continue there without consuming time.
+				cur = waker
+				jumps++
+				continue
+			}
+			// Unknown waker (initial idle, final broadcast): charge the
+			// idle itself.
+		}
+		dur := t - s.Start
+		if dur < 0 {
+			dur = 0
+		}
+		byKind[s.Kind] += dur
+		t = s.Start
+	}
+	return byKind, untracked, jumps
+}
+
+// spanBefore returns the latest span on tr that starts strictly before t.
+func spanBefore(tr *Track, t sim.Time) (Span, bool) {
+	spans := tr.Spans
+	// Spans are appended in start order; binary-search the first span with
+	// Start >= t, the answer is its predecessor.
+	lo, hi := 0, len(spans)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if spans[mid].Start < t {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == 0 {
+		return Span{}, false
+	}
+	return spans[lo-1], true
+}
+
+// trackUtil computes one track's utilization summary.
+func trackUtil(tr *Track, response sim.Time) TrackUtil {
+	u := TrackUtil{Name: tr.Name}
+	var lastBusy sim.Time
+	for _, s := range tr.Spans {
+		if s.Kind == KindQueueIdle {
+			continue
+		}
+		u.Busy += s.Duration()
+		if s.End > lastBusy {
+			lastBusy = s.End
+		}
+	}
+	if response > 0 {
+		u.BusyFrac = float64(u.Busy) / float64(response)
+		if tail := response - lastBusy; tail > 0 {
+			u.IdleTail = tail
+		}
+	}
+	return u
+}
+
+// Render prints the report as aligned tables plus the compact
+// "critical-path:" line scripts/timeline_diff.sh compares.
+func (r *Report) Render(w io.Writer) {
+	clock := "virtual"
+	if r.Unit == "wall" {
+		clock = "wall"
+	}
+	t := stats.NewTable(
+		fmt.Sprintf("Critical path (%s response %.3f s, last finisher %s, %d blocking edges)",
+			clock, r.Response.Seconds(), r.LastFinisher, r.PathJumps),
+		"kind", "time [ms]", "share")
+	for _, a := range r.Attribution {
+		t.AddRow(a.Kind, fmt.Sprintf("%.3f", float64(a.Time)), fmt.Sprintf("%.1f%%", a.Share*100))
+	}
+	t.Render(w)
+
+	u := stats.NewTable(
+		fmt.Sprintf("Per-processor utilization (max/mean load ratio %.3f)", r.MaxMeanRatio),
+		"track", "busy [ms]", "busy", "idle tail [ms]")
+	for _, p := range r.Procs {
+		u.AddRow(p.Name, fmt.Sprintf("%.3f", float64(p.Busy)),
+			fmt.Sprintf("%.1f%%", p.BusyFrac*100), fmt.Sprintf("%.3f", float64(p.IdleTail)))
+	}
+	u.Render(w)
+
+	if len(r.Disks) > 0 {
+		d := stats.NewTable("Per-disk utilization", "track", "busy [ms]", "busy")
+		for _, p := range r.Disks {
+			d.AddRow(p.Name, fmt.Sprintf("%.3f", float64(p.Busy)), fmt.Sprintf("%.1f%%", p.BusyFrac*100))
+		}
+		d.Render(w)
+	}
+
+	fmt.Fprintln(w, r.AttributionLine())
+}
+
+// AttributionLine returns the one-line machine-readable attribution,
+// e.g. "critical-path: disk-wait=62.0% cpu-sweep=20.1% ... untracked=0.0%".
+// scripts/timeline_diff.sh diffs this line against a committed snapshot.
+func (r *Report) AttributionLine() string {
+	line := "critical-path:"
+	for _, a := range r.Attribution {
+		line += fmt.Sprintf(" %s=%.1f%%", a.Kind, a.Share*100)
+	}
+	return line
+}
+
+// AttributionSum returns the summed attribution (which Analyze guarantees
+// equals the response time; the golden tests assert it).
+func (r *Report) AttributionSum() sim.Time {
+	var sum sim.Time
+	for _, a := range r.Attribution {
+		sum += a.Time
+	}
+	return sum
+}

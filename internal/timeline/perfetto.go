@@ -1,0 +1,214 @@
+package timeline
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+
+	"spjoin/internal/sim"
+)
+
+// Perfetto / Chrome trace-event export. The emitted JSON is the "JSON
+// Array Format" object form ({"traceEvents": [...]}) understood by
+// ui.perfetto.dev and chrome://tracing: one process per machine component
+// (processors, disks), one thread (track) per simulated processor or disk,
+// complete ("X") events per span with microsecond timestamps, and flow
+// ("s"/"f") events linking a reassigned task's old and new owner.
+//
+// The writer is hand-rolled over append/strconv so the byte stream is
+// deterministic: equal recorders produce byte-identical files.
+
+// pids of the two exported process groups.
+const (
+	pidProcs = 0
+	pidDisks = 1
+)
+
+// argNames maps each span kind to the display names of its (up to four)
+// args; empty names are omitted from the export.
+var argNames = [NumKinds][4]string{
+	KindCPUSweep:     {"r_page", "s_page", "level", "comparisons"},
+	KindDiskWait:     {"page", "data", "disk", ""},
+	KindLocalBuffer:  {"page", "tree", "", ""},
+	KindRemoteBuffer: {"page", "tree", "owner", ""},
+	KindQueueIdle:    {"waker", "", "", ""},
+	KindReassign:     {"victim", "moved", "hl", "ns"},
+	KindRefineWait:   {"candidates", "", "", ""},
+	KindDiskService:  {"page", "data", "reader", ""},
+}
+
+// WritePerfetto writes the whole recorded timeline as trace-event JSON.
+func (r *Recorder) WritePerfetto(w io.Writer) error {
+	e := &errWriter{w: w}
+	var buf []byte
+
+	// ts is in microseconds in the trace-event format; the recorder's
+	// clock is milliseconds.
+	appendTS := func(b []byte, t sim.Time) []byte {
+		return strconv.AppendFloat(b, float64(t)*1000, 'f', 3, 64)
+	}
+
+	e.write([]byte("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n"))
+	first := true
+	emit := func(b []byte) {
+		if !first {
+			e.write([]byte(",\n"))
+		}
+		first = false
+		e.write(b)
+	}
+
+	// Metadata: process and thread names, so Perfetto labels the tracks.
+	procsLabel := "simulated processors (virtual time)"
+	if r.unit == "wall" {
+		procsLabel = "native workers (wall time)"
+	}
+	buf = fmt.Appendf(buf[:0],
+		`{"name":"process_name","ph":"M","pid":%d,"tid":0,"args":{"name":%q}}`,
+		pidProcs, procsLabel)
+	emit(buf)
+	if len(r.disks) > 0 {
+		buf = fmt.Appendf(buf[:0],
+			`{"name":"process_name","ph":"M","pid":%d,"tid":0,"args":{"name":"simulated disks"}}`,
+			pidDisks)
+		emit(buf)
+	}
+	for _, group := range []struct {
+		pid    int
+		tracks []Track
+	}{{pidProcs, r.procs}, {pidDisks, r.disks}} {
+		for tid := range group.tracks {
+			buf = fmt.Appendf(buf[:0],
+				`{"name":"thread_name","ph":"M","pid":%d,"tid":%d,"args":{"name":%q}}`,
+				group.pid, tid, group.tracks[tid].Name)
+			emit(buf)
+		}
+	}
+
+	// Spans as complete events.
+	for _, group := range []struct {
+		pid    int
+		tracks []Track
+	}{{pidProcs, r.procs}, {pidDisks, r.disks}} {
+		for tid := range group.tracks {
+			for _, s := range group.tracks[tid].Spans {
+				buf = append(buf[:0], `{"name":"`...)
+				buf = append(buf, KindName(s.Kind)...)
+				buf = append(buf, `","cat":"span","ph":"X","ts":`...)
+				buf = appendTS(buf, s.Start)
+				buf = append(buf, `,"dur":`...)
+				buf = appendTS(buf, s.End-s.Start)
+				buf = append(buf, `,"pid":`...)
+				buf = strconv.AppendInt(buf, int64(group.pid), 10)
+				buf = append(buf, `,"tid":`...)
+				buf = strconv.AppendInt(buf, int64(tid), 10)
+				buf = append(buf, `,"args":{`...)
+				names := argNames[0]
+				if int(s.Kind) < len(argNames) {
+					names = argNames[s.Kind]
+				}
+				vals := [4]int64{s.Args.A, s.Args.B, s.Args.C, s.Args.D}
+				sep := false
+				for i, name := range names {
+					if name == "" {
+						continue
+					}
+					if sep {
+						buf = append(buf, ',')
+					}
+					sep = true
+					buf = append(buf, '"')
+					buf = append(buf, name...)
+					buf = append(buf, `":`...)
+					buf = strconv.AppendInt(buf, vals[i], 10)
+				}
+				buf = append(buf, `}}`...)
+				emit(buf)
+			}
+		}
+	}
+
+	// Flows: one s/f pair per reassignment, binding to the enclosing (or
+	// next) slice on each side.
+	id := 0
+	for tid := range r.procs {
+		for _, f := range r.procs[tid].Flows {
+			id++
+			buf = fmt.Appendf(buf[:0],
+				`{"name":"reassign","cat":"flow","ph":"s","id":%d,"ts":`, id)
+			buf = appendTS(buf, f.At)
+			buf = fmt.Appendf(buf, `,"pid":%d,"tid":%d}`, pidProcs, f.From)
+			emit(buf)
+			buf = fmt.Appendf(buf[:0],
+				`{"name":"reassign","cat":"flow","ph":"f","bp":"e","id":%d,"ts":`, id)
+			buf = appendTS(buf, f.ToAt)
+			buf = fmt.Appendf(buf, `,"pid":%d,"tid":%d}`, pidProcs, tid)
+			emit(buf)
+		}
+	}
+
+	e.write([]byte("\n]}\n"))
+	return e.err
+}
+
+// traceEvent is the schema subset ValidateTraceEvents checks.
+type traceEvent struct {
+	Name string           `json:"name"`
+	Ph   string           `json:"ph"`
+	Pid  *int             `json:"pid"`
+	Tid  *int             `json:"tid"`
+	Ts   *float64         `json:"ts"`
+	Dur  *float64         `json:"dur"`
+	ID   *json.RawMessage `json:"id"`
+	Args json.RawMessage  `json:"args"`
+}
+
+// ValidateTraceEvents checks data against the trace-event JSON schema
+// subset this package emits: a top-level traceEvents array whose entries
+// have a name and a known phase, with ts/dur on complete events, ids on
+// flow events, and names on metadata events. The CI smoke job and the
+// golden-timeline tests run every exported trace through this.
+func ValidateTraceEvents(data []byte) error {
+	var doc struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return fmt.Errorf("timeline: trace is not valid JSON: %w", err)
+	}
+	if doc.TraceEvents == nil {
+		return fmt.Errorf("timeline: trace has no traceEvents array")
+	}
+	for i, raw := range doc.TraceEvents {
+		var ev traceEvent
+		if err := json.Unmarshal(raw, &ev); err != nil {
+			return fmt.Errorf("timeline: event %d malformed: %w", i, err)
+		}
+		if ev.Name == "" {
+			return fmt.Errorf("timeline: event %d has no name", i)
+		}
+		if ev.Pid == nil || ev.Tid == nil {
+			return fmt.Errorf("timeline: event %d (%s) lacks pid/tid", i, ev.Name)
+		}
+		switch ev.Ph {
+		case "X":
+			if ev.Ts == nil || ev.Dur == nil {
+				return fmt.Errorf("timeline: complete event %d (%s) lacks ts/dur", i, ev.Name)
+			}
+			if *ev.Dur < 0 {
+				return fmt.Errorf("timeline: complete event %d (%s) has negative dur", i, ev.Name)
+			}
+		case "s", "f", "t":
+			if ev.Ts == nil || ev.ID == nil {
+				return fmt.Errorf("timeline: flow event %d (%s) lacks ts/id", i, ev.Name)
+			}
+		case "M":
+			if len(ev.Args) == 0 {
+				return fmt.Errorf("timeline: metadata event %d (%s) lacks args", i, ev.Name)
+			}
+		default:
+			return fmt.Errorf("timeline: event %d (%s) has unsupported phase %q", i, ev.Name, ev.Ph)
+		}
+	}
+	return nil
+}

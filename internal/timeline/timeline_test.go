@@ -1,0 +1,252 @@
+package timeline
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"spjoin/internal/sim"
+)
+
+// buildSample fills a 2-processor, 1-disk recorder with a small but
+// representative timeline: P0 works the whole run, P1 idles waiting on P0,
+// then finishes last after a reassignment.
+//
+//	P0: [0,10 cpu-sweep] [10,26 disk-wait]            [26,30 cpu-sweep]
+//	P1: [0,26 queue-idle waker=0] [26,27 reassign] [27,40 cpu-sweep]
+//	disk0: [10,26 disk-service]
+func buildSample() *Recorder {
+	r := NewRecorder(2, 1)
+	r.ProcSpan(0, 0, 10, KindCPUSweep, sim.SpanArgs{A: 1, B: 2, C: 1, D: 50})
+	r.ProcSpan(0, 10, 26, KindDiskWait, sim.SpanArgs{A: 3, B: 0, C: 0})
+	r.ProcSpan(0, 26, 30, KindCPUSweep, sim.SpanArgs{A: 4, B: 5, C: 0, D: 20})
+	r.ProcSpan(1, 0, 26, KindQueueIdle, sim.SpanArgs{A: 0})
+	r.ProcSpan(1, 26, 27, KindReassign, sim.SpanArgs{A: 0, B: 2, C: 1, D: 2})
+	r.ProcSpan(1, 27, 40, KindCPUSweep, sim.SpanArgs{A: 6, B: 7, C: 0, D: 30})
+	r.ResourceSpan(0, 10, 26, KindDiskService, sim.SpanArgs{A: 3, B: 0, C: 0})
+	r.AddFlow(1, 0, 26)
+	return r
+}
+
+func TestBeginEndNesting(t *testing.T) {
+	r := NewRecorder(1, 0)
+	r.BeginSpan(0, 0, KindCPUSweep, sim.SpanArgs{A: 1})
+	r.BeginSpan(0, 2, KindDiskWait, sim.SpanArgs{A: 2})
+	r.EndSpan(0, 5, sim.SpanArgs{}, false)
+	r.EndSpan(0, 9, sim.SpanArgs{A: 99}, true)
+	spans := r.Procs()[0].Spans
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(spans))
+	}
+	// Spans are stored in begin order; the outer one closed last.
+	outer, inner := spans[0], spans[1]
+	if outer.Kind != KindCPUSweep || outer.Start != 0 || outer.End != 9 || outer.Args.A != 99 {
+		t.Errorf("outer span %+v wrong (want cpu-sweep [0,9] args.A=99 via setArgs)", outer)
+	}
+	if inner.Kind != KindDiskWait || inner.Start != 2 || inner.End != 5 || inner.Args.A != 2 {
+		t.Errorf("inner span %+v wrong (want disk-wait [2,5] args.A=2 kept)", inner)
+	}
+}
+
+func TestEndSpanWithoutOpenPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("EndSpan with no open span must panic")
+		}
+	}()
+	NewRecorder(1, 0).EndSpan(0, 1, sim.SpanArgs{}, false)
+}
+
+func TestCloseOpenAndMaxEnd(t *testing.T) {
+	r := NewRecorder(1, 0)
+	r.BeginSpan(0, 3, KindQueueIdle, sim.SpanArgs{A: -1})
+	r.CloseOpen(8)
+	s := r.Procs()[0].Spans[0]
+	if s.End != 8 {
+		t.Fatalf("dangling span end %v, want 8", s.End)
+	}
+	if got := r.MaxEnd(); got != 8 {
+		t.Fatalf("MaxEnd %v, want 8", got)
+	}
+}
+
+func TestDigestDeterministicAndSensitive(t *testing.T) {
+	a, b := buildSample(), buildSample()
+	if a.Digest() != b.Digest() {
+		t.Fatal("identical recorders produced different digests")
+	}
+	b.ProcSpan(1, 40, 41, KindCPUSweep, sim.SpanArgs{})
+	if a.Digest() == b.Digest() {
+		t.Fatal("digest ignored an extra span")
+	}
+}
+
+func TestPerfettoExportValidatesAndIsDeterministic(t *testing.T) {
+	r := buildSample()
+	var buf1, buf2 bytes.Buffer
+	if err := r.WritePerfetto(&buf1); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WritePerfetto(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf1.Bytes(), buf2.Bytes()) {
+		t.Fatal("two exports of the same recorder differ")
+	}
+	if err := ValidateTraceEvents(buf1.Bytes()); err != nil {
+		t.Fatalf("export fails own validation: %v", err)
+	}
+	out := buf1.String()
+	for _, want := range []string{
+		`"name":"P0"`, `"name":"P1"`, `"name":"disk0"`,
+		`"name":"cpu-sweep"`, `"name":"disk-service"`,
+		`"ph":"s"`, `"ph":"f"`, // the reassignment flow pair
+		`"comparisons":50`, `"waker":0`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("export lacks %s", want)
+		}
+	}
+}
+
+func TestValidateRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"not json":      `{`,
+		"no array":      `{"displayTimeUnit":"ms"}`,
+		"unnamed":       `{"traceEvents":[{"ph":"X","pid":0,"tid":0,"ts":1,"dur":1}]}`,
+		"no pid":        `{"traceEvents":[{"name":"x","ph":"X","ts":1,"dur":1}]}`,
+		"no ts":         `{"traceEvents":[{"name":"x","ph":"X","pid":0,"tid":0}]}`,
+		"negative dur":  `{"traceEvents":[{"name":"x","ph":"X","pid":0,"tid":0,"ts":1,"dur":-1}]}`,
+		"flow no id":    `{"traceEvents":[{"name":"x","ph":"s","pid":0,"tid":0,"ts":1}]}`,
+		"meta no args":  `{"traceEvents":[{"name":"x","ph":"M","pid":0,"tid":0}]}`,
+		"unknown phase": `{"traceEvents":[{"name":"x","ph":"Z","pid":0,"tid":0}]}`,
+	}
+	for name, data := range cases {
+		if err := ValidateTraceEvents([]byte(data)); err == nil {
+			t.Errorf("%s: validation passed, want error", name)
+		}
+	}
+	ok := `{"traceEvents":[{"name":"x","ph":"X","pid":0,"tid":0,"ts":1,"dur":1,"args":{}}]}`
+	if err := ValidateTraceEvents([]byte(ok)); err != nil {
+		t.Errorf("minimal valid trace rejected: %v", err)
+	}
+}
+
+func TestAnalyzeAttributionSumsToResponse(t *testing.T) {
+	r := buildSample()
+	const response = 40.0
+	rep := Analyze(r, response)
+	if got := float64(rep.AttributionSum()); got != response {
+		t.Fatalf("attribution sums to %v, want %v", got, response)
+	}
+	if rep.LastFinisher != "P1" {
+		t.Errorf("last finisher %s, want P1", rep.LastFinisher)
+	}
+	// The walk runs back P1's cpu-sweep and reassign, then follows the
+	// queue-idle span's waker edge to P0 — one jump, and P1's 26 ms wait
+	// shows up as P0's disk-wait + cpu-sweep instead of idle time.
+	if rep.PathJumps != 1 {
+		t.Errorf("path jumps %d, want 1", rep.PathJumps)
+	}
+	byKind := map[string]float64{}
+	for _, a := range rep.Attribution {
+		byKind[a.Kind] = float64(a.Time)
+	}
+	want := map[string]float64{
+		"cpu-sweep": 13 + 4 + 6, // P1 [27,40] + P0 [26,30] + P0 tail of [0,10] after the jump
+		"reassign":  1,
+		"disk-wait": 16,
+		"untracked": 0,
+	}
+	for kind, w := range want {
+		if byKind[kind] != w {
+			t.Errorf("attribution[%s] = %v, want %v (full: %v)", kind, byKind[kind], w, byKind)
+		}
+	}
+	if byKind["queue-idle"] != 0 {
+		t.Errorf("queue-idle charged %v on the critical path despite a known waker", byKind["queue-idle"])
+	}
+}
+
+func TestAnalyzeUntrackedGap(t *testing.T) {
+	r := NewRecorder(1, 0)
+	r.ProcSpan(0, 0, 4, KindCPUSweep, sim.SpanArgs{})
+	r.ProcSpan(0, 9, 12, KindCPUSweep, sim.SpanArgs{})
+	rep := Analyze(r, 12)
+	var untracked float64
+	for _, a := range rep.Attribution {
+		if a.Kind == "untracked" {
+			untracked = float64(a.Time)
+		}
+	}
+	if untracked != 5 {
+		t.Fatalf("untracked %v, want the [4,9] gap = 5", untracked)
+	}
+	if got := float64(rep.AttributionSum()); got != 12 {
+		t.Fatalf("attribution sums to %v, want 12", got)
+	}
+}
+
+func TestAnalyzeUtilizationAndSkew(t *testing.T) {
+	r := buildSample()
+	rep := Analyze(r, 40)
+	if len(rep.Procs) != 2 || len(rep.Disks) != 1 {
+		t.Fatalf("got %d proc / %d disk utils", len(rep.Procs), len(rep.Disks))
+	}
+	// P0 busy 30 (all spans), P1 busy 14 (idle span excluded).
+	if got := float64(rep.Procs[0].Busy); got != 30 {
+		t.Errorf("P0 busy %v, want 30", got)
+	}
+	if got := float64(rep.Procs[1].Busy); got != 14 {
+		t.Errorf("P1 busy %v, want 14", got)
+	}
+	if got := float64(rep.Procs[0].IdleTail); got != 10 {
+		t.Errorf("P0 idle tail %v, want 10 (busy until 30, response 40)", got)
+	}
+	wantRatio := 30.0 / 22.0
+	if got := rep.MaxMeanRatio; got < wantRatio-1e-9 || got > wantRatio+1e-9 {
+		t.Errorf("max/mean ratio %v, want %v", got, wantRatio)
+	}
+	if got := float64(rep.Disks[0].Busy); got != 16 {
+		t.Errorf("disk0 busy %v, want 16", got)
+	}
+}
+
+func TestRenderAndAttributionLine(t *testing.T) {
+	rep := Analyze(buildSample(), 40)
+	var buf bytes.Buffer
+	rep.Render(&buf)
+	out := buf.String()
+	for _, want := range []string{"Critical path", "Per-processor utilization", "Per-disk utilization", "critical-path:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report lacks %q:\n%s", want, out)
+		}
+	}
+	line := rep.AttributionLine()
+	if !strings.HasPrefix(line, "critical-path:") || !strings.Contains(line, "cpu-sweep=") {
+		t.Errorf("attribution line malformed: %s", line)
+	}
+}
+
+// TestWallRecorder covers the native executor's shape: no disk tracks, W
+// names, Complete as the entry point.
+func TestWallRecorder(t *testing.T) {
+	r := NewWallRecorder(2)
+	if r.Unit() != "wall" || len(r.Disks()) != 0 {
+		t.Fatalf("wall recorder shape wrong: unit=%s disks=%d", r.Unit(), len(r.Disks()))
+	}
+	r.Complete(1, 0, 2, KindCPUSweep, sim.SpanArgs{D: 5})
+	if r.Procs()[1].Name != "W1" || r.SpanCount() != 1 {
+		t.Fatalf("complete span not recorded on W1")
+	}
+	var buf bytes.Buffer
+	if err := r.WritePerfetto(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateTraceEvents(buf.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "native workers (wall time)") {
+		t.Error("wall export lacks the native process label")
+	}
+}

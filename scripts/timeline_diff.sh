@@ -1,0 +1,51 @@
+#!/bin/sh
+# Compares the seed workload's critical-path attribution against the
+# committed snapshot in testdata/critical_path_seed.txt. Fails when any span
+# kind's share of the response time shifts by more than the tolerance (in
+# percentage points, default 2.0) — the load-balance analogue of the golden
+# metrics: a scheduling or cost-model change that silently moves time
+# between disk-wait, cpu-sweep and idle shows up here.
+#
+# Usage: scripts/timeline_diff.sh [tolerance-points] [update]
+#        (the literal word "update" rewrites the snapshot; commit the result)
+set -eu
+cd "$(dirname "$0")/.."
+
+TOLERANCE="${1:-2.0}"
+SNAP=testdata/critical_path_seed.txt
+
+line=$(go run ./cmd/spjoin -scale 0.02 -seed 42 -procs 8 -disks 8 -buffer 16 \
+    -variant gd -report | grep '^critical-path:')
+
+if [ "${2:-}" = "update" ]; then
+    printf '%s\n' "$line" > "$SNAP"
+    echo "timeline_diff: rewrote $SNAP"
+    exit 0
+fi
+
+[ -f "$SNAP" ] || {
+    echo "timeline_diff: missing $SNAP (run: scripts/timeline_diff.sh $TOLERANCE update)" >&2
+    exit 1
+}
+
+echo "timeline_diff: fresh:    $line"
+echo "timeline_diff: snapshot: $(cat "$SNAP")"
+
+printf '%s\n%s\n' "$line" "$(cat "$SNAP")" | awk -v tol="$TOLERANCE" '
+NR == 1 { for (i = 2; i <= NF; i++) { split($i, kv, "="); sub(/%/, "", kv[2]); fresh[kv[1]] = kv[2] } }
+NR == 2 { for (i = 2; i <= NF; i++) { split($i, kv, "="); sub(/%/, "", kv[2]); base[kv[1]] = kv[2]; kinds[kv[1]] = 1 } }
+END {
+    for (k in fresh) kinds[k] = 1
+    fail = 0
+    for (k in kinds) {
+        d = fresh[k] - base[k]   # a kind missing on one side counts as 0%
+        if (d < 0) d = -d
+        if (d > tol) {
+            printf "timeline_diff: %s shifted %.1f points (%.1f%% -> %.1f%%, tolerance %.1f)\n",
+                k, d, base[k] + 0, fresh[k] + 0, tol
+            fail = 1
+        }
+    }
+    exit fail
+}'
+echo "timeline_diff: attribution within $TOLERANCE points of the snapshot"

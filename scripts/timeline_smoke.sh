@@ -1,0 +1,17 @@
+#!/bin/sh
+# CI smoke for the span profiler: run the seed workload with -timeline and
+# -report, validate the Perfetto export against the trace-event schema with
+# cmd/tracecheck, and leave both the trace and the critical-path report in
+# the output directory for upload as workflow artifacts.
+#
+# Usage: scripts/timeline_smoke.sh [outdir]   (default: artifacts)
+set -eux
+cd "$(dirname "$0")/.."
+
+OUT="${1:-artifacts}"
+mkdir -p "$OUT"
+
+go run ./cmd/spjoin -scale 0.02 -seed 42 -procs 8 -disks 8 -buffer 16 -variant gd \
+    -timeline "$OUT/seed_timeline.json" -report > "$OUT/critical_path_report.txt"
+go run ./cmd/tracecheck "$OUT/seed_timeline.json"
+grep '^critical-path:' "$OUT/critical_path_report.txt"
