@@ -13,11 +13,11 @@ test:
 bench:
 	go test -run='^$$' -bench=. -benchmem .
 
-# Refresh BENCH_kernel.json (commit the result).
+# Refresh BENCH_kernel.json and BENCH_partjoin.json (commit the results).
 bench-snapshot:
 	./scripts/bench_snapshot.sh
 
-# Compare a fresh kernel snapshot against BENCH_kernel.json; fails on >10%
+# Compare fresh runs against both committed snapshots; fails on >10%
 # ns/op regressions or any allocs/op growth. TOLERANCE overrides the percent.
 bench-diff:
 	./scripts/bench_diff.sh $(or $(TOLERANCE),10)

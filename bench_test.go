@@ -18,6 +18,8 @@ import (
 	"spjoin/internal/join"
 	"spjoin/internal/pagefile"
 	"spjoin/internal/parjoin"
+	"spjoin/internal/parnative"
+	"spjoin/internal/partjoin"
 	"spjoin/internal/rtree"
 	"spjoin/internal/tiger"
 	"spjoin/internal/zorder"
@@ -161,6 +163,69 @@ func BenchmarkKernelExpand(b *testing.B) {
 			e.Run(root)
 		}
 	})
+}
+
+// --- in-memory engine head-to-head (DESIGN.md: partition-based engine) ---
+
+// BenchmarkPartitionJoin measures the grid-partitioned in-memory join in
+// steady state: the Joiner is reused across unchanged inputs, so after
+// warm-up every buffer is grown to size, each join is allocation-free
+// (the zero-allocation contract pinned by TestJoinerReuseZeroAlloc), and
+// the mirror-check pass proves the cached tile segments reusable — the
+// join is one sequential scan plus the per-tile sweeps.
+func BenchmarkPartitionJoin(b *testing.B) {
+	streets, mixed := tiger.Maps(benchScale, 42)
+	var j partjoin.Joiner
+	defer j.Close()
+	cfg := partjoin.Config{}
+	j.Join(streets, mixed, cfg) // warm buffers and pool
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j.Join(streets, mixed, cfg)
+	}
+}
+
+// BenchmarkPartitionJoinCold defeats the Joiner's reuse cache by moving
+// one rectangle across the world every iteration (staying inside the data
+// MBR so the grid geometry itself is representative), forcing the
+// worst-tier fallback each time: re-sort the disturbed order, recount,
+// re-scatter. This is the honest cost of joining fresh data with a warm
+// Joiner.
+func BenchmarkPartitionJoinCold(b *testing.B) {
+	streets, mixed := tiger.Maps(benchScale, 42)
+	var j partjoin.Joiner
+	defer j.Close()
+	cfg := partjoin.Config{}
+	j.Join(streets, mixed, cfg) // warm buffers and pool
+	home := streets[len(streets)/2].Rect
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := home
+		if i%2 == 1 {
+			w := r.MaxX - r.MinX
+			r.MinX = home.MinX * 0.5
+			r.MaxX = r.MinX + w
+		}
+		streets[len(streets)/2].Rect = r
+		j.Join(streets, mixed, cfg)
+	}
+}
+
+// BenchmarkNativeTreeJoin is the tree-based comparison point: the same
+// workload joined by the work-stealing native executor over prebuilt
+// R*-trees (tree construction excluded, like the partition benchmark
+// excludes nothing — it has no build phase).
+func BenchmarkNativeTreeJoin(b *testing.B) {
+	streets, mixed := tiger.Maps(benchScale, 42)
+	r := rtree.BulkLoadSTR(rtree.DefaultParams(), streets, 0.73)
+	s := rtree.BulkLoadSTR(rtree.DefaultParams(), mixed, 0.73)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		parnative.Join(r, s, parnative.Config{})
+	}
 }
 
 // --- ablation benches (DESIGN.md: design choices) ------------------------

@@ -6,11 +6,18 @@
 //
 //	spjoin [-scale 0.1] [-seed 42]
 //	       [-procs 8] [-disks 8] [-buffer 800]
+//	       [-engine tree|partition] [-grid 0]
 //	       [-variant gd|gsrr|lsr|sn|est] [-reassign none|root|all]
 //	       [-victim loaded|random] [-native]
 //	       [-metrics out.json] [-trace out.jsonl]
 //	       [-timeline out.json] [-report] [-pprof :6060]
 //	       [-loadR r.csv -loadS s.csv]
+//
+// -engine=partition joins the raw rectangle sets with the grid-partitioned
+// in-memory engine (internal/partjoin): no trees are built and execution is
+// always native. -grid fixes the grid side (0 picks it from the input
+// size). The default tree engine simulates the paper's machine, or runs the
+// native tree join with -native.
 //
 // -timeline writes a Perfetto/Chrome trace-event file (open it at
 // ui.perfetto.dev); -report prints the critical-path attribution and the
@@ -36,6 +43,7 @@ import (
 	"spjoin/internal/metrics"
 	"spjoin/internal/parjoin"
 	"spjoin/internal/parnative"
+	"spjoin/internal/partjoin"
 	"spjoin/internal/rtree"
 	"spjoin/internal/sim"
 	"spjoin/internal/stats"
@@ -157,6 +165,8 @@ func main() {
 	procs := flag.Int("procs", 8, "simulated processors (or goroutines with -native)")
 	disks := flag.Int("disks", 8, "simulated disks")
 	bufferPages := flag.Int("buffer", 800, "total LRU buffer size in pages")
+	engine := flag.String("engine", "tree", "join engine: tree (R-tree based) | partition (grid-partitioned, native)")
+	grid := flag.Int("grid", 0, "partition engine grid side (0 = choose from input size)")
 	variant := flag.String("variant", "gd", "lsr | gsrr | gd | sn (shared-nothing) | est (estimated static)")
 	reassign := flag.String("reassign", "all", "task reassignment: none | root | all")
 	victim := flag.String("victim", "loaded", "victim selection: loaded | random")
@@ -211,9 +221,38 @@ func main() {
 		fmt.Printf("generating maps at scale %g (seed %d)...\n", *scale, *seed)
 		streets, mixed = tiger.Maps(*scale, *seed)
 	}
+	switch *engine {
+	case "partition":
+		workers := *procs
+		if workers <= 0 {
+			workers = runtime.GOMAXPROCS(0)
+		}
+		var rec *timeline.Recorder
+		if *timelineOut != "" || *report {
+			rec = timeline.NewWallRecorder(workers)
+		}
+		runPartition(streets, mixed, workers, *grid, obs, rec)
+		if rec != nil {
+			if err := finishTimeline(rec, *timelineOut, *report, rec.MaxEnd()); err != nil {
+				fmt.Fprintf(os.Stderr, "spjoin: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		if err := obs.finish(); err != nil {
+			fmt.Fprintf(os.Stderr, "spjoin: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	case "tree":
+		// Fall through to the tree-based engines below.
+	default:
+		fmt.Fprintf(os.Stderr, "spjoin: unknown -engine %q\n", *engine)
+		os.Exit(2)
+	}
+
 	t0 := time.Now()
-	r := rtree.BulkLoadSTR(rtree.DefaultParams(), streets, 0.73)
-	s := rtree.BulkLoadSTR(rtree.DefaultParams(), mixed, 0.73)
+	r := rtree.BulkLoadSTRParallel(rtree.DefaultParams(), streets, 0.73, 0)
+	s := rtree.BulkLoadSTRParallel(rtree.DefaultParams(), mixed, 0.73, 0)
 	fmt.Printf("trees built in %v: %d + %d objects, heights %d/%d\n\n",
 		time.Since(t0).Round(time.Millisecond), r.Len(), s.Len(), r.Height(), s.Height())
 
@@ -346,6 +385,24 @@ func loadCSV(path string) ([]rtree.Item, error) {
 	}
 	defer f.Close()
 	return mapio.Read(f)
+}
+
+func runPartition(r, s []rtree.Item, workers, grid int, obs *observability, rec *timeline.Recorder) {
+	t0 := time.Now()
+	res := partjoin.Join(r, s, partjoin.Config{
+		Workers:  workers,
+		Grid:     grid,
+		Metrics:  obs.reg,
+		Timeline: rec,
+	})
+	wall := time.Since(t0)
+	fmt.Printf("partition join with %d goroutines\n", res.Workers)
+	fmt.Printf("grid:         %dx%d (%d non-empty partitions)\n", res.GX, res.GY, res.Partitions)
+	fmt.Printf("candidates:   %d\n", len(res.Candidates))
+	fmt.Printf("duplicates:   %d suppressed\n", res.Duplicates)
+	fmt.Printf("comparisons:  %d\n", res.Comparisons)
+	fmt.Printf("wall time:    %v\n", wall.Round(time.Microsecond))
+	fmt.Printf("pairs/worker: %v\n", res.PerWorker)
 }
 
 func runNative(r, s *rtree.Tree, workers int, obs *observability, rec *timeline.Recorder) {

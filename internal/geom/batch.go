@@ -1,0 +1,85 @@
+package geom
+
+import "math/bits"
+
+// MaskWords returns the number of uint64 words a bitmask over n rectangles
+// needs (one bit per rectangle).
+func MaskWords(n int) int { return (n + 63) >> 6 }
+
+// intersect1 is the branchless single-rect intersection test: it returns 1
+// iff r and the query box (qMinX..qMaxY) share at least one point, with the
+// exact closed-rectangle semantics of Rect.Intersects. Each of the four
+// min/max comparisons compiles to a flag-setting instruction feeding a
+// bitwise AND, so the test carries no data-dependent branch; the query
+// coordinates are passed as scalars so they stay in registers across a
+// block.
+func intersect1(qMinX, qMinY, qMaxX, qMaxY float64, r *Rect) uint64 {
+	return b2u(r.MinX <= qMaxX) & b2u(qMinX <= r.MaxX) &
+		b2u(r.MinY <= qMaxY) & b2u(qMinY <= r.MaxY)
+}
+
+// b2u converts a comparison result to 0/1 without a visible branch (the
+// compiler lowers this pattern to SETcc on amd64).
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// IntersectBatch tests the query rectangle q against every rectangle of
+// rects and writes the outcomes as a bitmask into out: bit i%64 of
+// out[i/64] is set iff rects[i] intersects q. The predicate is exactly
+// Rect.Intersects, bit for bit — touching edges count; rectangles with a
+// NaN coordinate and the canonical EmptyRect never match on either side
+// (every comparison against NaN or crossed infinities is false); finite
+// inverted rectangles behave however the four scalar comparisons say, same
+// as Rect.Intersects. It returns the number of intersecting rectangles.
+//
+// This is the batch micro-kernel of the filter step: the rect slice is the
+// structure-of-arrays view the R*-tree sweep cache and the partition engine
+// already hold, rectangles are processed in 8-wide blocks whose compare
+// chains overlap in flight, and the result is a bitmask the caller walks in
+// whatever order it needs (entry order, plane-sweep order) without
+// re-testing. out must hold at least MaskWords(len(rects)) words; every
+// used word is fully overwritten, trailing bits of the last word are zero.
+func IntersectBatch(q Rect, rects []Rect, out []uint64) int {
+	n := len(rects)
+	words := MaskWords(n)
+	if words == 0 {
+		return 0
+	}
+	out = out[:words]
+	qMinX, qMinY, qMaxX, qMaxY := q.MinX, q.MinY, q.MaxX, q.MaxY
+	count := 0
+	for wi := 0; wi < words; wi++ {
+		base := wi << 6
+		end := base + 64
+		if end > n {
+			end = n
+		}
+		var word uint64
+		i := base
+		for ; i+8 <= end; i += 8 {
+			// One 8-wide block per iteration, issued as two 4-wide
+			// compare groups so the block's 32 coordinate loads don't
+			// all have to be live at once (which would spill).
+			blk := rects[i : i+8 : i+8]
+			m := intersect1(qMinX, qMinY, qMaxX, qMaxY, &blk[0]) |
+				intersect1(qMinX, qMinY, qMaxX, qMaxY, &blk[1])<<1 |
+				intersect1(qMinX, qMinY, qMaxX, qMaxY, &blk[2])<<2 |
+				intersect1(qMinX, qMinY, qMaxX, qMaxY, &blk[3])<<3
+			m |= (intersect1(qMinX, qMinY, qMaxX, qMaxY, &blk[4]) |
+				intersect1(qMinX, qMinY, qMaxX, qMaxY, &blk[5])<<1 |
+				intersect1(qMinX, qMinY, qMaxX, qMaxY, &blk[6])<<2 |
+				intersect1(qMinX, qMinY, qMaxX, qMaxY, &blk[7])<<3) << 4
+			word |= m << (uint(i-base) & 63)
+		}
+		for ; i < end; i++ {
+			word |= intersect1(qMinX, qMinY, qMaxX, qMaxY, &rects[i]) << (uint(i-base) & 63)
+		}
+		out[wi] = word
+		count += bits.OnesCount64(word)
+	}
+	return count
+}

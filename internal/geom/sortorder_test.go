@@ -1,0 +1,56 @@
+package geom
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// checkSortOrder sorts a copy of order both ways and requires the
+// quicksort/insertion hybrid to match the reference sort exactly (the
+// order is total thanks to the index tiebreak, so the result is unique).
+func checkSortOrder(t *testing.T, rects []Rect, order []int32) {
+	t.Helper()
+	got := append([]int32(nil), order...)
+	SortOrderByMinX(rects, got)
+	want := append([]int32(nil), order...)
+	sort.Slice(want, func(i, j int) bool {
+		return rectLess(rects[want[i]], rects[want[j]], int(want[i]), int(want[j]))
+	})
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("n=%d: position %d: got index %d, want %d", len(order), i, got[i], want[i])
+		}
+	}
+}
+
+func TestSortOrderByMinXLarge(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range []int{0, 1, 2, 47, 48, 49, 100, 1000, 5000} {
+		rects := make([]Rect, n)
+		order := make([]int32, n)
+		for i := range rects {
+			rects[i] = randomRect(rng)
+			order[i] = int32(i)
+		}
+		checkSortOrder(t, rects, order)
+
+		// Heavy ties: every rect shares MinX, exercising the MinY and
+		// index tiebreaks through the quicksort path.
+		tied := make([]Rect, n)
+		for i := range tied {
+			tied[i] = NewRect(1, float64(i%7), 2, 10)
+		}
+		checkSortOrder(t, tied, order)
+
+		// Already sorted (the adaptive fast path) and reverse sorted.
+		sorted := append([]int32(nil), order...)
+		SortOrderByMinX(rects, sorted)
+		checkSortOrder(t, rects, sorted)
+		rev := make([]int32, n)
+		for i := range rev {
+			rev[i] = sorted[n-1-i]
+		}
+		checkSortOrder(t, rects, rev)
+	}
+}

@@ -48,8 +48,27 @@ func SortRectsByMinX(rects []Rect, idx []int) {
 }
 
 // SortOrderByMinX is SortRectsByMinX over an int32 order slice — the form
-// the R*-tree node sweep cache stores. Allocation-free.
+// the R*-tree node sweep cache stores. Allocation-free, and adaptive for
+// long inputs: an already-ordered slice (e.g. the previous join's order
+// over unchanged data) is verified in one linear pass and returned as-is,
+// so steady-state re-sorts cost O(n).
 func SortOrderByMinX(rects []Rect, order []int32) {
+	if len(order) <= orderSortCutoff {
+		insertionSortOrder(rects, order)
+		return
+	}
+	if orderIsSorted(rects, order) {
+		return
+	}
+	quickSortOrder(rects, order)
+}
+
+// orderSortCutoff is the length at or below which binary-insertion sort
+// beats quicksort partitioning (node-sized lists sit below it).
+const orderSortCutoff = 48
+
+// insertionSortOrder is a binary-insertion sort over the order slice.
+func insertionSortOrder(rects []Rect, order []int32) {
 	for i := 1; i < len(order); i++ {
 		v := order[i]
 		r := rects[v]
@@ -65,6 +84,73 @@ func SortOrderByMinX(rects []Rect, order []int32) {
 		copy(order[lo+1:i+1], order[lo:i])
 		order[lo] = v
 	}
+}
+
+func orderIsSorted(rects []Rect, order []int32) bool {
+	if len(order) == 0 {
+		return true
+	}
+	// Carry the previous rect through the scan so each step gathers one
+	// rect, not two; this check runs on every steady-state re-sort.
+	prev := &rects[order[0]]
+	pi := order[0]
+	for i := 1; i < len(order); i++ {
+		cur := &rects[order[i]]
+		ci := order[i]
+		if cur.MinX < prev.MinX ||
+			(cur.MinX == prev.MinX &&
+				(cur.MinY < prev.MinY || (cur.MinY == prev.MinY && ci < pi))) {
+			return false
+		}
+		prev, pi = cur, ci
+	}
+	return true
+}
+
+// quickSortOrder is a median-of-three quicksort with direct rect-key
+// comparisons (no sort.Interface indirection); the unique index tiebreak
+// in rectLess makes the order total, so equal-key pathologies cannot
+// arise. Recurses on the smaller partition to bound stack depth.
+func quickSortOrder(rects []Rect, order []int32) {
+	for len(order) > orderSortCutoff {
+		p := partitionOrder(rects, order)
+		if p < len(order)-p-1 {
+			quickSortOrder(rects, order[:p])
+			order = order[p+1:]
+		} else {
+			quickSortOrder(rects, order[p+1:])
+			order = order[:p]
+		}
+	}
+	insertionSortOrder(rects, order)
+}
+
+// partitionOrder partitions order around the median of its first, middle
+// and last keys, returning the pivot's final position.
+func partitionOrder(rects []Rect, order []int32) int {
+	n := len(order)
+	mid := n / 2
+	if rectLess(rects[order[mid]], rects[order[0]], int(order[mid]), int(order[0])) {
+		order[0], order[mid] = order[mid], order[0]
+	}
+	if rectLess(rects[order[n-1]], rects[order[0]], int(order[n-1]), int(order[0])) {
+		order[0], order[n-1] = order[n-1], order[0]
+	}
+	if rectLess(rects[order[n-1]], rects[order[mid]], int(order[n-1]), int(order[mid])) {
+		order[mid], order[n-1] = order[n-1], order[mid]
+	}
+	order[mid], order[n-1] = order[n-1], order[mid] // pivot to the end
+	pv := order[n-1]
+	pr := rects[pv]
+	i := 0
+	for k := 0; k < n-1; k++ {
+		if rectLess(rects[order[k]], pr, int(order[k]), int(pv)) {
+			order[i], order[k] = order[k], order[i]
+			i++
+		}
+	}
+	order[i], order[n-1] = order[n-1], order[i]
+	return i
 }
 
 // SweepVisitor receives each intersecting pair discovered by SweepPairs, in

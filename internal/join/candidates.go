@@ -1,0 +1,63 @@
+package join
+
+import "sort"
+
+// candidateLess orders candidates by (R, S) id — the deterministic output
+// order of every Sorted join variant.
+func candidateLess(a, b *Candidate) bool {
+	if a.R != b.R {
+		return a.R < b.R
+	}
+	return a.S < b.S
+}
+
+// SortCandidates orders candidates by (R, S) id in place.
+func SortCandidates(cands []Candidate) {
+	sort.Slice(cands, func(i, j int) bool {
+		return candidateLess(&cands[i], &cands[j])
+	})
+}
+
+// CandidateSorter is the reusable sort.Interface form of SortCandidates:
+// allocation-sensitive callers keep one per worker and pass its pointer to
+// sort.Sort, which boxes no closure and allocates nothing.
+type CandidateSorter struct{ Cands []Candidate }
+
+func (s *CandidateSorter) Len() int { return len(s.Cands) }
+func (s *CandidateSorter) Less(i, j int) bool {
+	return candidateLess(&s.Cands[i], &s.Cands[j])
+}
+func (s *CandidateSorter) Swap(i, j int) {
+	s.Cands[i], s.Cands[j] = s.Cands[j], s.Cands[i]
+}
+
+// MergeCandidateRuns k-way-merges runs — each already sorted by (R, S) id —
+// into dst and returns it. Together with per-worker sorting, this replaces
+// a full sort of the concatenated result: each worker sorts only its own
+// run (in parallel), and the single-threaded tail is a linear merge instead
+// of an O(n log n) sort.
+//
+// The merge consumes the runs: every run slice is advanced to empty. Ties
+// break toward the lower run index, so the result is deterministic even if
+// the same (R, S) pair appears in several runs. The scan over run heads is
+// linear in the number of runs, which is the worker count — small enough
+// that a loser tree would cost more than it saves. With sufficient dst
+// capacity the merge performs no allocation.
+func MergeCandidateRuns(dst []Candidate, runs [][]Candidate) []Candidate {
+	for {
+		best := -1
+		for i := range runs {
+			if len(runs[i]) == 0 {
+				continue
+			}
+			if best < 0 || candidateLess(&runs[i][0], &runs[best][0]) {
+				best = i
+			}
+		}
+		if best < 0 {
+			return dst
+		}
+		dst = append(dst, runs[best][0])
+		runs[best] = runs[best][1:]
+	}
+}

@@ -90,9 +90,21 @@ type Options struct {
 // pair. A Scratch is for use by a single goroutine (one per worker).
 type Scratch struct {
 	rIdx, sIdx []int32          // restricted entry sets
+	rMask      []uint64         // batch-intersect bitmask, R side / one-sided
+	sMask      []uint64         // batch-intersect bitmask, S side
 	hits       []geom.IndexPair // sweep output batch
 	cands      []Candidate      // leaf/leaf results of the last Expand
 	pairs      []NodePair       // directory results of the last Expand
+}
+
+// growMask returns m resized to hold a bitmask over n rects, reallocating
+// only when the capacity is insufficient (steady state: never).
+func growMask(m []uint64, n int) []uint64 {
+	w := geom.MaskWords(n)
+	if cap(m) < w {
+		return make([]uint64, w, w+8)
+	}
+	return m[:w]
 }
 
 // Expand computes the qualifying child pairs of the node pair (nr, ns) in
@@ -176,8 +188,10 @@ func (sc *Scratch) expandEqual(nr, ns *rtree.Node, opts Options, leaf bool) int 
 	}
 
 	// Technique (i): restrict both entry sets to the intersection of the
-	// node MBRs. Walking the cached order keeps the restricted sets in
-	// ascending MinX for free.
+	// node MBRs. The tests run through the branchless batch kernel over the
+	// SoA rect views (the predicate is bit-identical to Rect.Intersects, so
+	// the comparison count is unchanged); walking the cached order against
+	// the bitmask keeps the restricted sets in ascending MinX for free.
 	rIdx, sIdx := sc.rIdx[:0], sc.sIdx[:0]
 	if opts.DisableRestriction {
 		rIdx = append(rIdx, rOrder...)
@@ -185,13 +199,17 @@ func (sc *Scratch) expandEqual(nr, ns *rtree.Node, opts Options, leaf bool) int 
 	} else {
 		inter := rMBR.Intersection(sMBR)
 		comparisons += len(rRects) + len(sRects)
+		sc.rMask = growMask(sc.rMask, len(rRects))
+		sc.sMask = growMask(sc.sMask, len(sRects))
+		geom.IntersectBatch(inter, rRects, sc.rMask)
+		geom.IntersectBatch(inter, sRects, sc.sMask)
 		for _, i := range rOrder {
-			if rRects[i].Intersects(inter) {
+			if sc.rMask[i>>6]>>(uint(i)&63)&1 != 0 {
 				rIdx = append(rIdx, i)
 			}
 		}
 		for _, j := range sOrder {
-			if sRects[j].Intersects(inter) {
+			if sc.sMask[j>>6]>>(uint(j)&63)&1 != 0 {
 				sIdx = append(sIdx, j)
 			}
 		}
@@ -239,8 +257,12 @@ func (sc *Scratch) expandOneSided(deep, other *rtree.Node, opts Options, rDeeper
 		}
 		return comparisons
 	}
+	// Batch-test the whole node against the other subtree's MBR, then walk
+	// the cached order against the bitmask (sweep order, same predicate).
+	sc.rMask = growMask(sc.rMask, len(rects))
+	geom.IntersectBatch(otherMBR, rects, sc.rMask)
 	for _, i := range order {
-		if rects[i].Intersects(otherMBR) {
+		if sc.rMask[i>>6]>>(uint(i)&63)&1 != 0 {
 			sc.emitOneSided(deep, other, i, rDeeper)
 		}
 	}

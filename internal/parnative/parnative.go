@@ -12,7 +12,6 @@ package parnative
 import (
 	"fmt"
 	"runtime"
-	"sort"
 	"sync"
 	"time"
 
@@ -174,6 +173,12 @@ func Join(r, s *rtree.Tree, cfg Config) Result {
 				}
 				sched.complete(w, children)
 			}
+			if cfg.Sorted {
+				// Sort this worker's run while the others still sort
+				// theirs; the single-threaded tail is then only a k-way
+				// merge instead of a full sort of the concatenation.
+				join.SortCandidates(perWorker[w])
+			}
 			met.flushWorker(w, pairs, comps, candTotal, int64(falseHits[w]))
 		}()
 	}
@@ -189,11 +194,12 @@ func Join(r, s *rtree.Tree, cfg Config) Result {
 		res.FalseHits += fh
 	}
 	res.Candidates = make([]join.Candidate, 0, total)
-	for _, cands := range perWorker {
-		res.Candidates = append(res.Candidates, cands...)
-	}
 	if cfg.Sorted {
-		sortCandidates(res.Candidates)
+		res.Candidates = join.MergeCandidateRuns(res.Candidates, perWorker)
+	} else {
+		for _, cands := range perWorker {
+			res.Candidates = append(res.Candidates, cands...)
+		}
 	}
 	met.finish(&res)
 	return res
@@ -206,11 +212,5 @@ func wallSince(epoch time.Time) sim.Time {
 
 // sortCandidates orders candidates by (R, S) id for deterministic output.
 func sortCandidates(cands []join.Candidate) {
-	sort.Slice(cands, func(i, j int) bool {
-		a, b := cands[i], cands[j]
-		if a.R != b.R {
-			return a.R < b.R
-		}
-		return a.S < b.S
-	})
+	join.SortCandidates(cands)
 }

@@ -1,0 +1,27 @@
+package partjoin
+
+import (
+	"fmt"
+	"testing"
+
+	"spjoin/internal/tiger"
+)
+
+// BenchmarkJoinGrid sweeps the grid side on the seed workload — the
+// tuning data behind autoGrid's rects-per-tile constant.
+func BenchmarkJoinGrid(b *testing.B) {
+	streets, mixed := tiger.Maps(0.02, 42)
+	for _, g := range []int{0, 4, 6, 8, 11, 16, 24} {
+		b.Run(fmt.Sprintf("grid%d", g), func(b *testing.B) {
+			var j Joiner
+			defer j.Close()
+			cfg := Config{Grid: g}
+			j.Join(streets, mixed, cfg)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				j.Join(streets, mixed, cfg)
+			}
+		})
+	}
+}

@@ -1,0 +1,84 @@
+package partjoin
+
+import (
+	"testing"
+
+	"spjoin/internal/geom"
+	"spjoin/internal/rtree"
+)
+
+// fuzzJoinInput decodes a fuzz payload into two rect sets plus a grid shape
+// and worker count. Layout: [nr, grid, workers, sorted, rect bytes...] with
+// four bytes per rect (x, y, w, h on a small integer lattice, so touching
+// edges and exact tile-boundary hits are common).
+func fuzzJoinInput(data []byte) (r, s []rtree.Item, cfg Config) {
+	if len(data) < 4 {
+		return nil, nil, Config{Workers: 1}
+	}
+	nr := int(data[0]) % 24
+	cfg.Grid = int(data[1]) % 24
+	cfg.Workers = 1 + int(data[2])%4
+	cfg.Sorted = data[3]&1 != 0
+	data = data[4:]
+
+	var rects []geom.Rect
+	for len(data) >= 4 {
+		x := float64(data[0] % 32)
+		y := float64(data[1] % 32)
+		w := float64(data[2] % 8)
+		h := float64(data[3] % 8)
+		data = data[4:]
+		rects = append(rects, geom.NewRect(x, y, x+w, y+h))
+	}
+	if nr > len(rects) {
+		nr = len(rects)
+	}
+	return items(rects[:nr], 0), items(rects[nr:], 10000), cfg
+}
+
+// FuzzPartitionJoin checks the partition engine against the brute-force
+// oracle on arbitrary rect sets, grid shapes, and worker counts: the
+// candidate set must be exactly the intersecting pairs, with no pair
+// reported twice (toSet fails on duplicates). Each input also drives the
+// Joiner's reuse cache: an identical re-join (segment reuse), then a
+// mutation derived from the payload and a third join, which must track
+// the mutated inputs whichever fallback tier it lands in.
+func FuzzPartitionJoin(f *testing.F) {
+	f.Add([]byte{2, 4, 1, 0, 0, 0, 4, 4, 1, 1, 4, 4, 3, 3, 2, 2, 8, 8, 1, 1})
+	f.Add([]byte{0, 0, 0, 0})
+	f.Add([]byte{7, 1, 3, 1, 5, 5, 0, 0, 5, 5, 0, 0, 5, 5, 0, 0})
+	f.Add([]byte{3, 23, 2, 1, 0, 0, 7, 7, 8, 8, 7, 7, 16, 16, 7, 7, 24, 24, 7, 7})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, s, cfg := fuzzJoinInput(data)
+		var j Joiner
+		defer j.Close()
+		check := func(stage string) {
+			t.Helper()
+			got := toSet(t, j.Join(r, s, cfg).Candidates)
+			want := bruteSet(r, s)
+			if len(got) != len(want) {
+				t.Fatalf("cfg %+v %s: %d pairs, want %d", cfg, stage, len(got), len(want))
+			}
+			for k := range want {
+				if !got[k] {
+					t.Fatalf("cfg %+v %s: missing pair %v", cfg, stage, k)
+				}
+			}
+		}
+		check("cold")
+		check("rejoin")
+		if len(r) > 0 && len(data) >= 4 {
+			i := int(data[2]) % len(r)
+			switch data[3] % 3 {
+			case 0: // grow within the world — may stay in-tile or cross
+				r[i].Rect.MaxX += float64(data[0] % 8)
+				r[i].Rect.MaxY += float64(data[1] % 8)
+			case 1: // move left — typically breaks the sweep order
+				r[i].Rect.MinX = -float64(data[0] % 16)
+			case 2: // change identity only
+				r[i].ID += 777
+			}
+			check("mutated")
+		}
+	})
+}

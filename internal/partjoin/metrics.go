@@ -1,0 +1,63 @@
+package partjoin
+
+import (
+	"fmt"
+	"time"
+
+	"spjoin/internal/metrics"
+)
+
+// partMetrics holds the pre-resolved instruments of one instrumented
+// partition join. Workers accumulate their counts in the workerState and
+// the owner flushes once after the join phase, so the tile loop never
+// touches shared counters.
+type partMetrics struct {
+	partitions  *metrics.Counter
+	duplicates  *metrics.Counter
+	comparisons *metrics.Counter
+	candidates  *metrics.Counter
+	workerPairs []*metrics.Counter
+
+	gridTiles *metrics.Gauge
+	wallMS    *metrics.Gauge
+	start     time.Time
+}
+
+// newPartMetrics resolves all instruments under the "partjoin." prefix.
+func newPartMetrics(reg *metrics.Registry, workers int) *partMetrics {
+	m := &partMetrics{
+		partitions:  reg.Counter("partjoin.partitions"),
+		duplicates:  reg.Counter("partjoin.duplicates_suppressed"),
+		comparisons: reg.Counter("partjoin.comparisons"),
+		candidates:  reg.Counter("partjoin.candidates"),
+		gridTiles:   reg.Gauge("partjoin.grid_tiles"),
+		wallMS:      reg.Gauge("partjoin.wall_ms"),
+		start:       time.Now(),
+	}
+	for i := 0; i < workers; i++ {
+		m.workerPairs = append(m.workerPairs,
+			reg.Counter(fmt.Sprintf("partjoin.worker.%d.pairs", i)))
+	}
+	return m
+}
+
+// flushWorker publishes one worker's accumulated counts.
+func (m *partMetrics) flushWorker(w int, pairs, dups, comparisons, partitions int64) {
+	if m == nil {
+		return
+	}
+	m.workerPairs[w].Add(pairs)
+	m.candidates.Add(pairs)
+	m.duplicates.Add(dups)
+	m.comparisons.Add(comparisons)
+	m.partitions.Add(partitions)
+}
+
+// finish publishes the end-of-run figures.
+func (m *partMetrics) finish(res *Result) {
+	if m == nil {
+		return
+	}
+	m.gridTiles.Set(float64(res.GX * res.GY))
+	m.wallMS.Set(float64(time.Since(m.start)) / float64(time.Millisecond))
+}

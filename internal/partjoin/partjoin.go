@@ -1,0 +1,991 @@
+// Package partjoin implements a partition-based parallel in-memory spatial
+// join: instead of traversing two R*-trees in tandem (package parnative),
+// both rectangle sets are bucketed onto a uniform grid and every tile is
+// joined independently with the zero-allocation SoA plane-sweep.
+//
+// The design follows the in-memory results of Tsitsigkos & Mamoulis
+// ("Parallel In-Memory Evaluation of Spatial Joins", arXiv:1908.11740):
+//
+//   - Each side is first sorted globally by (MinX, MinY, index) — the
+//     plane-sweep order. The sort is adaptive: repeated joins reuse the
+//     previous order, and the counting pass verifies it in flight (a
+//     stale order triggers a sort and recount).
+//   - Assignment replicates each rectangle into every tile its MBR
+//     overlaps, via a parallel two-pass counting sort (count, prefix-sum,
+//     scatter) into one flat index array — no per-item allocation. The
+//     scatter walks the sweep order, so every tile segment comes out
+//     already sweep-sorted and the per-tile joins never sort.
+//   - Each tile join runs geom.SweepPairsSoA directly on its two index
+//     segments; tiles are scheduled largest-first over a parnative.Pool so
+//     stragglers start early.
+//   - A pair intersecting in several tiles is reported exactly once, by
+//     the reference-point method: only the tile containing the top-left
+//     corner of the intersection of the two MBRs reports it.
+//
+// A Joiner is reusable, and aggressively so: after a warm-up run the whole
+// join performs zero heap allocations, and a re-join over unchanged inputs
+// skips the sort and the bucketing entirely — a sequential compare pass
+// proves the cached tile segments still exact, so only the sweeps and the
+// result assembly run. Mutated inputs degrade gracefully: in-tile changes
+// keep the segments, cross-tile changes recount, reorderings re-sort.
+package partjoin
+
+import (
+	"math"
+	"runtime"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"spjoin/internal/geom"
+	"spjoin/internal/join"
+	"spjoin/internal/metrics"
+	"spjoin/internal/parnative"
+	"spjoin/internal/rtree"
+	"spjoin/internal/sim"
+	"spjoin/internal/timeline"
+)
+
+// Config controls a partition-based join.
+type Config struct {
+	// Workers is the parallelism degree (default: GOMAXPROCS).
+	Workers int
+	// Grid is the number of tiles per axis (Grid×Grid tiles over the data
+	// MBR). 0 picks a size proportional to sqrt of the input cardinality.
+	Grid int
+	// Sorted returns the candidates sorted by (R, S) id so results are
+	// deterministic regardless of scheduling.
+	Sorted bool
+	// Metrics, when set, receives the run's counters under the "partjoin."
+	// prefix (partitions joined, duplicates suppressed, per-worker pairs).
+	Metrics *metrics.Registry
+	// Timeline, when set, records one wall-clock cpu-sweep span per tile
+	// join. Size it with timeline.NewWallRecorder over the resolved worker
+	// count; each worker writes only its own track.
+	Timeline *timeline.Recorder
+}
+
+// Result of a partition-based join.
+type Result struct {
+	// Candidates is the filter-step output — exactly the intersecting
+	// (R item, S item) pairs, each reported once. The slice is owned by
+	// the Joiner and valid until its next Join call.
+	Candidates []join.Candidate
+	// GX, GY are the grid dimensions used.
+	GX, GY int
+	// Partitions is the number of non-empty tiles joined (tiles holding
+	// rectangles of both sides).
+	Partitions int
+	// Duplicates is the number of cross-tile duplicate pairs suppressed by
+	// the reference-point test.
+	Duplicates int
+	// Comparisons is the number of rectangle pairs tested across all tiles.
+	Comparisons int
+	// Workers is the parallelism degree used; PerWorker counts the
+	// candidate pairs each worker emitted (view owned by the Joiner).
+	Workers   int
+	PerWorker []int
+}
+
+// Join buckets the two rectangle sets onto a uniform grid and returns all
+// intersecting pairs. It is the one-shot form of Joiner.Join; callers with
+// repeated joins hold a Joiner to amortize its buffers and worker pool.
+func Join(r, s []rtree.Item, cfg Config) Result {
+	var j Joiner
+	defer j.Close()
+	res := j.Join(r, s, cfg)
+	// The one-shot Joiner dies with this call; detach the result views.
+	res.Candidates = append([]join.Candidate(nil), res.Candidates...)
+	res.PerWorker = append([]int(nil), res.PerWorker...)
+	return res
+}
+
+// phase identifiers: the Joiner runs its parallel phases over one
+// parnative.Pool, dispatching on j.phase in RunWorker.
+const (
+	phaseMirror      = iota // copy items into SoA mirrors, union chunk MBRs
+	phaseMirrorCheck        // compare items against mirrors, copy changes
+	phaseSort               // sort both sides into global sweep order
+	phaseCount              // count tile occupancy per worker chunk
+	phaseScatter            // scatter rect indices into tile segments
+	phaseVerify             // re-verify sweep order and tile codes in place
+	phaseJoin               // sweep the tiles, largest first
+)
+
+// batchMax is the small-side threshold below which a tile skips the
+// sort+sweep and tests the few rects of one side against the gathered
+// other side with the branchless batch-intersect kernel.
+const batchMax = 8
+
+// gridSide holds the counting-sort state of one input side.
+type gridSide struct {
+	counts   []int32 // workers×tiles count matrix, then scatter cursors
+	starts   []int32 // tiles+1 segment boundaries into idx
+	idx      []int32 // rect indices grouped by tile
+	disorder []uint8 // per-worker flag: chunk out of order or codes stale
+}
+
+// clearFlags resets the disorder flags ahead of a verification pass.
+func (g *gridSide) clearFlags(workers int) {
+	if cap(g.disorder) < workers {
+		g.disorder = make([]uint8, workers)
+	}
+	g.disorder = g.disorder[:workers]
+	clear(g.disorder)
+}
+
+// unsorted reports whether any worker's count pass found its chunk out of
+// sweep order (flags set by bucketChunk, cleared by reset).
+func (g *gridSide) unsorted(workers int) bool {
+	for _, d := range g.disorder[:workers] {
+		if d != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// workerState is the per-worker scratch and local counters; counters are
+// flushed once after the join phase so the hot loop stays uncontended.
+type workerState struct {
+	cands      []join.Candidate
+	hits       []geom.IndexPair
+	gather     []geom.Rect
+	mask       []uint64
+	candSorter join.CandidateSorter
+
+	pairs, dups, comps, parts int64
+}
+
+// Joiner holds the reusable state of the partition-based join: SoA mirrors
+// of the inputs, the counting-sort buckets, per-worker scratch, and a
+// persistent parnative.Pool. A Joiner is for use by a single goroutine;
+// Close releases the pool's goroutines.
+type Joiner struct {
+	pool     *parnative.Pool
+	workers  int
+	phase    int32
+	sortRuns bool // workers sort their runs before leaving phaseJoin
+
+	rItems, sItems []rtree.Item
+	rRects, sRects []geom.Rect
+	rIDs, sIDs     []rtree.EntryID
+	rOrd, sOrd     []int32 // global sweep orders, persisted across joins
+	rTile, sTile   []int64 // per-sweep-position packed tile ranges
+
+	gx, gy     int
+	minX, minY float64
+	invW, invH float64
+
+	rPart, sPart gridSide
+
+	// Fast-path validity: when true, the tile segments (idx/starts), the
+	// cached tile codes and the grid geometry above all describe the
+	// mirrors as of the last full bucketing, so a join whose inputs still
+	// match the mirrors can skip straight to the sweep phase.
+	cacheOK                bool
+	cGX, cRLen, cSLen, cWk int
+	mdirty                 []uint8 // per-worker flag: mirror check saw a change
+
+	bounds []geom.Rect // per-worker chunk MBR unions (phaseMirror)
+
+	tiles  []int32   // non-empty tile ids, largest-first
+	cost   []int64   // matching estimated cost per tiles entry
+	order  tileOrder // reusable sorter over tiles/cost
+	cursor atomic.Int64
+
+	ws   []workerState
+	runs [][]join.Candidate // per-worker run views for the sorted merge
+
+	out       []join.Candidate
+	perWorker []int
+
+	met   *partMetrics
+	rec   *timeline.Recorder
+	epoch time.Time
+}
+
+// Close releases the Joiner's worker pool. The Joiner may be reused after
+// Close (a new pool is created on demand).
+func (j *Joiner) Close() {
+	if j.pool != nil {
+		j.pool.Close()
+		j.pool = nil
+	}
+}
+
+// Join computes all intersecting pairs between r and s. Rectangles must be
+// finite (NaN/Inf coordinates land in an edge tile and are then subject to
+// the comparison semantics of geom.Rect.Intersects, which never matches
+// NaN). The returned Candidates and PerWorker slices are views owned by
+// the Joiner, valid until the next Join call.
+func (j *Joiner) Join(r, s []rtree.Item, cfg Config) Result {
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	res := Result{Workers: workers}
+	if len(r) == 0 || len(s) == 0 {
+		j.perWorker = growInts(j.perWorker, workers)
+		res.PerWorker = j.perWorker
+		return res
+	}
+	j.sortRuns = cfg.Sorted
+	if j.pool == nil || j.workers != workers {
+		if j.pool != nil {
+			j.pool.Close()
+		}
+		j.pool = parnative.NewPool(workers)
+		j.workers = workers
+	}
+	j.rItems, j.sItems = r, s
+	j.met = nil
+	if cfg.Metrics != nil {
+		j.met = newPartMetrics(cfg.Metrics, workers)
+	}
+	j.rec = cfg.Timeline
+	if j.rec != nil {
+		if got := len(j.rec.Procs()); got != workers {
+			panic("partjoin: Timeline track count does not match Workers (size with NewWallRecorder)")
+		}
+		j.epoch = time.Now()
+	}
+
+	// Phase 1: bring the SoA mirrors (what the sweep kernel consumes) in
+	// sync with the items, as cheaply as the situation allows.
+	//
+	// The tile segments (idx/starts), the cached tile codes and the grid
+	// geometry depend only on the mirrors, the sweep orders and the
+	// cardinalities — so when a cache from a previous full bucketing is
+	// on hand, a sequential compare-and-copy pass settles how much of it
+	// survives:
+	//
+	//   - nothing changed: the segments are still exact; skip straight to
+	//     the sweep phase. The steady-state join is then one sequential
+	//     scan plus the sweeps — no sort, no bucketing.
+	//   - some items changed: the mirrors were patched in place; a verify
+	//     pass re-derives each rect's tile code and checks the sweep
+	//     order. If every code matches under the cached grid geometry the
+	//     segments remain exact (assignment depends only on the codes)
+	//     and the sweep proceeds; otherwise fall through to a full
+	//     bucketing. The cached geometry stays frozen while the codes
+	//     hold — rects drifting outside the old data MBR clamp into the
+	//     border tiles, which the reference-point dedup handles exactly.
+	//
+	// The full (cold) path mirrors unconditionally, unions the data MBR,
+	// derives the grid and runs the two-pass counting sort below.
+	j.rRects = growRects(j.rRects, len(r))
+	j.sRects = growRects(j.sRects, len(s))
+	j.rIDs = growIDs(j.rIDs, len(r))
+	j.sIDs = growIDs(j.sIDs, len(s))
+	g := cfg.Grid
+	if g <= 0 {
+		g = autoGrid(len(r)+len(s), workers)
+	}
+	fast := j.cacheOK && j.cGX == g && j.cWk == workers &&
+		j.cRLen == len(r) && j.cSLen == len(s)
+	if fast {
+		j.mdirty = growFlags(j.mdirty, workers)
+		j.runPhase(phaseMirrorCheck)
+		changed := false
+		for _, d := range j.mdirty[:workers] {
+			if d != 0 {
+				changed = true
+				break
+			}
+		}
+		if changed {
+			j.rPart.clearFlags(workers)
+			j.sPart.clearFlags(workers)
+			j.runPhase(phaseVerify)
+			fast = !j.rPart.unsorted(workers) && !j.sPart.unsorted(workers)
+		}
+	}
+	if !fast {
+		j.bounds = growRects(j.bounds, workers)
+		j.runPhase(phaseMirror)
+		mbr := geom.EmptyRect()
+		for _, b := range j.bounds[:workers] {
+			mbr = mbr.Union(b)
+		}
+
+		// Global sweep orders. The persisted order arrays carry the
+		// previous join's permutation; the count pass verifies it while
+		// counting, so a stale cache over still-sorted inputs pays no
+		// sort.
+		j.rOrd = prepOrder(j.rOrd, len(r))
+		j.sOrd = prepOrder(j.sOrd, len(s))
+
+		// Grid geometry. Degenerate extents (all rects on one line)
+		// collapse that axis to a single stripe via invW/invH = 0.
+		j.gx, j.gy = g, g
+		j.minX, j.minY = mbr.MinX, mbr.MinY
+		j.invW = safeInv(mbr.MaxX-mbr.MinX, g)
+		j.invH = safeInv(mbr.MaxY-mbr.MinY, g)
+		tiles := j.gx * j.gy
+
+		// Two-pass counting sort of both sides into tile segments. The
+		// count pass caches each rect's tile range; the scatter pass
+		// walks the sweep order, so tile segments come out sweep-sorted.
+		j.rTile = growCodes(j.rTile, len(r))
+		j.sTile = growCodes(j.sTile, len(s))
+		j.rPart.reset(workers, tiles)
+		j.sPart.reset(workers, tiles)
+		j.runPhase(phaseCount)
+		if j.rPart.unsorted(workers) || j.sPart.unsorted(workers) {
+			// An order array is stale (first join, or the inputs
+			// changed): sort the flagged sides and recount. The
+			// abandoned first count is the cold-path price for the
+			// steady state's free check.
+			j.runPhase(phaseSort)
+			j.rPart.reset(workers, tiles)
+			j.sPart.reset(workers, tiles)
+			j.runPhase(phaseCount)
+		}
+		j.rPart.prefixSum(workers, tiles)
+		j.sPart.prefixSum(workers, tiles)
+		j.runPhase(phaseScatter)
+		j.cacheOK = true
+		j.cGX, j.cWk = g, workers
+		j.cRLen, j.cSLen = len(r), len(s)
+	}
+	tiles := j.gx * j.gy
+
+	// Tile order: non-empty tiles, largest estimated sweep first, so the
+	// big tiles cannot become stragglers at the end of the schedule.
+	j.tiles = j.tiles[:0]
+	j.cost = j.cost[:0]
+	for t := 0; t < tiles; t++ {
+		rn := int64(j.rPart.starts[t+1] - j.rPart.starts[t])
+		sn := int64(j.sPart.starts[t+1] - j.sPart.starts[t])
+		if rn == 0 || sn == 0 {
+			continue
+		}
+		j.tiles = append(j.tiles, int32(t))
+		j.cost = append(j.cost, rn*sn+rn+sn)
+	}
+	j.order.j = j
+	sort.Sort(&j.order)
+
+	// Phase 5: join the tiles over the pool, workers pulling from the
+	// shared cursor.
+	j.ws = growStates(j.ws, workers)
+	for w := range j.ws[:workers] {
+		ws := &j.ws[w]
+		ws.cands = ws.cands[:0]
+		ws.pairs, ws.dups, ws.comps, ws.parts = 0, 0, 0, 0
+	}
+	j.cursor.Store(0)
+	j.runPhase(phaseJoin)
+
+	// Assemble. With Sorted the workers already left their runs sorted
+	// (they sort before leaving the join phase), so only a k-way merge
+	// remains on this goroutine.
+	j.perWorker = growInts(j.perWorker, workers)
+	total := 0
+	for w := range j.ws[:workers] {
+		ws := &j.ws[w]
+		total += len(ws.cands)
+		j.perWorker[w] = int(ws.pairs)
+		res.Duplicates += int(ws.dups)
+		res.Comparisons += int(ws.comps)
+		res.Partitions += int(ws.parts)
+		j.met.flushWorker(w, ws.pairs, ws.dups, ws.comps, ws.parts)
+	}
+	if cap(j.out) < total {
+		j.out = make([]join.Candidate, 0, total+total/4)
+	}
+	j.out = j.out[:0]
+	if cfg.Sorted {
+		j.runs = growRuns(j.runs, workers)
+		for w := range j.ws[:workers] {
+			j.runs[w] = j.ws[w].cands
+		}
+		j.out = join.MergeCandidateRuns(j.out, j.runs[:workers])
+	} else {
+		for w := range j.ws[:workers] {
+			j.out = append(j.out, j.ws[w].cands...)
+		}
+	}
+	res.Candidates = j.out
+	res.GX, res.GY = j.gx, j.gy
+	res.PerWorker = j.perWorker
+	j.met.finish(&res)
+	return res
+}
+
+// runPhase executes one parallel phase over the pool.
+func (j *Joiner) runPhase(phase int32) {
+	j.phase = phase
+	j.pool.Run(j)
+}
+
+// RunWorker implements parnative.PoolTask: dispatch the current phase.
+func (j *Joiner) RunWorker(w int) {
+	switch j.phase {
+	case phaseMirror:
+		j.mirrorChunk(w)
+	case phaseSort:
+		j.sortSides(w)
+	case phaseCount:
+		j.bucketChunk(w, false)
+	case phaseScatter:
+		j.bucketChunk(w, true)
+	case phaseMirrorCheck:
+		j.mirrorCheckChunk(w)
+	case phaseVerify:
+		j.verifyChunk(w)
+	case phaseJoin:
+		j.joinTiles(w)
+	}
+}
+
+// chunkRange splits n into j.workers contiguous chunks.
+func (j *Joiner) chunkRange(n, w int) (int, int) {
+	return n * w / j.workers, n * (w + 1) / j.workers
+}
+
+// mirrorChunk copies this worker's item chunks into the SoA mirrors and
+// unions their MBR. The union is open-coded comparisons rather than
+// Rect.Union — math.Min/Max's NaN handling costs ~2× on this hot pass,
+// and a NaN coordinate contributing nothing to the bounds is fine (the
+// rect still lands in a border tile via the clamped tileOf).
+func (j *Joiner) mirrorChunk(w int) {
+	mbr := geom.EmptyRect()
+	lo, hi := j.chunkRange(len(j.rItems), w)
+	for i := lo; i < hi; i++ {
+		it := &j.rItems[i]
+		j.rRects[i] = it.Rect
+		j.rIDs[i] = it.ID
+		mbr = unionFast(mbr, it.Rect)
+	}
+	lo, hi = j.chunkRange(len(j.sItems), w)
+	for i := lo; i < hi; i++ {
+		it := &j.sItems[i]
+		j.sRects[i] = it.Rect
+		j.sIDs[i] = it.ID
+		mbr = unionFast(mbr, it.Rect)
+	}
+	j.bounds[w] = mbr
+}
+
+func unionFast(m geom.Rect, r geom.Rect) geom.Rect {
+	if r.MinX < m.MinX {
+		m.MinX = r.MinX
+	}
+	if r.MinY < m.MinY {
+		m.MinY = r.MinY
+	}
+	if r.MaxX > m.MaxX {
+		m.MaxX = r.MaxX
+	}
+	if r.MaxY > m.MaxY {
+		m.MaxY = r.MaxY
+	}
+	return m
+}
+
+// sortSides brings the out-of-order sides (per the count pass's disorder
+// flags) into sweep order. With two or more workers the sides sort
+// concurrently (the other workers idle — the phase is bounded by the
+// larger side either way).
+func (j *Joiner) sortSides(w int) {
+	doR := j.rPart.unsorted(j.workers)
+	doS := j.sPart.unsorted(j.workers)
+	if j.workers >= 2 {
+		if w == 0 && doR {
+			geom.SortOrderByMinX(j.rRects[:len(j.rItems)], j.rOrd)
+		}
+		if w == 1 && doS {
+			geom.SortOrderByMinX(j.sRects[:len(j.sItems)], j.sOrd)
+		}
+		return
+	}
+	if doR {
+		geom.SortOrderByMinX(j.rRects[:len(j.rItems)], j.rOrd)
+	}
+	if doS {
+		geom.SortOrderByMinX(j.sRects[:len(j.sItems)], j.sOrd)
+	}
+}
+
+// bucketChunk is one pass of the counting sort over this worker's chunks
+// of both sides, walking each side's global sweep order: scatter=false
+// counts tile occupancy (caching each rect's tile range as a packed
+// code), scatter=true writes the rect indices into the tile segments
+// reserved by the prefix sum. The per-(worker, tile) cursor cells make
+// the scatter race-free, and because chunks cover ascending sweep
+// positions and the prefix sum is worker-major, every tile segment comes
+// out sorted in sweep order — SweepPairsSoA's precondition — without any
+// per-tile sort.
+func (j *Joiner) bucketChunk(w int, scatter bool) {
+	tiles := j.gx * j.gy
+	sides := [2]struct {
+		part  *gridSide
+		rects []geom.Rect
+		ord   []int32
+		codes []int64
+	}{
+		{&j.rPart, j.rRects, j.rOrd, j.rTile},
+		{&j.sPart, j.sRects, j.sOrd, j.sTile},
+	}
+	for _, side := range sides {
+		cur := side.part.counts[w*tiles : (w+1)*tiles]
+		lo, hi := j.chunkRange(len(side.ord), w)
+		if !scatter {
+			if lo == hi {
+				continue
+			}
+			// The count pass doubles as the sweep-order verification: it
+			// already gathers every rect in sweep order, so carrying the
+			// previous rect makes the sortedness check free and spares a
+			// dedicated scan phase in the steady state. Position lo with
+			// lo == 0 self-compares, which trivially passes (the index
+			// tiebreak is strict). On the first violation the chunk's
+			// counts are abandoned — Join re-sorts and recounts.
+			pi := side.ord[lo]
+			if lo > 0 {
+				pi = side.ord[lo-1]
+			}
+			prev := &side.rects[pi]
+			for pos := lo; pos < hi; pos++ {
+				ci := side.ord[pos]
+				r := &side.rects[ci]
+				if r.MinX < prev.MinX ||
+					(r.MinX == prev.MinX &&
+						(r.MinY < prev.MinY || (r.MinY == prev.MinY && ci < pi))) {
+					side.part.disorder[w] = 1
+					break
+				}
+				prev, pi = r, ci
+				x0, y0 := j.tileOf(r.MinX, r.MinY)
+				x1, y1 := j.tileOf(r.MaxX, r.MaxY)
+				side.codes[pos] = packTiles(x0, y0, x1, y1)
+				if x0 == x1 && y0 == y1 { // the common single-tile rect
+					cur[y0*j.gx+x0]++
+					continue
+				}
+				for ty := y0; ty <= y1; ty++ {
+					base := ty * j.gx
+					for tx := x0; tx <= x1; tx++ {
+						cur[base+tx]++
+					}
+				}
+			}
+			continue
+		}
+		for pos := lo; pos < hi; pos++ {
+			i := side.ord[pos]
+			x0, y0, x1, y1 := unpackTiles(side.codes[pos])
+			if x0 == x1 && y0 == y1 {
+				c := y0*j.gx + x0
+				side.part.idx[cur[c]] = i
+				cur[c]++
+				continue
+			}
+			for ty := y0; ty <= y1; ty++ {
+				base := ty * j.gx
+				for tx := x0; tx <= x1; tx++ {
+					side.part.idx[cur[base+tx]] = i
+					cur[base+tx]++
+				}
+			}
+		}
+	}
+}
+
+// mirrorCheckChunk is the steady-state fast path's first half: a
+// sequential compare of this worker's item chunks against the SoA
+// mirrors, patching any divergence in place and flagging that something
+// changed. On unchanged inputs this pass is the only per-item work before
+// the sweeps.
+func (j *Joiner) mirrorCheckChunk(w int) {
+	dirty := uint8(0)
+	lo, hi := j.chunkRange(len(j.rItems), w)
+	for i := lo; i < hi; i++ {
+		it := &j.rItems[i]
+		if j.rRects[i] != it.Rect || j.rIDs[i] != it.ID {
+			j.rRects[i] = it.Rect
+			j.rIDs[i] = it.ID
+			dirty = 1
+		}
+	}
+	lo, hi = j.chunkRange(len(j.sItems), w)
+	for i := lo; i < hi; i++ {
+		it := &j.sItems[i]
+		if j.sRects[i] != it.Rect || j.sIDs[i] != it.ID {
+			j.sRects[i] = it.Rect
+			j.sIDs[i] = it.ID
+			dirty = 1
+		}
+	}
+	j.mdirty[w] = dirty
+}
+
+// verifyChunk decides whether the cached tile segments survive an input
+// mutation: walking this worker's chunk of each sweep order, it checks the
+// order still holds and that every rect's tile range (under the frozen
+// grid geometry) still packs to its cached code. Assignment depends only
+// on the codes, so all-match means idx/starts are still exact and no
+// re-bucketing is needed; the first violation flags the side's disorder
+// slot and Join falls back to the full counting sort.
+func (j *Joiner) verifyChunk(w int) {
+	sides := [2]struct {
+		part  *gridSide
+		rects []geom.Rect
+		ord   []int32
+		codes []int64
+	}{
+		{&j.rPart, j.rRects, j.rOrd, j.rTile},
+		{&j.sPart, j.sRects, j.sOrd, j.sTile},
+	}
+	for _, side := range sides {
+		lo, hi := j.chunkRange(len(side.ord), w)
+		if lo == hi {
+			continue
+		}
+		pi := side.ord[lo]
+		if lo > 0 {
+			pi = side.ord[lo-1]
+		}
+		prev := &side.rects[pi]
+		for pos := lo; pos < hi; pos++ {
+			ci := side.ord[pos]
+			r := &side.rects[ci]
+			if r.MinX < prev.MinX ||
+				(r.MinX == prev.MinX &&
+					(r.MinY < prev.MinY || (r.MinY == prev.MinY && ci < pi))) {
+				side.part.disorder[w] = 1
+				break
+			}
+			prev, pi = r, ci
+			x0, y0 := j.tileOf(r.MinX, r.MinY)
+			x1, y1 := j.tileOf(r.MaxX, r.MaxY)
+			if packTiles(x0, y0, x1, y1) != side.codes[pos] {
+				side.part.disorder[w] = 1
+				break
+			}
+		}
+	}
+}
+
+// packTiles/unpackTiles encode a rect's inclusive tile range in one int64
+// (10 bits per coordinate fits the 1024 grid cap), so the scatter pass
+// reuses the count pass's tileOf work.
+func packTiles(x0, y0, x1, y1 int) int64 {
+	return int64(x0) | int64(y0)<<10 | int64(x1)<<20 | int64(y1)<<30
+}
+
+func unpackTiles(c int64) (x0, y0, x1, y1 int) {
+	return int(c & 1023), int(c >> 10 & 1023), int(c >> 20 & 1023), int(c >> 30 & 1023)
+}
+
+// joinTiles pulls tiles off the shared cursor (largest first) and joins
+// each; with Sorted pending the worker sorts its run before returning so
+// the merge on the owner goroutine is all that remains single-threaded.
+func (j *Joiner) joinTiles(w int) {
+	ws := &j.ws[w]
+	for {
+		k := int(j.cursor.Add(1)) - 1
+		if k >= len(j.tiles) {
+			break
+		}
+		t := int(j.tiles[k])
+		var t0 sim.Time
+		if j.rec != nil {
+			t0 = wallSince(j.epoch)
+		}
+		before := len(ws.cands)
+		comps := j.joinTile(ws, t)
+		ws.parts++
+		if j.rec != nil {
+			j.rec.Complete(w, t0, wallSince(j.epoch), timeline.KindCPUSweep, sim.SpanArgs{
+				A: int64(t % j.gx), B: int64(t / j.gx),
+				C: int64(len(ws.cands) - before), D: int64(comps),
+			})
+		}
+	}
+	ws.pairs = int64(len(ws.cands))
+	if j.sortRuns {
+		ws.candSorter.Cands = ws.cands
+		sort.Sort(&ws.candSorter)
+		ws.candSorter.Cands = nil
+	}
+}
+
+// joinTile joins one tile's two index lists and appends the surviving
+// pairs to ws.cands, returning the comparison count.
+func (j *Joiner) joinTile(ws *workerState, t int) int {
+	rSeg := j.rPart.idx[j.rPart.starts[t]:j.rPart.starts[t+1]]
+	sSeg := j.sPart.idx[j.sPart.starts[t]:j.sPart.starts[t+1]]
+	tx, ty := t%j.gx, t/j.gx
+
+	// Tiny-side tiles: gathering the larger side once and batch-testing
+	// each small-side rect against it beats the sweep's bookkeeping.
+	if len(rSeg) <= batchMax || len(sSeg) <= batchMax {
+		return j.joinTileBatch(ws, rSeg, sSeg, tx, ty)
+	}
+
+	// Segments are already in sweep order (see bucketChunk).
+	var comps int
+	ws.hits, comps = geom.SweepPairsSoA(j.rRects, j.sRects, rSeg, sSeg, ws.hits[:0])
+	ws.comps += int64(comps)
+	for _, h := range ws.hits {
+		j.emit(ws, h.R, h.S, tx, ty)
+	}
+	return comps
+}
+
+// joinTileBatch is the small-tile path: every rect of the smaller side is
+// batch-tested against the gathered rects of the larger side with the
+// branchless bitmask kernel.
+func (j *Joiner) joinTileBatch(ws *workerState, rSeg, sSeg []int32, tx, ty int) int {
+	small, large := rSeg, sSeg
+	rSmall := true
+	if len(sSeg) < len(rSeg) {
+		small, large = sSeg, rSeg
+		rSmall = false
+	}
+	smallRects, largeRects := j.rRects, j.sRects
+	if !rSmall {
+		smallRects, largeRects = j.sRects, j.rRects
+	}
+	if cap(ws.gather) < len(large) {
+		ws.gather = make([]geom.Rect, len(large), len(large)*2)
+	}
+	ws.gather = ws.gather[:len(large)]
+	for i, li := range large {
+		ws.gather[i] = largeRects[li]
+	}
+	w := geom.MaskWords(len(large))
+	if cap(ws.mask) < w {
+		ws.mask = make([]uint64, w, w*2)
+	}
+	ws.mask = ws.mask[:w]
+	comps := 0
+	for _, si := range small {
+		geom.IntersectBatch(smallRects[si], ws.gather, ws.mask)
+		comps += len(large)
+		for i, li := range large {
+			if ws.mask[i>>6]>>(uint(i)&63)&1 != 0 {
+				if rSmall {
+					j.emit(ws, si, li, tx, ty)
+				} else {
+					j.emit(ws, li, si, tx, ty)
+				}
+			}
+		}
+	}
+	ws.comps += int64(comps)
+	return comps
+}
+
+// emit reports the intersecting pair (rIdx, sIdx) iff the current tile
+// owns it: the reference-point method keeps the pair only in the tile
+// containing the top-left corner of the intersection of the two MBRs.
+// That corner lies inside both rects, hence inside one of the tiles both
+// were assigned to, so every pair is reported exactly once.
+func (j *Joiner) emit(ws *workerState, rIdx, sIdx int32, tx, ty int) {
+	a := &j.rRects[rIdx]
+	b := &j.sRects[sIdx]
+	px := a.MinX // left edge of the intersection
+	if b.MinX > px {
+		px = b.MinX
+	}
+	py := a.MaxY // top edge of the intersection
+	if b.MaxY < py {
+		py = b.MaxY
+	}
+	ox, oy := j.tileOf(px, py)
+	if ox != tx || oy != ty {
+		ws.dups++
+		return
+	}
+	ws.cands = append(ws.cands, join.Candidate{
+		R: j.rIDs[rIdx], S: j.sIDs[sIdx], RRect: *a, SRect: *b,
+	})
+}
+
+// tileOf maps a point to its tile coordinates. The mapping is monotone in
+// each coordinate and shared by rect assignment and the reference-point
+// test, which is what makes the dedup exact: clamping sends the data MBR's
+// max edge (and any stray non-finite value) into the border tiles.
+func (j *Joiner) tileOf(x, y float64) (int, int) {
+	return clampTile(int((x-j.minX)*j.invW), j.gx), clampTile(int((y-j.minY)*j.invH), j.gy)
+}
+
+func clampTile(v, g int) int {
+	if v < 0 {
+		return 0
+	}
+	if v >= g {
+		return g - 1
+	}
+	return v
+}
+
+// safeInv returns g/width, the tiles-per-unit factor, or 0 when the axis
+// has no extent (then every rect lands in stripe 0).
+func safeInv(width float64, g int) float64 {
+	if width > 0 {
+		return float64(g) / width
+	}
+	return 0
+}
+
+// autoGrid picks the default grid side: about 160 rects per tile keeps the
+// per-tile sweeps in their sweet spot — finer grids buy little pruning but
+// pay linearly in bucketing and duplicate suppression (see BenchmarkJoinGrid
+// for the sweep behind the constant) — with a floor so every worker sees
+// several tiles.
+func autoGrid(n, workers int) int {
+	g := int(math.Sqrt(float64(n)/160.0) + 0.5)
+	if min := int(math.Ceil(math.Sqrt(float64(4 * workers)))); g < min {
+		g = min
+	}
+	if g < 1 {
+		g = 1
+	}
+	if g > 1024 {
+		g = 1024
+	}
+	return g
+}
+
+// reset prepares the counting-sort state for a run: zeroed counts and
+// disorder flags, sized boundary array.
+func (g *gridSide) reset(workers, tiles int) {
+	n := workers * tiles
+	if cap(g.counts) < n {
+		g.counts = make([]int32, n)
+	} else {
+		g.counts = g.counts[:n]
+		clear(g.counts)
+	}
+	if cap(g.starts) < tiles+1 {
+		g.starts = make([]int32, tiles+1)
+	} else {
+		g.starts = g.starts[:tiles+1]
+	}
+	if cap(g.disorder) < workers {
+		g.disorder = make([]uint8, workers)
+	} else {
+		g.disorder = g.disorder[:workers]
+		clear(g.disorder)
+	}
+}
+
+// prefixSum turns the count matrix into scatter cursors and fills the tile
+// segment boundaries, sizing idx for the scatter pass.
+func (g *gridSide) prefixSum(workers, tiles int) {
+	total := int32(0)
+	for t := 0; t < tiles; t++ {
+		g.starts[t] = total
+		for w := 0; w < workers; w++ {
+			c := g.counts[w*tiles+t]
+			g.counts[w*tiles+t] = total
+			total += c
+		}
+	}
+	g.starts[tiles] = total
+	if cap(g.idx) < int(total) {
+		g.idx = make([]int32, total, total+total/4)
+	} else {
+		g.idx = g.idx[:total]
+	}
+}
+
+// tileOrder sorts j.tiles (and the parallel j.cost) by descending cost,
+// ties on ascending tile id for determinism.
+type tileOrder struct{ j *Joiner }
+
+func (o *tileOrder) Len() int { return len(o.j.tiles) }
+func (o *tileOrder) Less(i, k int) bool {
+	if o.j.cost[i] != o.j.cost[k] {
+		return o.j.cost[i] > o.j.cost[k]
+	}
+	return o.j.tiles[i] < o.j.tiles[k]
+}
+func (o *tileOrder) Swap(i, k int) {
+	o.j.tiles[i], o.j.tiles[k] = o.j.tiles[k], o.j.tiles[i]
+	o.j.cost[i], o.j.cost[k] = o.j.cost[k], o.j.cost[i]
+}
+
+// wallSince returns wall milliseconds since epoch, the native timeline's
+// clock.
+func wallSince(epoch time.Time) sim.Time {
+	return sim.Time(float64(time.Since(epoch)) / float64(time.Millisecond))
+}
+
+// grow helpers: length-setting reslices that only allocate on first growth.
+
+func growRects(s []geom.Rect, n int) []geom.Rect {
+	if cap(s) < n {
+		return make([]geom.Rect, n)
+	}
+	return s[:n]
+}
+
+func growIDs(s []rtree.EntryID, n int) []rtree.EntryID {
+	if cap(s) < n {
+		return make([]rtree.EntryID, n)
+	}
+	return s[:n]
+}
+
+// prepOrder sizes a persistent order array: an unchanged length keeps the
+// previous permutation (likely near-sorted), a changed one resets to
+// identity so the array stays a valid permutation of the rect indices.
+func prepOrder(ord []int32, n int) []int32 {
+	if len(ord) == n {
+		return ord
+	}
+	if cap(ord) < n {
+		ord = make([]int32, n)
+	} else {
+		ord = ord[:n]
+	}
+	for i := range ord {
+		ord[i] = int32(i)
+	}
+	return ord
+}
+
+func growCodes(s []int64, n int) []int64 {
+	if cap(s) < n {
+		return make([]int64, n)
+	}
+	return s[:n]
+}
+
+func growFlags(s []uint8, n int) []uint8 {
+	if cap(s) < n {
+		return make([]uint8, n)
+	}
+	return s[:n]
+}
+
+func growInts(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	s = s[:n]
+	clear(s)
+	return s
+}
+
+func growStates(s []workerState, n int) []workerState {
+	if cap(s) < n {
+		out := make([]workerState, n)
+		copy(out, s)
+		return out
+	}
+	return s[:n]
+}
+
+func growRuns(s [][]join.Candidate, n int) [][]join.Candidate {
+	if cap(s) < n {
+		return make([][]join.Candidate, n)
+	}
+	return s[:n]
+}

@@ -1,0 +1,324 @@
+package partjoin
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"spjoin/internal/geom"
+	"spjoin/internal/join"
+	"spjoin/internal/metrics"
+	"spjoin/internal/rtree"
+	"spjoin/internal/tiger"
+	"spjoin/internal/timeline"
+)
+
+type pairKey struct{ r, s rtree.EntryID }
+
+func toSet(tb testing.TB, cands []join.Candidate) map[pairKey]bool {
+	tb.Helper()
+	set := make(map[pairKey]bool, len(cands))
+	for _, c := range cands {
+		k := pairKey{c.R, c.S}
+		if set[k] {
+			tb.Fatalf("duplicate candidate %v", k)
+		}
+		set[k] = true
+	}
+	return set
+}
+
+// items wraps rects as rtree items with ids distinct across both sides.
+func items(rects []geom.Rect, base rtree.EntryID) []rtree.Item {
+	out := make([]rtree.Item, len(rects))
+	for i, r := range rects {
+		out[i] = rtree.Item{ID: base + rtree.EntryID(i), Rect: r}
+	}
+	return out
+}
+
+func randomRects(rng *rand.Rand, n int, world, maxSide float64) []geom.Rect {
+	out := make([]geom.Rect, n)
+	for i := range out {
+		x := rng.Float64() * world
+		y := rng.Float64() * world
+		out[i] = geom.NewRect(x, y, x+rng.Float64()*maxSide, y+rng.Float64()*maxSide)
+	}
+	return out
+}
+
+// bruteSet is the oracle: every intersecting (R item, S item) pair.
+func bruteSet(r, s []rtree.Item) map[pairKey]bool {
+	set := make(map[pairKey]bool)
+	for _, a := range r {
+		for _, b := range s {
+			if a.Rect.Intersects(b.Rect) {
+				set[pairKey{a.ID, b.ID}] = true
+			}
+		}
+	}
+	return set
+}
+
+func checkJoin(t *testing.T, r, s []rtree.Item, cfg Config) Result {
+	t.Helper()
+	res := Join(r, s, cfg)
+	got := toSet(t, res.Candidates)
+	want := bruteSet(r, s)
+	if len(got) != len(want) {
+		t.Fatalf("cfg %+v: %d pairs, want %d", cfg, len(got), len(want))
+	}
+	for k := range want {
+		if !got[k] {
+			t.Fatalf("cfg %+v: missing pair %v", cfg, k)
+		}
+	}
+	return res
+}
+
+// TestPartitionJoinMatchesSequential proves the partition engine's
+// candidate set identical to the tree-based sequential join on the seed
+// TIGER-style workload (the acceptance-criteria cross-check).
+func TestPartitionJoinMatchesSequential(t *testing.T) {
+	streets, mixed := tiger.Maps(0.02, 42)
+	params := rtree.Params{MaxDirEntries: 12, MaxDataEntries: 12, MinFillFrac: 0.4, ReinsertFrac: 0.3}
+	r := rtree.BulkLoadSTR(params, streets, 0.8)
+	s := rtree.BulkLoadSTR(params, mixed, 0.8)
+	seq := join.Sequential(r, s, join.Options{})
+	want := toSet(t, seq)
+
+	for _, workers := range []int{1, 2, 4, 8} {
+		for _, grid := range []int{0, 1, 4, 23} {
+			res := Join(streets, mixed, Config{Workers: workers, Grid: grid})
+			got := toSet(t, res.Candidates)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("workers=%d grid=%d: candidate set differs from sequential join (%d vs %d pairs)",
+					workers, grid, len(got), len(want))
+			}
+		}
+	}
+}
+
+func TestPartitionJoinGridShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	for _, n := range []int{1, 5, 60, 400} {
+		r := items(randomRects(rng, n, 100, 12), 0)
+		s := items(randomRects(rng, n, 100, 12), 10000)
+		for _, grid := range []int{0, 1, 2, 3, 7, 16, 33} {
+			for _, workers := range []int{1, 3} {
+				checkJoin(t, r, s, Config{Workers: workers, Grid: grid})
+			}
+		}
+	}
+}
+
+// TestPartitionJoinDuplicateSuppression uses rects far larger than a tile
+// so almost every pair spans many tiles; the set must stay exact and the
+// suppressed-duplicate count must be substantial.
+func TestPartitionJoinDuplicateSuppression(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	r := items(randomRects(rng, 80, 100, 60), 0)
+	s := items(randomRects(rng, 80, 100, 60), 10000)
+	res := checkJoin(t, r, s, Config{Workers: 4, Grid: 8})
+	if res.Duplicates == 0 {
+		t.Fatal("expected cross-tile duplicates to be suppressed with tile-spanning rects")
+	}
+}
+
+// TestPartitionJoinTouchingEdges pins tile-boundary behavior: rects that
+// touch exactly on grid lines.
+func TestPartitionJoinTouchingEdges(t *testing.T) {
+	var rs, ss []geom.Rect
+	// A lattice of abutting unit squares; each shares edges with neighbors.
+	for y := 0.0; y < 8; y++ {
+		for x := 0.0; x < 8; x++ {
+			rs = append(rs, geom.NewRect(x, y, x+1, y+1))
+		}
+	}
+	// Shifted by exactly one tile width under grid=8 over [0,8]: every S
+	// rect lands on tile boundaries.
+	for _, r := range rs {
+		ss = append(ss, geom.NewRect(r.MinX+1, r.MinY, r.MaxX+1, r.MaxY))
+	}
+	r := items(rs, 0)
+	s := items(ss, 10000)
+	for _, grid := range []int{1, 2, 8} {
+		checkJoin(t, r, s, Config{Workers: 2, Grid: grid})
+	}
+}
+
+func TestPartitionJoinEmptyInputs(t *testing.T) {
+	r := items(randomRects(rand.New(rand.NewSource(1)), 5, 10, 2), 0)
+	for _, tc := range [][2][]rtree.Item{{nil, r}, {r, nil}, {nil, nil}} {
+		res := Join(tc[0], tc[1], Config{Workers: 2})
+		if len(res.Candidates) != 0 || res.Partitions != 0 {
+			t.Fatalf("empty join returned %+v", res)
+		}
+	}
+}
+
+// TestPartitionJoinSorted pins the deterministic output order: sorted runs
+// merge to exactly the fully sorted candidate list, for any worker count.
+func TestPartitionJoinSorted(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	r := items(randomRects(rng, 300, 100, 8), 0)
+	s := items(randomRects(rng, 300, 100, 8), 10000)
+
+	ref := Join(r, s, Config{Workers: 1, Sorted: true})
+	want := append([]join.Candidate(nil), ref.Candidates...)
+	sorted := append([]join.Candidate(nil), want...)
+	join.SortCandidates(sorted)
+	if !reflect.DeepEqual(want, sorted) {
+		t.Fatal("sorted output is not actually in (R, S) order")
+	}
+	for _, workers := range []int{2, 4, 7} {
+		for run := 0; run < 3; run++ {
+			res := Join(r, s, Config{Workers: workers, Sorted: true})
+			if !reflect.DeepEqual(res.Candidates, want) {
+				t.Fatalf("workers=%d run %d: sorted output differs", workers, run)
+			}
+		}
+	}
+}
+
+// TestJoinerReuseZeroAlloc pins the steady-state allocation contract of a
+// reused Joiner.
+func TestJoinerReuseZeroAlloc(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	r := items(randomRects(rng, 500, 100, 6), 0)
+	s := items(randomRects(rng, 500, 100, 6), 10000)
+	for _, cfg := range []Config{
+		{Workers: 1},
+		{Workers: 1, Sorted: true},
+		{Workers: 2},
+		{Workers: 2, Sorted: true},
+	} {
+		var j Joiner
+		j.Join(r, s, cfg) // warm up buffers and pool
+		allocs := testing.AllocsPerRun(20, func() { j.Join(r, s, cfg) })
+		j.Close()
+		if allocs != 0 {
+			t.Errorf("cfg %+v: %.1f allocs per join, want 0", cfg, allocs)
+		}
+	}
+}
+
+// TestJoinerReuseMutatedInputs drives one Joiner through every cache
+// transition of the steady-state fast path: unchanged re-joins (cursor
+// snapshot reuse), a within-tile move (codes still match — the fused
+// verify keeps the fast path but the sweep must see the new extents), a
+// cross-tile move (code mismatch mid-pass → full recount), an
+// order-breaking move (sort + recount), and a cardinality change. Each
+// join is checked against the brute-force oracle.
+func TestJoinerReuseMutatedInputs(t *testing.T) {
+	for _, workers := range []int{1, 3} {
+		rng := rand.New(rand.NewSource(53))
+		r := items(randomRects(rng, 400, 100, 5), 0)
+		s := items(randomRects(rng, 400, 100, 5), 10000)
+		cfg := Config{Workers: workers, Grid: 5}
+		var j Joiner
+		defer j.Close()
+
+		check := func(stage string) {
+			t.Helper()
+			got := toSet(t, j.Join(r, s, cfg).Candidates)
+			want := bruteSet(r, s)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("workers=%d %s: %d pairs, want %d", workers, stage, len(got), len(want))
+			}
+		}
+		check("cold")
+		check("steady")
+		check("steady2")
+
+		// Within-tile mutation: nudge a rect's extent by less than a tile
+		// (tiles are 20 units wide) without reordering MinX. The cached
+		// codes still match, so the fast path survives — and must join
+		// with the mutated extents, not the old ones.
+		r[100].Rect.MaxX += 0.5
+		r[100].Rect.MaxY -= 0.25
+		check("within-tile mutation")
+
+		// Cross-tile mutation: stretch a rect across the whole world so
+		// its tile range changes and the verify pass bails out.
+		s[7].Rect.MaxX = 99
+		s[7].Rect.MaxY = 99
+		check("cross-tile mutation")
+
+		// Order-breaking mutation: move a rect's MinX far left so the
+		// persisted sweep order is stale and the sort fallback runs.
+		r[300].Rect.MinX = 0.001
+		check("order-breaking mutation")
+
+		// Cardinality change invalidates the cursor snapshots outright.
+		s = append(s, rtree.Item{ID: 99999, Rect: geom.NewRect(1, 1, 90, 90)})
+		check("appended item")
+		check("steady after append")
+	}
+}
+
+func TestPartitionJoinMetrics(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	r := items(randomRects(rng, 200, 100, 20), 0)
+	s := items(randomRects(rng, 200, 100, 20), 10000)
+	reg := metrics.NewRegistry()
+	res := Join(r, s, Config{Workers: 3, Grid: 6, Metrics: reg})
+
+	counters := reg.Snapshot().Counters
+	if got := counters["partjoin.partitions"]; got != int64(res.Partitions) {
+		t.Errorf("partitions counter %d, want %d", got, res.Partitions)
+	}
+	if got := counters["partjoin.duplicates_suppressed"]; got != int64(res.Duplicates) {
+		t.Errorf("duplicates counter %d, want %d", got, res.Duplicates)
+	}
+	if got := counters["partjoin.comparisons"]; got != int64(res.Comparisons) {
+		t.Errorf("comparisons counter %d, want %d", got, res.Comparisons)
+	}
+	if got := counters["partjoin.candidates"]; got != int64(len(res.Candidates)) {
+		t.Errorf("candidates counter %d, want %d", got, len(res.Candidates))
+	}
+	var perWorker int64
+	for w := 0; w < res.Workers; w++ {
+		perWorker += counters[fmt.Sprintf("partjoin.worker.%d.pairs", w)]
+	}
+	if perWorker != int64(len(res.Candidates)) {
+		t.Errorf("per-worker pairs sum %d, want %d", perWorker, len(res.Candidates))
+	}
+	sum := 0
+	for _, p := range res.PerWorker {
+		sum += p
+	}
+	if sum != len(res.Candidates) {
+		t.Errorf("Result.PerWorker sums to %d, want %d", sum, len(res.Candidates))
+	}
+}
+
+func TestPartitionJoinTimeline(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	r := items(randomRects(rng, 150, 100, 10), 0)
+	s := items(randomRects(rng, 150, 100, 10), 10000)
+	const workers = 2
+	rec := timeline.NewWallRecorder(workers)
+	res := Join(r, s, Config{Workers: workers, Grid: 5, Timeline: rec})
+
+	spans := 0
+	for _, proc := range rec.Procs() {
+		for _, sp := range proc.Spans {
+			if sp.Kind != timeline.KindCPUSweep {
+				t.Fatalf("unexpected span kind %v", sp.Kind)
+			}
+			spans++
+		}
+	}
+	if spans != res.Partitions {
+		t.Fatalf("%d cpu-sweep spans, want one per joined partition (%d)", spans, res.Partitions)
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched timeline track count did not panic")
+		}
+	}()
+	Join(r, s, Config{Workers: workers + 1, Timeline: rec})
+}

@@ -113,13 +113,17 @@ func (t *Tree) packLevel(entries []Entry, level, maxEntries int) []*Node {
 		}
 	}
 
-	// Only the globally last node can be short (every other run is exactly
-	// maxEntries long). If it falls below the minimum fill, steal entries
-	// from its (full) predecessor so both satisfy the R*-tree invariant —
-	// unless the predecessor cannot spare them without going underfull
-	// itself, in which case the two nodes together hold fewer than two
-	// minimum fills, which always fits a single node (minFill ≤ capacity/2):
-	// merge them instead.
+	return t.rebalanceTail(nodes)
+}
+
+// rebalanceTail fixes up the short tail of a freshly packed level. Only the
+// globally last node can be short (every other run is exactly maxEntries
+// long). If it falls below the minimum fill, steal entries from its (full)
+// predecessor so both satisfy the R*-tree invariant — unless the
+// predecessor cannot spare them without going underfull itself, in which
+// case the two nodes together hold fewer than two minimum fills, which
+// always fits a single node (minFill ≤ capacity/2): merge them instead.
+func (t *Tree) rebalanceTail(nodes []*Node) []*Node {
 	if len(nodes) >= 2 {
 		last := nodes[len(nodes)-1]
 		if need := t.minFill(last) - len(last.Entries); need > 0 {

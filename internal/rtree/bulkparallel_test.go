@@ -1,0 +1,125 @@
+package rtree
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// forceParallel lowers the fallback thresholds so the parallel code paths
+// run even on tiny inputs, restoring them when the test ends.
+func forceParallel(t *testing.T) {
+	t.Helper()
+	savedBulk, savedPack := parallelBulkMinItems, parallelPackMinEntries
+	parallelBulkMinItems, parallelPackMinEntries = 0, 0
+	t.Cleanup(func() {
+		parallelBulkMinItems, parallelPackMinEntries = savedBulk, savedPack
+	})
+}
+
+func encodeTree(t *testing.T, tree *Tree) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if _, err := tree.WriteTo(&buf); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// checkParallelIdentical builds the same input sequentially and in
+// parallel and requires byte-identical WriteTo encodings — page numbering,
+// node contents, parent pointers, everything.
+func checkParallelIdentical(t *testing.T, params Params, items []Item, fill float64, workers int) {
+	t.Helper()
+	seq := BulkLoadSTR(params, items, fill)
+	par := BulkLoadSTRParallel(params, items, fill, workers)
+	if err := par.CheckIntegrity(); err != nil {
+		t.Fatalf("n=%d fill=%g workers=%d: parallel tree invalid: %v",
+			len(items), fill, workers, err)
+	}
+	if !bytes.Equal(encodeTree(t, seq), encodeTree(t, par)) {
+		t.Fatalf("n=%d fill=%g workers=%d: parallel encoding differs from sequential",
+			len(items), fill, workers)
+	}
+}
+
+func TestBulkLoadSTRParallelByteIdentical(t *testing.T) {
+	forceParallel(t)
+	for _, n := range []int{0, 1, 2, 17, 18, 19, 100, 1000, 5000} {
+		items := randomItems(n, int64(n)+11)
+		for _, fill := range []float64{0.5, 0.73, 1.0} {
+			for _, workers := range []int{2, 3, 8} {
+				checkParallelIdentical(t, smallParams(), items, fill, workers)
+			}
+		}
+	}
+	// Paper-sized pages exercise very different slab geometry.
+	checkParallelIdentical(t, DefaultParams(), randomItems(20000, 3), 0.73, 8)
+}
+
+// TestBulkLoadSTRParallelCorpusShapes replays every committed encode-fuzz
+// corpus input through both loaders: the shapes the fuzzer found
+// interesting for the serializer are exactly the ones with unusual tail /
+// rebalance behavior.
+func TestBulkLoadSTRParallelCorpusShapes(t *testing.T) {
+	forceParallel(t)
+	dir := filepath.Join("testdata", "fuzz", "FuzzEncodeDecode")
+	files, err := os.ReadDir(dir)
+	if err != nil {
+		t.Skipf("no encode fuzz corpus: %v", err)
+	}
+	tested := 0
+	for _, f := range files {
+		raw, err := os.ReadFile(filepath.Join(dir, f.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, line := range strings.Split(string(raw), "\n") {
+			if !strings.HasPrefix(line, "[]byte(") {
+				continue
+			}
+			quoted := strings.TrimSuffix(strings.TrimPrefix(line, "[]byte("), ")")
+			data, err := strconv.Unquote(quoted)
+			if err != nil {
+				t.Fatalf("%s: bad corpus line %q: %v", f.Name(), line, err)
+			}
+			items := fuzzItems([]byte(data))
+			for _, workers := range []int{2, 8} {
+				checkParallelIdentical(t, DefaultParams(), items, 0.73, workers)
+			}
+			tested++
+		}
+	}
+	if tested == 0 {
+		t.Fatal("corpus directory exists but yielded no inputs")
+	}
+}
+
+func TestBulkLoadSTRParallelFallback(t *testing.T) {
+	// Below the threshold (or with one worker) the parallel entry point
+	// must hand off to the sequential loader — trivially identical.
+	items := randomItems(500, 9)
+	checkParallelIdentical(t, smallParams(), items, 0.8, 1)
+	checkParallelIdentical(t, smallParams(), items, 0.8, 4)
+}
+
+func BenchmarkBulkLoadSTR(b *testing.B) {
+	items := randomItems(100000, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BulkLoadSTR(DefaultParams(), items, 1.0)
+	}
+}
+
+func BenchmarkBulkLoadSTRParallel(b *testing.B) {
+	items := randomItems(100000, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BulkLoadSTRParallel(DefaultParams(), items, 1.0, 0)
+	}
+}

@@ -1,9 +1,10 @@
 #!/bin/sh
-# Compares a fresh kernel benchmark snapshot against the committed
-# BENCH_kernel.json. Fails when any benchmark's ns/op regresses by more than
-# the tolerance (default 10%), or when allocs/op grows at all — the kernel's
-# zero-allocation contract admits no slack. Wall-clock numbers wobble with
-# the host, hence the generous default tolerance; allocation counts do not.
+# Compares fresh benchmark runs against the committed snapshots
+# (BENCH_kernel.json and BENCH_partjoin.json). Fails when any benchmark's
+# ns/op regresses by more than the tolerance (default 10%), or when
+# allocs/op grows at all — the zero-allocation contracts admit no slack.
+# Wall-clock numbers wobble with the host, hence the generous default
+# tolerance; allocation counts do not.
 #
 # Usage: scripts/bench_diff.sh [tolerance-percent] [benchtime]
 set -eu
@@ -11,62 +12,68 @@ cd "$(dirname "$0")/.."
 
 TOLERANCE="${1:-10}"
 BENCHTIME="${2:-1000x}"
-BASE=BENCH_kernel.json
 FRESH=$(mktemp)
 trap 'rm -f "$FRESH"' EXIT
 
-[ -f "$BASE" ] || { echo "bench_diff: missing $BASE (run make bench-snapshot)" >&2; exit 1; }
-
-go test -run='^$' \
-    -bench='^(BenchmarkKernelExpand|BenchmarkSequentialJoin$)' \
-    -benchmem -benchtime="$BENCHTIME" . |
-awk '
-    /^Benchmark/ {
-        name = $1
-        sub(/-[0-9]+$/, "", name)
-        for (i = 2; i < NF; i++) {
-            if ($(i+1) == "ns/op")     ns[name] = $i
-            if ($(i+1) == "allocs/op") allocs[name] = $i
-        }
-        order[n++] = name
-    }
-    END {
-        for (i = 0; i < n; i++)
-            printf "%s %s %s\n", order[i], ns[order[i]], allocs[order[i]]
-    }
-' > "$FRESH"
-
-[ -s "$FRESH" ] || { echo "bench_diff: no benchmark output" >&2; exit 1; }
-
 fail=0
-while read -r name fresh_ns fresh_allocs; do
-    base_ns=$(awk -v n="$name" '
-        /"name"/ && index($0, "\"" n "\"") {
-            if (match($0, /"ns_per_op": *[0-9.]+/))
-                print substr($0, RSTART+12, RLENGTH-12)
-        }' "$BASE" | tr -d ': ')
-    base_allocs=$(awk -v n="$name" '
-        /"name"/ && index($0, "\"" n "\"") {
-            if (match($0, /"allocs_per_op": *[0-9]+/))
-                print substr($0, RSTART+16, RLENGTH-16)
-        }' "$BASE" | tr -d ': ')
-    if [ -z "$base_ns" ] || [ -z "$base_allocs" ]; then
-        echo "bench_diff: $name missing from $BASE (run make bench-snapshot)" >&2
-        fail=1
-        continue
-    fi
-    over=$(awk -v f="$fresh_ns" -v b="$base_ns" -v tol="$TOLERANCE" \
-        'BEGIN { print (f > b * (1 + tol/100)) ? 1 : 0 }')
-    if [ "$over" = 1 ]; then
-        echo "bench_diff: $name regressed: $fresh_ns ns/op vs $base_ns ns/op baseline (+${TOLERANCE}% allowed)" >&2
-        fail=1
-    else
-        echo "bench_diff: $name ok: $fresh_ns ns/op (baseline $base_ns, +${TOLERANCE}% allowed)"
-    fi
-    if [ "$fresh_allocs" -gt "$base_allocs" ]; then
-        echo "bench_diff: $name allocations regressed: $fresh_allocs allocs/op vs $base_allocs baseline" >&2
-        fail=1
-    fi
-done < "$FRESH"
+
+diff_suite() {
+    base="$1"
+    pattern="$2"
+
+    [ -f "$base" ] || { echo "bench_diff: missing $base (run make bench-snapshot)" >&2; fail=1; return; }
+
+    go test -run='^$' -bench="$pattern" -benchmem -benchtime="$BENCHTIME" . |
+    awk '
+        /^Benchmark/ {
+            name = $1
+            sub(/-[0-9]+$/, "", name)
+            for (i = 2; i < NF; i++) {
+                if ($(i+1) == "ns/op")     ns[name] = $i
+                if ($(i+1) == "allocs/op") allocs[name] = $i
+            }
+            order[n++] = name
+        }
+        END {
+            for (i = 0; i < n; i++)
+                printf "%s %s %s\n", order[i], ns[order[i]], allocs[order[i]]
+        }
+    ' > "$FRESH"
+
+    [ -s "$FRESH" ] || { echo "bench_diff: no benchmark output for $base" >&2; fail=1; return; }
+
+    while read -r name fresh_ns fresh_allocs; do
+        base_ns=$(awk -v n="$name" '
+            /"name"/ && index($0, "\"" n "\"") {
+                if (match($0, /"ns_per_op": *[0-9.]+/))
+                    print substr($0, RSTART+12, RLENGTH-12)
+            }' "$base" | tr -d ': ')
+        base_allocs=$(awk -v n="$name" '
+            /"name"/ && index($0, "\"" n "\"") {
+                if (match($0, /"allocs_per_op": *[0-9]+/))
+                    print substr($0, RSTART+16, RLENGTH-16)
+            }' "$base" | tr -d ': ')
+        if [ -z "$base_ns" ] || [ -z "$base_allocs" ]; then
+            echo "bench_diff: $name missing from $base (run make bench-snapshot)" >&2
+            fail=1
+            continue
+        fi
+        over=$(awk -v f="$fresh_ns" -v b="$base_ns" -v tol="$TOLERANCE" \
+            'BEGIN { print (f > b * (1 + tol/100)) ? 1 : 0 }')
+        if [ "$over" = 1 ]; then
+            echo "bench_diff: $name regressed: $fresh_ns ns/op vs $base_ns ns/op baseline (+${TOLERANCE}% allowed)" >&2
+            fail=1
+        else
+            echo "bench_diff: $name ok: $fresh_ns ns/op (baseline $base_ns, +${TOLERANCE}% allowed)"
+        fi
+        if [ "$fresh_allocs" -gt "$base_allocs" ]; then
+            echo "bench_diff: $name allocations regressed: $fresh_allocs allocs/op vs $base_allocs baseline" >&2
+            fail=1
+        fi
+    done < "$FRESH"
+}
+
+diff_suite BENCH_kernel.json '^(BenchmarkKernelExpand|BenchmarkSequentialJoin$)'
+diff_suite BENCH_partjoin.json '^(BenchmarkPartitionJoin(Cold)?$|BenchmarkNativeTreeJoin$)'
 
 exit "$fail"

@@ -1,47 +1,54 @@
 #!/bin/sh
-# Regenerates BENCH_kernel.json: the allocation/latency snapshot of the join
-# kernel benchmarks. Run from the repository root after kernel changes and
-# commit the result so regressions show up in review.
+# Regenerates the committed benchmark snapshots:
+#
+#   BENCH_kernel.json    — join-kernel latency/allocation numbers
+#   BENCH_partjoin.json  — partition-engine vs tree-engine head-to-head
+#
+# Run from the repository root after kernel or engine changes and commit
+# the results so regressions show up in review.
 #
 # Usage: scripts/bench_snapshot.sh [benchtime]
 set -eu
 cd "$(dirname "$0")/.."
 
 BENCHTIME="${1:-1000x}"
-OUT=BENCH_kernel.json
 
-go test -run='^$' \
-    -bench='^(BenchmarkKernelExpand|BenchmarkSequentialJoin$)' \
-    -benchmem -benchtime="$BENCHTIME" . |
-awk -v benchtime="$BENCHTIME" '
-    /^goos:/    { goos = $2 }
-    /^goarch:/  { goarch = $2 }
-    /^cpu:/     { sub(/^cpu: */, ""); cpu = $0 }
-    /^Benchmark/ {
-        name = $1
-        sub(/-[0-9]+$/, "", name)   # strip the -GOMAXPROCS suffix
-        for (i = 2; i < NF; i++) {
-            if ($(i+1) == "ns/op")     ns[name] = $i
-            if ($(i+1) == "B/op")      bytes[name] = $i
-            if ($(i+1) == "allocs/op") allocs[name] = $i
+snapshot() {
+    out="$1"
+    pattern="$2"
+    go test -run='^$' -bench="$pattern" -benchmem -benchtime="$BENCHTIME" . |
+    awk -v benchtime="$BENCHTIME" '
+        /^goos:/    { goos = $2 }
+        /^goarch:/  { goarch = $2 }
+        /^cpu:/     { sub(/^cpu: */, ""); cpu = $0 }
+        /^Benchmark/ {
+            name = $1
+            sub(/-[0-9]+$/, "", name)   # strip the -GOMAXPROCS suffix
+            for (i = 2; i < NF; i++) {
+                if ($(i+1) == "ns/op")     ns[name] = $i
+                if ($(i+1) == "B/op")      bytes[name] = $i
+                if ($(i+1) == "allocs/op") allocs[name] = $i
+            }
+            order[n++] = name
         }
-        order[n++] = name
-    }
-    END {
-        printf "{\n"
-        printf "  \"goos\": \"%s\",\n", goos
-        printf "  \"goarch\": \"%s\",\n", goarch
-        printf "  \"cpu\": \"%s\",\n", cpu
-        printf "  \"benchtime\": \"%s\",\n", benchtime
-        printf "  \"benchmarks\": [\n"
-        for (i = 0; i < n; i++) {
-            name = order[i]
-            printf "    {\"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}%s\n", \
-                name, ns[name], bytes[name], allocs[name], (i < n-1 ? "," : "")
+        END {
+            printf "{\n"
+            printf "  \"goos\": \"%s\",\n", goos
+            printf "  \"goarch\": \"%s\",\n", goarch
+            printf "  \"cpu\": \"%s\",\n", cpu
+            printf "  \"benchtime\": \"%s\",\n", benchtime
+            printf "  \"benchmarks\": [\n"
+            for (i = 0; i < n; i++) {
+                name = order[i]
+                printf "    {\"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}%s\n", \
+                    name, ns[name], bytes[name], allocs[name], (i < n-1 ? "," : "")
+            }
+            printf "  ]\n}\n"
         }
-        printf "  ]\n}\n"
-    }
-' > "$OUT"
+    ' > "$out"
+    echo "wrote $out:"
+    cat "$out"
+}
 
-echo "wrote $OUT:"
-cat "$OUT"
+snapshot BENCH_kernel.json '^(BenchmarkKernelExpand|BenchmarkSequentialJoin$)'
+snapshot BENCH_partjoin.json '^(BenchmarkPartitionJoin(Cold)?$|BenchmarkNativeTreeJoin$)'
