@@ -2,7 +2,7 @@
 # (see README.md): full build, vet, race tests on the concurrent executors,
 # then the whole test suite.
 
-.PHONY: check test bench bench-snapshot bench-diff cover fuzz timeline-smoke timeline-diff
+.PHONY: check test bench bench-snapshot bench-diff cover fuzz timeline-smoke timeline-diff observatory experiments-regen
 
 check:
 	./scripts/check.sh
@@ -39,3 +39,19 @@ timeline-smoke:
 # Refresh the snapshot with: ./scripts/timeline_diff.sh 2 update
 timeline-diff:
 	./scripts/timeline_diff.sh $(or $(TOLERANCE),2)
+
+# Observatory gate (CI): record a run store, machine-check the paper's
+# claims, verify the committed EXPERIMENTS.md tables match the committed
+# store, prove run-to-run determinism with runsdiff. SCALE=1.0 additionally
+# diffs the fresh store against docs/observatory/runs.jsonl (weekly job).
+observatory:
+	./scripts/observatory.sh $(or $(SCALE),0.1)
+
+# After an intentional cost-model or join-order change: re-run the full-
+# scale experiments, refresh the committed store, the measured sections of
+# EXPERIMENTS.md and the docs/observatory report + charts (commit the diff).
+experiments-regen:
+	go run ./cmd/experiments -scale 1.0 -run all -out docs/observatory/runs.jsonl
+	go run ./cmd/experiments -regen docs/observatory/runs.jsonl
+	go run ./cmd/experiments -report docs/observatory/runs.jsonl
+	go run ./cmd/experiments -check docs/observatory/runs.jsonl

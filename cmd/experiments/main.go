@@ -5,6 +5,10 @@
 // Usage:
 //
 //	experiments [-run all|table1,fig5,...] [-scale 1.0] [-seed 42] [-list]
+//	            [-out runs.jsonl]        record every cell into a run store
+//	experiments -check runs.jsonl        evaluate the paper claims, exit 1 on failure
+//	experiments -report runs.jsonl       render markdown + SVG charts from a store
+//	experiments -regen runs.jsonl        rewrite EXPERIMENTS.md measured sections
 //
 // At -scale 1.0 the workload matches the paper's cardinalities (131,443 and
 // 127,312 objects); the full suite takes a few minutes. Smaller scales give
@@ -15,10 +19,15 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
+	"path/filepath"
 	"strings"
 	"time"
 
+	"spjoin/internal/claims"
 	"spjoin/internal/exp"
+	"spjoin/internal/report"
+	"spjoin/internal/runstore"
 )
 
 func main() {
@@ -26,6 +35,12 @@ func main() {
 	scale := flag.Float64("scale", 1.0, "workload scale (1.0 = paper cardinalities)")
 	seed := flag.Int64("seed", 42, "workload generator seed")
 	list := flag.Bool("list", false, "list experiments and exit")
+	out := flag.String("out", "", "record every experiment cell into this JSONL run store")
+	check := flag.String("check", "", "evaluate the paper claims against this run store and exit")
+	reportFlag := flag.String("report", "", "render the observatory report (markdown + SVG) from this run store and exit")
+	regen := flag.String("regen", "", "regenerate EXPERIMENTS.md measured sections from this run store and exit")
+	dir := flag.String("dir", "docs/observatory", "output directory for -report artifacts")
+	doc := flag.String("doc", "EXPERIMENTS.md", "document -regen rewrites in place")
 	flag.Parse()
 
 	if *list {
@@ -33,6 +48,15 @@ func main() {
 			fmt.Printf("%-8s %s\n", e.Name, e.Title)
 		}
 		return
+	}
+	if *check != "" {
+		os.Exit(runCheck(*check))
+	}
+	if *reportFlag != "" {
+		os.Exit(runReport(*reportFlag, *dir))
+	}
+	if *regen != "" {
+		os.Exit(runRegen(*regen, *doc))
 	}
 
 	var selected []exp.Experiment
@@ -54,10 +78,121 @@ func main() {
 	fmt.Printf("building workload at scale %g (seed %d)...\n", *scale, *seed)
 	w := exp.NewWorkload(*scale, *seed)
 	fmt.Printf("workload: %s (built in %v)\n\n", w.Describe(), time.Since(start).Round(time.Millisecond))
+	if *out != "" {
+		w.Rec = exp.NewRecording(*seed, *scale, gitRev())
+	}
 
 	for _, e := range selected {
 		t0 := time.Now()
 		e.Run(w, os.Stdout)
 		fmt.Printf("[%s completed in %v]\n\n", e.Name, time.Since(t0).Round(time.Millisecond))
 	}
+
+	if w.Rec != nil {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		n, err := w.Rec.WriteStore(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: writing run store: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("run store: %d record(s) -> %s\n", n, *out)
+	}
+}
+
+// runCheck evaluates every machine-checked paper claim against the store.
+func runCheck(path string) int {
+	s, err := runstore.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		return 2
+	}
+	rep := claims.Evaluate(claims.Paper(), s)
+	rep.Render(os.Stdout)
+	if rep.Failed() > 0 {
+		return 1
+	}
+	return 0
+}
+
+// runReport renders the markdown report and the SVG charts into dir.
+func runReport(path, dir string) int {
+	s, err := runstore.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		return 2
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		return 1
+	}
+	var md strings.Builder
+	if err := report.Markdown(&md, s); err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		return 1
+	}
+	files := map[string]func() (string, error){
+		"report.md":      func() (string, error) { return md.String(), nil },
+		"speedup.svg":    func() (string, error) { return report.SpeedupSVG(s) },
+		"efficiency.svg": func() (string, error) { return report.EfficiencySVG(s) },
+	}
+	for _, name := range []string{"report.md", "speedup.svg", "efficiency.svg"} {
+		body, err := files[name]()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", name, err)
+			return 1
+		}
+		out := filepath.Join(dir, name)
+		if err := os.WriteFile(out, []byte(body), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			return 1
+		}
+		fmt.Printf("wrote %s\n", out)
+	}
+	return 0
+}
+
+// runRegen rewrites the measured sections of doc from the store.
+func runRegen(path, doc string) int {
+	s, err := runstore.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		return 2
+	}
+	old, err := os.ReadFile(doc)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		return 1
+	}
+	fresh, err := report.Regen(old, s)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		return 1
+	}
+	if string(fresh) == string(old) {
+		fmt.Printf("%s already up to date\n", doc)
+		return 0
+	}
+	if err := os.WriteFile(doc, fresh, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		return 1
+	}
+	fmt.Printf("regenerated measured sections of %s\n", doc)
+	return 0
+}
+
+// gitRev stamps records with the producing revision; "unknown" outside a
+// usable git checkout.
+func gitRev() string {
+	out, err := exec.Command("git", "rev-parse", "--short=12", "HEAD").Output()
+	if err != nil {
+		return "unknown"
+	}
+	return strings.TrimSpace(string(out))
 }

@@ -1,0 +1,74 @@
+// Command runsdiff compares two observatory run stores metric by metric
+// and exits nonzero on divergence — the regression gate between a golden
+// store and a fresh run.
+//
+// Usage:
+//
+//	runsdiff [-tol 0.0] [-metric-tol response_s=0.01,disk=0] [-digests] A.jsonl B.jsonl
+//
+// -tol is the global relative tolerance; -metric-tol overrides it per
+// metric; -digests additionally compares the full metrics/timeline
+// digests (exact behavioral identity, not just the flattened metrics).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"spjoin/internal/runstore"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the whole program, factored for the exit-code test.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("runsdiff", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	tol := fs.Float64("tol", 0, "global relative tolerance (0 = exact)")
+	metricTol := fs.String("metric-tol", "", "per-metric overrides, e.g. response_s=0.01,disk=0")
+	digests := fs.Bool("digests", false, "also compare metrics/timeline digests")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 2 {
+		fmt.Fprintln(stderr, "usage: runsdiff [-tol t] [-metric-tol m=t,...] [-digests] A.jsonl B.jsonl")
+		return 2
+	}
+	opts := runstore.DiffOpts{Tol: *tol, Digests: *digests}
+	if *metricTol != "" {
+		opts.MetricTol = map[string]float64{}
+		for _, kv := range strings.Split(*metricTol, ",") {
+			k, v, ok := strings.Cut(strings.TrimSpace(kv), "=")
+			if !ok {
+				fmt.Fprintf(stderr, "runsdiff: bad -metric-tol entry %q (want metric=tolerance)\n", kv)
+				return 2
+			}
+			t, err := strconv.ParseFloat(v, 64)
+			if err != nil {
+				fmt.Fprintf(stderr, "runsdiff: bad tolerance in %q: %v\n", kv, err)
+				return 2
+			}
+			opts.MetricTol[k] = t
+		}
+	}
+	a, err := runstore.ReadFile(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintf(stderr, "runsdiff: %v\n", err)
+		return 2
+	}
+	b, err := runstore.ReadFile(fs.Arg(1))
+	if err != nil {
+		fmt.Fprintf(stderr, "runsdiff: %v\n", err)
+		return 2
+	}
+	if n := runstore.RenderDiff(stdout, runstore.Diff(a, b, opts), a.Len(), b.Len()); n > 0 {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,99 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"spjoin/internal/runstore"
+)
+
+// writeTestStore writes a small sealed store to dir/name.
+func writeTestStore(t *testing.T, dir, name string, disk float64) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	w := runstore.NewWriter(f)
+	recs := []runstore.Record{
+		{Experiment: "fig5", Params: map[string]string{"variant": "gd", "buffer": "800"},
+			Seed: 42, Scale: 1, Engine: "sim",
+			Metrics: map[string]float64{"disk": disk, "response_s": 154.5}},
+		{Experiment: "fig7", Params: map[string]string{"variant": "lsr", "reassign": "all"},
+			Seed: 42, Scale: 1, Engine: "sim",
+			Metrics: map[string]float64{"disk": 19679, "response_s": 174.4}},
+	}
+	for _, rec := range recs {
+		if err := w.Write(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestExitCodes pins the acceptance contract: equal stores exit 0, one
+// perturbed metric exits nonzero and names the offending cell.
+func TestExitCodes(t *testing.T) {
+	dir := t.TempDir()
+	a := writeTestStore(t, dir, "a.jsonl", 16243)
+	same := writeTestStore(t, dir, "same.jsonl", 16243)
+	perturbed := writeTestStore(t, dir, "b.jsonl", 16244)
+
+	var out, errBuf bytes.Buffer
+	if code := run([]string{a, same}, &out, &errBuf); code != 0 {
+		t.Fatalf("equal stores exited %d\n%s%s", code, out.String(), errBuf.String())
+	}
+	if !strings.Contains(out.String(), "OK") {
+		t.Fatalf("clean diff output: %q", out.String())
+	}
+
+	out.Reset()
+	if code := run([]string{a, perturbed}, &out, &errBuf); code != 1 {
+		t.Fatalf("perturbed store exited %d, want 1\n%s", code, out.String())
+	}
+	for _, want := range []string{"variant=gd", "disk", "16243", "16244"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("diff output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestTolerances(t *testing.T) {
+	dir := t.TempDir()
+	a := writeTestStore(t, dir, "a.jsonl", 16243)
+	b := writeTestStore(t, dir, "b.jsonl", 16300) // ~0.35% off
+
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"-tol", "0.01", a, b}, &out, &errBuf); code != 0 {
+		t.Fatalf("0.35%% drift under 1%% tolerance exited %d\n%s", code, out.String())
+	}
+	out.Reset()
+	if code := run([]string{"-metric-tol", "disk=0.01", a, b}, &out, &errBuf); code != 0 {
+		t.Fatalf("per-metric tolerance ignored: exit %d\n%s", code, out.String())
+	}
+	out.Reset()
+	if code := run([]string{"-metric-tol", "response_s=0.01", a, b}, &out, &errBuf); code != 1 {
+		t.Fatalf("tolerance on the wrong metric must not mask the drift: exit %d", code)
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"only-one.jsonl"}, &out, &errBuf); code != 2 {
+		t.Fatalf("missing arg exited %d, want 2", code)
+	}
+	if code := run([]string{"-metric-tol", "garbage", "a", "b"}, &out, &errBuf); code != 2 {
+		t.Fatalf("bad -metric-tol exited %d, want 2", code)
+	}
+	if code := run([]string{"/nonexistent/a.jsonl", "/nonexistent/b.jsonl"}, &out, &errBuf); code != 2 {
+		t.Fatalf("unreadable store exited %d, want 2", code)
+	}
+}

@@ -30,6 +30,7 @@ import (
 	"expvar"
 	"flag"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	_ "net/http/pprof"
@@ -192,12 +193,13 @@ func main() {
 		}
 		reg := obs.reg
 		expvar.Publish("spjoin.metrics", expvar.Func(func() interface{} { return reg.Snapshot() }))
+		http.Handle("/metrics", metricsHandler(reg))
 		ln, err := net.Listen("tcp", *pprofAddr)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "spjoin: -pprof: %v\n", err)
 			os.Exit(1)
 		}
-		fmt.Printf("pprof/expvar on http://%s/debug/pprof/\n", ln.Addr())
+		fmt.Printf("pprof/expvar on http://%s/debug/pprof/, OpenMetrics on /metrics\n", ln.Addr())
 		go http.Serve(ln, nil)
 	}
 
@@ -231,7 +233,7 @@ func main() {
 		if *timelineOut != "" || *report {
 			rec = timeline.NewWallRecorder(workers)
 		}
-		runPartition(streets, mixed, workers, *grid, obs, rec)
+		runPartition(os.Stdout, streets, mixed, workers, *grid, obs, rec)
 		if rec != nil {
 			if err := finishTimeline(rec, *timelineOut, *report, rec.MaxEnd()); err != nil {
 				fmt.Fprintf(os.Stderr, "spjoin: %v\n", err)
@@ -378,6 +380,17 @@ func finishTimeline(rec *timeline.Recorder, path string, report bool, response s
 	return nil
 }
 
+// metricsHandler serves the registry as OpenMetrics text (the /metrics
+// endpoint Prometheus scrapes), mounted on the -pprof mux.
+func metricsHandler(reg *metrics.Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/openmetrics-text; version=1.0.0; charset=utf-8")
+		if err := reg.WritePrometheus(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+}
+
 func loadCSV(path string) ([]rtree.Item, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -387,7 +400,7 @@ func loadCSV(path string) ([]rtree.Item, error) {
 	return mapio.Read(f)
 }
 
-func runPartition(r, s []rtree.Item, workers, grid int, obs *observability, rec *timeline.Recorder) {
+func runPartition(out io.Writer, r, s []rtree.Item, workers, grid int, obs *observability, rec *timeline.Recorder) {
 	t0 := time.Now()
 	res := partjoin.Join(r, s, partjoin.Config{
 		Workers:  workers,
@@ -396,13 +409,47 @@ func runPartition(r, s []rtree.Item, workers, grid int, obs *observability, rec 
 		Timeline: rec,
 	})
 	wall := time.Since(t0)
-	fmt.Printf("partition join with %d goroutines\n", res.Workers)
-	fmt.Printf("grid:         %dx%d (%d non-empty partitions)\n", res.GX, res.GY, res.Partitions)
-	fmt.Printf("candidates:   %d\n", len(res.Candidates))
-	fmt.Printf("duplicates:   %d suppressed\n", res.Duplicates)
-	fmt.Printf("comparisons:  %d\n", res.Comparisons)
-	fmt.Printf("wall time:    %v\n", wall.Round(time.Microsecond))
-	fmt.Printf("pairs/worker: %v\n", res.PerWorker)
+	fmt.Fprintf(out, "partition join with %d goroutines\n", res.Workers)
+	fmt.Fprintf(out, "grid:         %dx%d (%d non-empty partitions)\n", res.GX, res.GY, res.Partitions)
+	fmt.Fprintf(out, "candidates:   %d\n", len(res.Candidates))
+	fmt.Fprintf(out, "duplicates:   %d suppressed\n", res.Duplicates)
+	fmt.Fprintf(out, "comparisons:  %d\n", res.Comparisons)
+	fmt.Fprintf(out, "wall time:    %v\n", wall.Round(time.Microsecond))
+	fmt.Fprintf(out, "pairs/worker: %v\n", res.PerWorker)
+	if obs.reg != nil {
+		fmt.Fprintln(out)
+		renderPartitionSummary(out, obs.reg.Snapshot())
+	}
+}
+
+// renderPartitionSummary prints the curated partjoin.* counter view: the
+// headline counters plus the per-worker pair distribution (min/mean/max
+// and max/mean skew, the load-balance measure the paper tracks).
+func renderPartitionSummary(out io.Writer, snap metrics.Snapshot) {
+	t := stats.NewTable("Partition engine metrics (partjoin.*)", "measure", "value")
+	for _, row := range []struct{ label, counter string }{
+		{"grid tiles", "partjoin.grid_tiles"},
+		{"non-empty partitions", "partjoin.partitions"},
+		{"comparisons", "partjoin.comparisons"},
+		{"candidates", "partjoin.candidates"},
+		{"duplicates suppressed", "partjoin.duplicates_suppressed"},
+		{"wall [ms]", "partjoin.wall_ms"},
+	} {
+		if v, ok := snap.Counters[row.counter]; ok {
+			t.AddRow(row.label, v)
+		}
+	}
+	var pairs []float64
+	for name, v := range snap.Counters {
+		if strings.HasPrefix(name, "partjoin.worker.") && strings.HasSuffix(name, ".pairs") {
+			pairs = append(pairs, float64(v))
+		}
+	}
+	if sum := stats.Summarize(pairs); sum.N > 0 {
+		t.AddRow("pairs/worker min/mean/max", fmt.Sprintf("%.0f / %.1f / %.0f", sum.Min, sum.Mean, sum.Max))
+		t.AddRow("pairs/worker skew (max/mean)", fmt.Sprintf("%.2f", sum.Skew()))
+	}
+	t.Render(out)
 }
 
 func runNative(r, s *rtree.Tree, workers int, obs *observability, rec *timeline.Recorder) {

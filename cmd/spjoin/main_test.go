@@ -1,0 +1,107 @@
+package main
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"spjoin/internal/metrics"
+	"spjoin/internal/tiger"
+)
+
+// TestPartitionCLIOutput pins the -engine partition summary: the curated
+// partjoin.* table (headline counters plus the per-worker pair
+// distribution) must appear in the command output when -metrics is on.
+func TestPartitionCLIOutput(t *testing.T) {
+	streets, mixed := tiger.Maps(0.01, 42)
+	obs := &observability{reg: metrics.NewRegistry()}
+	var out bytes.Buffer
+	runPartition(&out, streets, mixed, 4, 0, obs, nil)
+	text := out.String()
+	for _, want := range []string{
+		"partition join with 4 goroutines",
+		"Partition engine metrics (partjoin.*)",
+		"non-empty partitions",
+		"comparisons",
+		"duplicates suppressed",
+		"pairs/worker min/mean/max",
+		"pairs/worker skew (max/mean)",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("partition output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// Without a registry (-metrics off) the summary table is absent but the
+// plain report still prints.
+func TestPartitionCLIOutputNoRegistry(t *testing.T) {
+	streets, mixed := tiger.Maps(0.01, 42)
+	var out bytes.Buffer
+	runPartition(&out, streets, mixed, 2, 0, &observability{}, nil)
+	if strings.Contains(out.String(), "Partition engine metrics") {
+		t.Fatalf("summary table printed without a registry:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "candidates:") {
+		t.Fatalf("plain report missing:\n%s", out.String())
+	}
+}
+
+func TestRenderPartitionSummarySkew(t *testing.T) {
+	reg := metrics.NewRegistry()
+	reg.Counter("partjoin.partitions").Add(7)
+	reg.Counter("partjoin.worker.0.pairs").Add(100)
+	reg.Counter("partjoin.worker.1.pairs").Add(300)
+	var out bytes.Buffer
+	renderPartitionSummary(&out, reg.Snapshot())
+	// mean 200, max 300 -> skew 1.50.
+	if !strings.Contains(out.String(), "100 / 200.0 / 300") || !strings.Contains(out.String(), "1.50") {
+		t.Fatalf("distribution rows wrong:\n%s", out.String())
+	}
+}
+
+// TestMetricsEndpoint pins the /metrics handler: OpenMetrics content type
+// and a payload the exposition parser round-trips.
+func TestMetricsEndpoint(t *testing.T) {
+	reg := metrics.NewRegistry()
+	reg.Counter("sim.disk.reads.directory").Add(123)
+	reg.Gauge("sim.response_s").Set(154.5)
+	srv := httptest.NewServer(metricsHandler(reg))
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/openmetrics-text") {
+		t.Fatalf("content type = %q", ct)
+	}
+	var body bytes.Buffer
+	if _, err := body.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	text := body.String()
+	for _, want := range []string{
+		"# TYPE sim_disk_reads_directory counter",
+		"sim_disk_reads_directory_total 123",
+		"sim_response_s 154.5",
+		"# EOF",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// Guard against accidental engine coupling: the handler serves whatever
+// registry the run populated, including tree-engine counters.
+func TestMetricsEndpointTreeCounters(t *testing.T) {
+	reg := metrics.NewRegistry()
+	reg.Counter("sim.join.candidates").Add(9)
+	rec := httptest.NewRecorder()
+	metricsHandler(reg).ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if !strings.Contains(rec.Body.String(), "sim_join_candidates_total 9") {
+		t.Fatalf("tree counter missing:\n%s", rec.Body.String())
+	}
+}

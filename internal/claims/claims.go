@@ -1,0 +1,480 @@
+// Package claims is the declarative claim engine of the experiment
+// observatory: the paper's qualitative results — orderings ("gd needs the
+// fewest disk accesses"), monotonicity ("response time keeps falling"),
+// ratios within tolerance ("total work rises only slightly"), crossovers
+// ("d=8 beats d=n until n > 10") — encoded as data over run-store grid
+// cells and evaluated into a pass/fail report that names the offending
+// cells. paper.go lists every check-mark EXPERIMENTS.md asserts;
+// cmd/experiments -check gates them.
+package claims
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"spjoin/internal/runstore"
+	"spjoin/internal/stats"
+)
+
+// Kind enumerates the predicate shapes.
+type Kind uint8
+
+const (
+	// Ordering: within each group, the metric is non-decreasing cell to
+	// cell (each next value >= previous * (1 - Slack)).
+	Ordering Kind = iota
+	// Ratio: each group is a pair [A, B]; metric(A)/metric(B) must lie in
+	// [Min, Max].
+	Ratio
+	// RatioOrder: each group is [A1, B1, A2, B2]; the first pair's ratio
+	// must be >= the second pair's ratio * (1 - Slack). Encodes "X
+	// improves more than Y" claims.
+	RatioOrder
+	// Equal: each group is a pair [A, B]; every metric in Metrics must
+	// agree within AbsTol (0 = exact — the "root-level reassignment is a
+	// no-op for gd" claim).
+	Equal
+	// Bound: each group is a single cell; the metric must lie in
+	// [Min, Max].
+	Bound
+	// Monotone: each series' metric, swept along its axis, moves in
+	// direction Dir (+1 non-decreasing, -1 non-increasing) within Slack
+	// per step.
+	Monotone
+	// Crossover: SeriesA and SeriesB, aligned on their shared axis, swap
+	// order: A is below B (by more than Slack, relatively) at some axis
+	// point and above B (by more than Slack) at a later one.
+	Crossover
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Ordering:
+		return "ordering"
+	case Ratio:
+		return "ratio"
+	case RatioOrder:
+		return "ratio-order"
+	case Equal:
+		return "equal"
+	case Bound:
+		return "bound"
+	case Monotone:
+		return "monotone"
+	case Crossover:
+		return "crossover"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// CellRef addresses one run-store cell.
+type CellRef struct {
+	Exp    string
+	Params map[string]string
+}
+
+func (c CellRef) String() string {
+	return (&runstore.Record{Experiment: c.Exp, Params: c.Params}).Key()
+}
+
+// Series addresses a sweep: every cell of Exp matching Fixed, ordered by
+// the numeric-aware value of the Axis param.
+type Series struct {
+	Exp   string
+	Fixed map[string]string
+	Axis  string
+}
+
+// Claim is one machine-checked paper claim.
+type Claim struct {
+	// ID is the stable identifier (e.g. "fig5-gd-fewest-disk"); Figure
+	// names the paper figure it reproduces; Text is the prose claim.
+	ID, Figure, Text string
+	Kind             Kind
+	// Metric is the compared measure; Equal uses Metrics (a list).
+	Metric  string
+	Metrics []string
+	// Groups instantiates the predicate over concrete cells (see Kind).
+	Groups [][]CellRef
+	// SeriesA/SeriesB drive Monotone (A, and B when set) and Crossover.
+	SeriesA, SeriesB Series
+	// Dir is the Monotone direction: +1 non-decreasing, -1 non-increasing.
+	Dir int
+	// Slack is the relative slack of Ordering/RatioOrder/Monotone and the
+	// significance margin of Crossover.
+	Slack float64
+	// Min and Max bound Ratio and Bound.
+	Min, Max float64
+	// AbsTol is Equal's absolute tolerance.
+	AbsTol float64
+	// MinScale skips the claim (not fails) on stores below this workload
+	// scale: some full-scale shapes invert on tiny workloads (buffer
+	// floors, shipping overhead vs. near-zero work) — those claims are
+	// checked by the weekly full-scale run only.
+	MinScale float64
+}
+
+// Result is one claim's evaluation.
+type Result struct {
+	Claim   Claim
+	Pass    bool
+	Skipped bool   // below the claim's MinScale; neither pass nor fail
+	Detail  string // offending cells and values, or a pass summary
+}
+
+// Report is the evaluation of a claim set against one run store.
+type Report struct {
+	Results []Result
+}
+
+// Evaluate checks every claim against the store. Claims whose MinScale
+// exceeds the store's workload scale are skipped, not failed.
+func Evaluate(cs []Claim, s *runstore.Store) *Report {
+	scale := 0.0
+	if s.Len() > 0 {
+		scale = s.Records[0].Scale
+	}
+	rep := &Report{}
+	for _, c := range cs {
+		if c.MinScale > 0 && scale < c.MinScale {
+			rep.Results = append(rep.Results, Result{Claim: c, Skipped: true,
+				Detail: fmt.Sprintf("requires scale >= %g, store is at %g (checked by the full-scale run)", c.MinScale, scale)})
+			continue
+		}
+		rep.Results = append(rep.Results, evalClaim(c, s))
+	}
+	return rep
+}
+
+// Passed, Failed and Skipped count outcomes.
+func (r *Report) Passed() int {
+	n := 0
+	for _, res := range r.Results {
+		if res.Pass {
+			n++
+		}
+	}
+	return n
+}
+
+func (r *Report) Skipped() int {
+	n := 0
+	for _, res := range r.Results {
+		if res.Skipped {
+			n++
+		}
+	}
+	return n
+}
+
+func (r *Report) Failed() int { return len(r.Results) - r.Passed() - r.Skipped() }
+
+// Render writes the pass/fail report; failures name the offending cells.
+func (r *Report) Render(w io.Writer) {
+	for _, res := range r.Results {
+		mark := "PASS"
+		switch {
+		case res.Skipped:
+			mark = "SKIP"
+		case !res.Pass:
+			mark = "FAIL"
+		}
+		fmt.Fprintf(w, "%s %-32s [%s/%s] %s\n", mark, res.Claim.ID, res.Claim.Figure, res.Claim.Kind, res.Claim.Text)
+		if res.Detail != "" {
+			fmt.Fprintf(w, "     %s\n", res.Detail)
+		}
+	}
+	fmt.Fprintf(w, "\nclaims: %d passed, %d failed, %d skipped, %d total\n",
+		r.Passed(), r.Failed(), r.Skipped(), len(r.Results))
+}
+
+func evalClaim(c Claim, s *runstore.Store) Result {
+	res := Result{Claim: c}
+	var err error
+	switch c.Kind {
+	case Ordering:
+		res.Pass, res.Detail, err = evalOrdering(c, s)
+	case Ratio:
+		res.Pass, res.Detail, err = evalRatio(c, s)
+	case RatioOrder:
+		res.Pass, res.Detail, err = evalRatioOrder(c, s)
+	case Equal:
+		res.Pass, res.Detail, err = evalEqual(c, s)
+	case Bound:
+		res.Pass, res.Detail, err = evalBound(c, s)
+	case Monotone:
+		res.Pass, res.Detail, err = evalMonotone(c, s)
+	case Crossover:
+		res.Pass, res.Detail, err = evalCrossover(c, s)
+	default:
+		err = fmt.Errorf("unknown predicate kind %v", c.Kind)
+	}
+	if err != nil {
+		res.Pass = false
+		res.Detail = err.Error()
+	}
+	return res
+}
+
+func metricOf(s *runstore.Store, ref CellRef, metric string) (float64, error) {
+	return s.Metric(ref.Exp, ref.Params, metric)
+}
+
+func evalOrdering(c Claim, s *runstore.Store) (bool, string, error) {
+	var bad []string
+	for _, group := range c.Groups {
+		if len(group) < 2 {
+			return false, "", fmt.Errorf("ordering group needs >= 2 cells, got %d", len(group))
+		}
+		prev, err := metricOf(s, group[0], c.Metric)
+		if err != nil {
+			return false, "", err
+		}
+		for _, ref := range group[1:] {
+			v, err := metricOf(s, ref, c.Metric)
+			if err != nil {
+				return false, "", err
+			}
+			if v < prev*(1-c.Slack) {
+				bad = append(bad, fmt.Sprintf("%s: %s=%g < %g", ref, c.Metric, v, prev))
+			}
+			prev = v
+		}
+	}
+	if len(bad) > 0 {
+		return false, "offending cells: " + strings.Join(bad, "; "), nil
+	}
+	return true, fmt.Sprintf("%d group(s) ordered on %s", len(c.Groups), c.Metric), nil
+}
+
+func evalRatio(c Claim, s *runstore.Store) (bool, string, error) {
+	var bad, vals []string
+	for _, group := range c.Groups {
+		if len(group) != 2 {
+			return false, "", fmt.Errorf("ratio group needs exactly 2 cells, got %d", len(group))
+		}
+		a, err := metricOf(s, group[0], c.Metric)
+		if err != nil {
+			return false, "", err
+		}
+		b, err := metricOf(s, group[1], c.Metric)
+		if err != nil {
+			return false, "", err
+		}
+		if b == 0 {
+			return false, "", fmt.Errorf("ratio denominator %s: %s = 0", group[1], c.Metric)
+		}
+		r := a / b
+		vals = append(vals, fmt.Sprintf("%.3f", r))
+		if r < c.Min || r > c.Max {
+			bad = append(bad, fmt.Sprintf("%s / %s: %s ratio %.4f outside [%g, %g]",
+				group[0], group[1], c.Metric, r, c.Min, c.Max))
+		}
+	}
+	if len(bad) > 0 {
+		return false, "offending cells: " + strings.Join(bad, "; "), nil
+	}
+	return true, fmt.Sprintf("ratios %s within [%g, %g]", strings.Join(vals, ", "), c.Min, c.Max), nil
+}
+
+func evalRatioOrder(c Claim, s *runstore.Store) (bool, string, error) {
+	var bad, vals []string
+	for _, group := range c.Groups {
+		if len(group) != 4 {
+			return false, "", fmt.Errorf("ratio-order group needs exactly 4 cells, got %d", len(group))
+		}
+		var v [4]float64
+		for i, ref := range group {
+			m, err := metricOf(s, ref, c.Metric)
+			if err != nil {
+				return false, "", err
+			}
+			v[i] = m
+		}
+		if v[1] == 0 || v[3] == 0 {
+			return false, "", fmt.Errorf("ratio-order zero denominator in group %v", group)
+		}
+		r1, r2 := v[0]/v[1], v[2]/v[3]
+		vals = append(vals, fmt.Sprintf("%.3f>=%.3f", r1, r2))
+		if r1 < r2*(1-c.Slack) {
+			bad = append(bad, fmt.Sprintf("%s/%s ratio %.4f < %s/%s ratio %.4f",
+				group[0], group[1], r1, group[2], group[3], r2))
+		}
+	}
+	if len(bad) > 0 {
+		return false, "offending cells: " + strings.Join(bad, "; "), nil
+	}
+	return true, strings.Join(vals, ", "), nil
+}
+
+func evalEqual(c Claim, s *runstore.Store) (bool, string, error) {
+	metrics := c.Metrics
+	if len(metrics) == 0 && c.Metric != "" {
+		metrics = []string{c.Metric}
+	}
+	if len(metrics) == 0 {
+		return false, "", fmt.Errorf("equal claim lists no metrics")
+	}
+	var bad []string
+	for _, group := range c.Groups {
+		if len(group) != 2 {
+			return false, "", fmt.Errorf("equal group needs exactly 2 cells, got %d", len(group))
+		}
+		for _, m := range metrics {
+			a, err := metricOf(s, group[0], m)
+			if err != nil {
+				return false, "", err
+			}
+			b, err := metricOf(s, group[1], m)
+			if err != nil {
+				return false, "", err
+			}
+			if d := a - b; d > c.AbsTol || d < -c.AbsTol {
+				bad = append(bad, fmt.Sprintf("%s vs %s: %s %g != %g", group[0], group[1], m, a, b))
+			}
+		}
+	}
+	if len(bad) > 0 {
+		return false, "offending cells: " + strings.Join(bad, "; "), nil
+	}
+	return true, fmt.Sprintf("%d pair(s) equal on %s (tol %g)", len(c.Groups), strings.Join(metrics, ","), c.AbsTol), nil
+}
+
+func evalBound(c Claim, s *runstore.Store) (bool, string, error) {
+	var bad, vals []string
+	for _, group := range c.Groups {
+		if len(group) != 1 {
+			return false, "", fmt.Errorf("bound group needs exactly 1 cell, got %d", len(group))
+		}
+		v, err := metricOf(s, group[0], c.Metric)
+		if err != nil {
+			return false, "", err
+		}
+		vals = append(vals, fmt.Sprintf("%.4g", v))
+		if v < c.Min || v > c.Max {
+			bad = append(bad, fmt.Sprintf("%s: %s = %g outside [%g, %g]", group[0], c.Metric, v, c.Min, c.Max))
+		}
+	}
+	if len(bad) > 0 {
+		return false, "offending cells: " + strings.Join(bad, "; "), nil
+	}
+	return true, fmt.Sprintf("%s = %s within [%g, %g]", c.Metric, strings.Join(vals, ", "), c.Min, c.Max), nil
+}
+
+// seriesPoints resolves a series to (axis value, metric) points in axis
+// order.
+type point struct {
+	X string
+	V float64
+}
+
+func seriesPoints(s *runstore.Store, ser Series, metric string) ([]point, error) {
+	recs := s.Select(ser.Exp, ser.Fixed)
+	if len(recs) == 0 {
+		return nil, fmt.Errorf("series %s %v: no cells in run store", ser.Exp, ser.Fixed)
+	}
+	var pts []point
+	for _, rec := range recs {
+		x, ok := rec.Params[ser.Axis]
+		if !ok {
+			return nil, fmt.Errorf("series cell %s has no axis %q", rec.Key(), ser.Axis)
+		}
+		v, ok := rec.Metrics[metric]
+		if !ok {
+			return nil, fmt.Errorf("series cell %s has no metric %q", rec.Key(), metric)
+		}
+		pts = append(pts, point{X: x, V: v})
+	}
+	for i := 1; i < len(pts); i++ {
+		for j := i; j > 0 && runstore.AxisLess(pts[j].X, pts[j-1].X); j-- {
+			pts[j], pts[j-1] = pts[j-1], pts[j]
+		}
+	}
+	return pts, nil
+}
+
+func evalMonotone(c Claim, s *runstore.Store) (bool, string, error) {
+	if c.Dir != 1 && c.Dir != -1 {
+		return false, "", fmt.Errorf("monotone claim needs Dir +1 or -1")
+	}
+	var bad []string
+	series := []Series{c.SeriesA}
+	if c.SeriesB.Exp != "" {
+		series = append(series, c.SeriesB)
+	}
+	n := 0
+	for _, ser := range series {
+		pts, err := seriesPoints(s, ser, c.Metric)
+		if err != nil {
+			return false, "", err
+		}
+		if len(pts) < 2 {
+			return false, "", fmt.Errorf("series %s %v: need >= 2 points, got %d", ser.Exp, ser.Fixed, len(pts))
+		}
+		n += len(pts)
+		for i := 1; i < len(pts); i++ {
+			prev, cur := pts[i-1].V, pts[i].V
+			ok := true
+			if c.Dir > 0 && cur < prev*(1-c.Slack) {
+				ok = false
+			}
+			if c.Dir < 0 && cur > prev*(1+c.Slack) {
+				ok = false
+			}
+			if !ok {
+				bad = append(bad, fmt.Sprintf("%s %v: %s=%s -> %s breaks dir %+d (%g -> %g)",
+					ser.Exp, ser.Fixed, ser.Axis, pts[i-1].X, pts[i].X, c.Dir, prev, cur))
+			}
+		}
+	}
+	if len(bad) > 0 {
+		return false, "offending cells: " + strings.Join(bad, "; "), nil
+	}
+	return true, fmt.Sprintf("%d point(s) monotone (dir %+d, slack %g)", n, c.Dir, c.Slack), nil
+}
+
+func evalCrossover(c Claim, s *runstore.Store) (bool, string, error) {
+	pa, err := seriesPoints(s, c.SeriesA, c.Metric)
+	if err != nil {
+		return false, "", err
+	}
+	pb, err := seriesPoints(s, c.SeriesB, c.Metric)
+	if err != nil {
+		return false, "", err
+	}
+	bv := map[string]float64{}
+	for _, p := range pb {
+		bv[p.X] = p.V
+	}
+	// Walk A in axis order; record the first and last significant sign.
+	firstSign, lastSign := 0, 0
+	var firstX, lastX string
+	for _, p := range pa {
+		vb, ok := bv[p.X]
+		if !ok {
+			continue
+		}
+		if stats.RelDiff(p.V, vb) <= c.Slack {
+			continue // not a significant difference
+		}
+		sign := 1
+		if p.V < vb {
+			sign = -1
+		}
+		if firstSign == 0 {
+			firstSign, firstX = sign, p.X
+		}
+		lastSign, lastX = sign, p.X
+	}
+	if firstSign == 0 {
+		return false, fmt.Sprintf("series never significantly differ (slack %g)", c.Slack), nil
+	}
+	if firstSign == -1 && lastSign == 1 {
+		return true, fmt.Sprintf("A below B at %s=%s, above at %s=%s",
+			c.SeriesA.Axis, firstX, c.SeriesA.Axis, lastX), nil
+	}
+	return false, fmt.Sprintf("no crossover: sign at %s=%s is %+d, at %s=%s is %+d (want -1 then +1)",
+		c.SeriesA.Axis, firstX, firstSign, c.SeriesA.Axis, lastX, lastSign), nil
+}

@@ -1,0 +1,244 @@
+package claims
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"spjoin/internal/runstore"
+)
+
+// buildStore assembles a synthetic validated store from (exp, params,
+// metrics) triples.
+func buildStore(t *testing.T, recs ...runstore.Record) *runstore.Store {
+	t.Helper()
+	var buf bytes.Buffer
+	w := runstore.NewWriter(&buf)
+	for _, rec := range recs {
+		rec.Seed, rec.Scale, rec.Engine = 1, 1, "sim"
+		if err := w.Write(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	s, err := runstore.Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func rec(exp string, params map[string]string, metrics map[string]float64) runstore.Record {
+	return runstore.Record{Experiment: exp, Params: params, Metrics: metrics}
+}
+
+func cell(exp string, params map[string]string) CellRef {
+	return CellRef{Exp: exp, Params: params}
+}
+
+func one(t *testing.T, c Claim, s *runstore.Store) Result {
+	t.Helper()
+	rep := Evaluate([]Claim{c}, s)
+	if len(rep.Results) != 1 {
+		t.Fatalf("got %d results", len(rep.Results))
+	}
+	return rep.Results[0]
+}
+
+func TestOrdering(t *testing.T) {
+	s := buildStore(t,
+		rec("f", map[string]string{"v": "gd"}, map[string]float64{"disk": 100}),
+		rec("f", map[string]string{"v": "gsrr"}, map[string]float64{"disk": 110}),
+		rec("f", map[string]string{"v": "lsr"}, map[string]float64{"disk": 108}),
+	)
+	c := Claim{ID: "ord", Kind: Ordering, Metric: "disk",
+		Groups: [][]CellRef{{cell("f", map[string]string{"v": "gd"}), cell("f", map[string]string{"v": "gsrr"})}}}
+	if res := one(t, c, s); !res.Pass {
+		t.Fatalf("ascending pair failed: %s", res.Detail)
+	}
+	// gsrr -> lsr decreases by ~2%: fails at slack 0, passes at slack 5%.
+	c.Groups = [][]CellRef{{cell("f", map[string]string{"v": "gsrr"}), cell("f", map[string]string{"v": "lsr"})}}
+	res := one(t, c, s)
+	if res.Pass {
+		t.Fatal("2% decrease passed with zero slack")
+	}
+	if !strings.Contains(res.Detail, "v=lsr") {
+		t.Fatalf("detail must name the offending cell: %s", res.Detail)
+	}
+	c.Slack = 0.05
+	if res := one(t, c, s); !res.Pass {
+		t.Fatalf("2%% decrease failed with 5%% slack: %s", res.Detail)
+	}
+}
+
+func TestRatioAndBounds(t *testing.T) {
+	s := buildStore(t,
+		rec("f", map[string]string{"r": "all"}, map[string]float64{"t": 60}),
+		rec("f", map[string]string{"r": "none"}, map[string]float64{"t": 100}),
+	)
+	c := Claim{ID: "ratio", Kind: Ratio, Metric: "t", Min: 0.4, Max: 0.8,
+		Groups: [][]CellRef{{cell("f", map[string]string{"r": "all"}), cell("f", map[string]string{"r": "none"})}}}
+	if res := one(t, c, s); !res.Pass {
+		t.Fatalf("ratio 0.6 in [0.4, 0.8] failed: %s", res.Detail)
+	}
+	c.Max = 0.5
+	if res := one(t, c, s); res.Pass {
+		t.Fatal("ratio 0.6 passed with max 0.5")
+	}
+	b := Claim{ID: "bound", Kind: Bound, Metric: "t", Min: 50, Max: 70,
+		Groups: [][]CellRef{{cell("f", map[string]string{"r": "all"})}}}
+	if res := one(t, b, s); !res.Pass {
+		t.Fatalf("bound failed: %s", res.Detail)
+	}
+	b.Max = 55
+	if res := one(t, b, s); res.Pass || !strings.Contains(res.Detail, "r=all") {
+		t.Fatalf("bound must fail naming the cell: %+v", res)
+	}
+}
+
+func TestRatioOrder(t *testing.T) {
+	// Gain of X (200/3200 pages) = 2.0; gain of Y = 1.5: X profits more.
+	s := buildStore(t,
+		rec("f", map[string]string{"v": "x", "b": "200"}, map[string]float64{"disk": 200}),
+		rec("f", map[string]string{"v": "x", "b": "3200"}, map[string]float64{"disk": 100}),
+		rec("f", map[string]string{"v": "y", "b": "200"}, map[string]float64{"disk": 150}),
+		rec("f", map[string]string{"v": "y", "b": "3200"}, map[string]float64{"disk": 100}),
+	)
+	g := [][]CellRef{{
+		cell("f", map[string]string{"v": "x", "b": "200"}), cell("f", map[string]string{"v": "x", "b": "3200"}),
+		cell("f", map[string]string{"v": "y", "b": "200"}), cell("f", map[string]string{"v": "y", "b": "3200"}),
+	}}
+	c := Claim{ID: "ro", Kind: RatioOrder, Metric: "disk", Groups: g}
+	if res := one(t, c, s); !res.Pass {
+		t.Fatalf("gain 2.0 >= 1.5 failed: %s", res.Detail)
+	}
+	// Swapped: 1.5 >= 2.0 fails.
+	swapped := [][]CellRef{{g[0][2], g[0][3], g[0][0], g[0][1]}}
+	c.Groups = swapped
+	if res := one(t, c, s); res.Pass {
+		t.Fatal("reversed ratio order passed")
+	}
+}
+
+func TestEqualExact(t *testing.T) {
+	s := buildStore(t,
+		rec("f", map[string]string{"r": "none"}, map[string]float64{"disk": 16243, "t": 162.8}),
+		rec("f", map[string]string{"r": "root"}, map[string]float64{"disk": 16243, "t": 162.8}),
+		rec("f", map[string]string{"r": "all"}, map[string]float64{"disk": 16237, "t": 154.5}),
+	)
+	c := Claim{ID: "eq", Kind: Equal, Metrics: []string{"disk", "t"},
+		Groups: [][]CellRef{{cell("f", map[string]string{"r": "root"}), cell("f", map[string]string{"r": "none"})}}}
+	if res := one(t, c, s); !res.Pass {
+		t.Fatalf("identical cells not equal: %s", res.Detail)
+	}
+	c.Groups = [][]CellRef{{cell("f", map[string]string{"r": "all"}), cell("f", map[string]string{"r": "none"})}}
+	if res := one(t, c, s); res.Pass {
+		t.Fatal("different cells compared equal")
+	}
+}
+
+func TestMonotone(t *testing.T) {
+	s := buildStore(t,
+		rec("f9", map[string]string{"d": "n", "n": "1"}, map[string]float64{"t": 1000}),
+		rec("f9", map[string]string{"d": "n", "n": "2"}, map[string]float64{"t": 520}),
+		rec("f9", map[string]string{"d": "n", "n": "10"}, map[string]float64{"t": 130}),
+		rec("f9", map[string]string{"d": "n", "n": "24"}, map[string]float64{"t": 60}),
+	)
+	c := Claim{ID: "mono", Kind: Monotone, Metric: "t", Dir: -1,
+		SeriesA: Series{Exp: "f9", Fixed: map[string]string{"d": "n"}, Axis: "n"}}
+	if res := one(t, c, s); !res.Pass {
+		t.Fatalf("decreasing series failed: %s", res.Detail)
+	}
+	// Numeric axis order matters: n=10 must sort between 2 and 24. A
+	// lexical sort would put "10" first and break monotonicity.
+	c.Dir = 1
+	if res := one(t, c, s); res.Pass {
+		t.Fatal("decreasing series passed as non-decreasing")
+	}
+}
+
+func TestCrossover(t *testing.T) {
+	s := buildStore(t,
+		// A (d=8) better at small n, worse at large n.
+		rec("f9", map[string]string{"d": "8", "n": "4"}, map[string]float64{"t": 280}),
+		rec("f9", map[string]string{"d": "8", "n": "8"}, map[string]float64{"t": 155}),
+		rec("f9", map[string]string{"d": "8", "n": "24"}, map[string]float64{"t": 82}),
+		rec("f9", map[string]string{"d": "n", "n": "4"}, map[string]float64{"t": 315}),
+		rec("f9", map[string]string{"d": "n", "n": "8"}, map[string]float64{"t": 155}),
+		rec("f9", map[string]string{"d": "n", "n": "24"}, map[string]float64{"t": 50}),
+	)
+	c := Claim{ID: "cross", Kind: Crossover, Metric: "t", Slack: 0.02,
+		SeriesA: Series{Exp: "f9", Fixed: map[string]string{"d": "8"}, Axis: "n"},
+		SeriesB: Series{Exp: "f9", Fixed: map[string]string{"d": "n"}, Axis: "n"}}
+	if res := one(t, c, s); !res.Pass {
+		t.Fatalf("crossover not detected: %s", res.Detail)
+	}
+	// Reversed series never cross in the required direction.
+	c.SeriesA, c.SeriesB = c.SeriesB, c.SeriesA
+	if res := one(t, c, s); res.Pass {
+		t.Fatal("reverse crossover passed")
+	}
+}
+
+func TestMissingCellFailsWithName(t *testing.T) {
+	s := buildStore(t, rec("f", map[string]string{"v": "gd"}, map[string]float64{"disk": 1}))
+	c := Claim{ID: "miss", Kind: Ordering, Metric: "disk",
+		Groups: [][]CellRef{{cell("f", map[string]string{"v": "gd"}), cell("f", map[string]string{"v": "nope"})}}}
+	res := one(t, c, s)
+	if res.Pass || !strings.Contains(res.Detail, "v=nope") {
+		t.Fatalf("missing cell must fail naming it: %+v", res)
+	}
+}
+
+func TestReportRender(t *testing.T) {
+	s := buildStore(t,
+		rec("f", map[string]string{"v": "a"}, map[string]float64{"m": 1}),
+		rec("f", map[string]string{"v": "b"}, map[string]float64{"m": 2}),
+	)
+	cs := []Claim{
+		{ID: "good", Figure: "Figure 5", Text: "a <= b", Kind: Ordering, Metric: "m",
+			Groups: [][]CellRef{{cell("f", map[string]string{"v": "a"}), cell("f", map[string]string{"v": "b"})}}},
+		{ID: "bad", Figure: "Figure 5", Text: "b <= a", Kind: Ordering, Metric: "m",
+			Groups: [][]CellRef{{cell("f", map[string]string{"v": "b"}), cell("f", map[string]string{"v": "a"})}}},
+	}
+	rep := Evaluate(cs, s)
+	if rep.Passed() != 1 || rep.Failed() != 1 {
+		t.Fatalf("passed=%d failed=%d", rep.Passed(), rep.Failed())
+	}
+	var buf bytes.Buffer
+	rep.Render(&buf)
+	out := buf.String()
+	for _, want := range []string{"PASS good", "FAIL bad", "offending cells", "1 passed, 1 failed, 0 skipped, 2 total"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestMinScaleSkips(t *testing.T) {
+	s := buildStore(t, rec("f", map[string]string{"v": "a"}, map[string]float64{"m": 1}))
+	// buildStore stamps Scale = 1; a claim gated at 2 must skip, and a
+	// skipped claim counts neither as pass nor fail.
+	c := Claim{ID: "gated", Kind: Bound, Metric: "m", Min: 99, Max: 100, MinScale: 2,
+		Groups: [][]CellRef{{cell("f", map[string]string{"v": "a"})}}}
+	rep := Evaluate([]Claim{c}, s)
+	res := rep.Results[0]
+	if !res.Skipped || res.Pass {
+		t.Fatalf("gated claim not skipped: %+v", res)
+	}
+	if rep.Failed() != 0 || rep.Skipped() != 1 {
+		t.Fatalf("failed=%d skipped=%d", rep.Failed(), rep.Skipped())
+	}
+	var buf bytes.Buffer
+	rep.Render(&buf)
+	if !strings.Contains(buf.String(), "SKIP gated") {
+		t.Fatalf("render missing SKIP line:\n%s", buf.String())
+	}
+	// At or above MinScale the claim evaluates normally (and here fails).
+	c.MinScale = 1
+	if res := one(t, c, s); res.Skipped || res.Pass {
+		t.Fatalf("claim at MinScale must evaluate: %+v", res)
+	}
+}

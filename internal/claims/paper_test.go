@@ -1,0 +1,60 @@
+package claims
+
+import "testing"
+
+// TestPaperClaimSet pins the acceptance contract: at least 12 claims,
+// unique IDs, every asserted figure covered, and each claim structurally
+// valid for its predicate kind.
+func TestPaperClaimSet(t *testing.T) {
+	cs := Paper()
+	if len(cs) < 12 {
+		t.Fatalf("paper claim set has %d claims, acceptance requires >= 12", len(cs))
+	}
+	figures := map[string]bool{}
+	ids := map[string]bool{}
+	for _, c := range cs {
+		if c.ID == "" || c.Figure == "" || c.Text == "" {
+			t.Errorf("claim %+v missing ID/Figure/Text", c)
+		}
+		if ids[c.ID] {
+			t.Errorf("duplicate claim ID %q", c.ID)
+		}
+		ids[c.ID] = true
+		figures[c.Figure] = true
+		switch c.Kind {
+		case Monotone, Crossover:
+			if c.SeriesA.Exp == "" || c.SeriesA.Axis == "" {
+				t.Errorf("%s: series claim without SeriesA", c.ID)
+			}
+			if c.Kind == Crossover && c.SeriesB.Exp == "" {
+				t.Errorf("%s: crossover without SeriesB", c.ID)
+			}
+		default:
+			if len(c.Groups) == 0 {
+				t.Errorf("%s: cell claim without groups", c.ID)
+			}
+		}
+		want := map[Kind]int{Ratio: 2, RatioOrder: 4, Equal: 2, Bound: 1}
+		if n, ok := want[c.Kind]; ok {
+			for _, g := range c.Groups {
+				if len(g) != n {
+					t.Errorf("%s: %s group has %d cells, want %d", c.ID, c.Kind, len(g), n)
+				}
+			}
+		}
+		if c.Kind == Equal && len(c.Metrics) == 0 && c.Metric == "" {
+			t.Errorf("%s: equal claim without metrics", c.ID)
+		}
+		if (c.Kind == Ratio || c.Kind == Bound) && c.Max <= 0 {
+			t.Errorf("%s: %s claim without Max bound", c.ID, c.Kind)
+		}
+	}
+	for _, fig := range []string{
+		"Table 1", "Figure 5", "Figure 7", "Figure 8", "Figure 9", "Figure 10",
+		"Extension SN", "Extension EST",
+	} {
+		if !figures[fig] {
+			t.Errorf("no claim covers %s", fig)
+		}
+	}
+}

@@ -65,6 +65,16 @@ func Table1(w *Workload, out io.Writer) {
 		fmt.Sprintf("%.0f%%", s2.AvgLeafFill*100))
 	t.AddRow("m (number of tasks)", m, m)
 	t.Render(out)
+	if w.Rec != nil {
+		w.Rec.Add("table1", map[string]string{"tree": "streets"}, map[string]float64{
+			"height": float64(s1.Height), "data_entries": float64(s1.DataEntries),
+			"data_pages": float64(s1.DataPages), "dir_pages": float64(s1.DirectoryPages),
+			"avg_leaf_fill": s1.AvgLeafFill, "m_tasks": float64(m)})
+		w.Rec.Add("table1", map[string]string{"tree": "features"}, map[string]float64{
+			"height": float64(s2.Height), "data_entries": float64(s2.DataEntries),
+			"data_pages": float64(s2.DataPages), "dir_pages": float64(s2.DirectoryPages),
+			"avg_leaf_fill": s2.AvgLeafFill, "m_tasks": float64(m)})
+	}
 }
 
 func taskCount(w *Workload) (m, level, comparisons int) {
@@ -108,7 +118,9 @@ func Fig5(w *Workload, out io.Writer) {
 			for _, v := range []string{"lsr", "gsrr", "gd"} {
 				cfg := w.config(procs, procs, size).Variant(v)
 				cfg.Reassign = parjoin.ReassignRoot
-				row = append(row, w.run(cfg).DiskAccesses)
+				res := w.runRec("fig5", map[string]string{
+					"procs": fmt.Sprint(procs), "buffer": fmt.Sprint(size), "variant": v}, cfg)
+				row = append(row, res.DiskAccesses)
 			}
 			t.AddRow(row...)
 		}
@@ -127,7 +139,7 @@ func Fig7(w *Workload, out io.Writer) {
 		for _, ra := range []parjoin.Reassign{parjoin.ReassignNone, parjoin.ReassignRoot, parjoin.ReassignAll} {
 			cfg := w.config(8, 8, 800).Variant(v)
 			cfg.Reassign = ra
-			res := w.run(cfg)
+			res := w.runRec("fig7", map[string]string{"variant": v, "reassign": reassignLabel(ra)}, cfg)
 			t.AddRow(v, ra.String(),
 				res.FirstFinish.Seconds(), res.AvgFinish.Seconds(),
 				res.ResponseTime.Seconds(), res.TotalWork.Seconds(),
@@ -150,7 +162,8 @@ func Fig8(w *Workload, out io.Writer) {
 			cfg.Reassign = parjoin.ReassignAll
 			cfg.Victim = vict
 			cfg.Seed = w.Seed
-			row = append(row, w.run(cfg).DiskAccesses)
+			res := w.runRec("fig8", map[string]string{"variant": v, "victim": victimLabel(vict)}, cfg)
+			row = append(row, res.DiskAccesses)
 		}
 		t.AddRow(row...)
 	}
@@ -213,10 +226,11 @@ func ExpSN(w *Workload, out io.Writer) {
 	t := stats.NewTable("Extension: SVM (global buffer) vs. shared-nothing (page shipping); gd, reassignment on all levels, d=n, buffer 100·n",
 		"n", "SVM t(n) [s]", "SN t(n) [s]", "SN/SVM", "SVM disk", "SN disk")
 	for _, n := range []int{1, 4, 8, 16, 24} {
-		svm := w.run(w.config(n, n, 100*n))
+		svm := w.runRec("sn", map[string]string{"n": fmt.Sprint(n), "platform": "svm"},
+			w.config(n, n, 100*n))
 		cfgSN := w.config(n, n, 100*n)
 		cfgSN.Buffer = parjoin.SharedNothingOrg
-		sn := w.run(cfgSN)
+		sn := w.runRec("sn", map[string]string{"n": fmt.Sprint(n), "platform": "sn"}, cfgSN)
 		ratio := 0.0
 		if svm.ResponseTime > 0 {
 			ratio = float64(sn.ResponseTime) / float64(svm.ResponseTime)
@@ -246,27 +260,32 @@ func ExpEst(w *Workload, out io.Writer) {
 		actual[i] = float64(n)
 	}
 	corr := estimate.Correlation(costs, actual)
+	if w.Rec != nil {
+		w.Rec.Add("est", map[string]string{"measure": "correlation"},
+			map[string]float64{"pearson_r": corr, "tasks": float64(len(tasks))})
+	}
 	fmt.Fprintf(out, "estimate vs actual per-task work: Pearson r = %.2f over %d tasks\n", corr, len(tasks))
 	fmt.Fprintf(out, "(the paper's §3.4 argument: cheap estimates track clustered spatial work poorly)\n\n")
 
 	t := stats.NewTable("Extension: static assignments vs. dynamic reassignment; local buffers, n=d=8, buffer 800 pages",
 		"assignment", "reassign", "first [s]", "avg [s]", "last [s]", "disk")
 	rows := []struct {
-		name     string
-		assign   parjoin.Assignment
-		reassign parjoin.Reassign
+		name, key string
+		assign    parjoin.Assignment
+		reassign  parjoin.Reassign
 	}{
-		{"static range", parjoin.StaticRange, parjoin.ReassignNone},
-		{"static estimated (LPT)", parjoin.StaticEstimated, parjoin.ReassignNone},
-		{"static estimated (LPT)", parjoin.StaticEstimated, parjoin.ReassignAll},
-		{"dynamic", parjoin.Dynamic, parjoin.ReassignAll},
+		{"static range", "range", parjoin.StaticRange, parjoin.ReassignNone},
+		{"static estimated (LPT)", "lpt", parjoin.StaticEstimated, parjoin.ReassignNone},
+		{"static estimated (LPT)", "lpt", parjoin.StaticEstimated, parjoin.ReassignAll},
+		{"dynamic", "dynamic", parjoin.Dynamic, parjoin.ReassignAll},
 	}
 	for _, r := range rows {
 		cfg := w.config(8, 8, 800)
 		cfg.Buffer = parjoin.LocalOrg
 		cfg.Assign = r.assign
 		cfg.Reassign = r.reassign
-		res := w.run(cfg)
+		res := w.runRec("est", map[string]string{
+			"assignment": r.key, "reassign": reassignLabel(r.reassign)}, cfg)
 		t.AddRow(r.name, r.reassign.String(),
 			res.FirstFinish.Seconds(), res.AvgFinish.Seconds(),
 			res.ResponseTime.Seconds(), res.DiskAccesses)

@@ -1,0 +1,159 @@
+package exp
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+
+	"spjoin/internal/metrics"
+	"spjoin/internal/parjoin"
+	"spjoin/internal/runstore"
+	"spjoin/internal/sim"
+	"spjoin/internal/stats"
+	"spjoin/internal/timeline"
+)
+
+// Recording collects run-store records while the experiments execute.
+// Records are buffered in memory so later passes can amend cells — the
+// Figure 10 speed-up needs t(1), known only after the whole sweep — and
+// the store is then written in one deterministic pass.
+type Recording struct {
+	Seed   int64
+	Scale  float64
+	GitRev string
+	recs   []runstore.Record
+	index  map[string]int
+}
+
+// NewRecording starts an empty recording with the workload provenance
+// every record is stamped with.
+func NewRecording(seed int64, scale float64, gitRev string) *Recording {
+	return &Recording{Seed: seed, Scale: scale, GitRev: gitRev, index: map[string]int{}}
+}
+
+// Add appends one bare record (derived cells such as the estimator
+// correlation, or tree statistics that are not join runs).
+func (rc *Recording) Add(exp string, params map[string]string, ms map[string]float64) {
+	rec := runstore.Record{
+		Experiment: exp,
+		Params:     params,
+		Seed:       rc.Seed,
+		Scale:      rc.Scale,
+		Engine:     "sim",
+		GitRev:     rc.GitRev,
+		Metrics:    ms,
+	}
+	rc.index[rec.Key()] = len(rc.recs)
+	rc.recs = append(rc.recs, rec)
+}
+
+// Amend sets one metric on an already-recorded cell.
+func (rc *Recording) Amend(exp string, params map[string]string, metric string, v float64) {
+	key := (&runstore.Record{Experiment: exp, Params: params}).Key()
+	i, ok := rc.index[key]
+	if !ok {
+		panic(fmt.Sprintf("exp: amend of unrecorded cell %s", key))
+	}
+	rc.recs[i].Metrics[metric] = v
+}
+
+// Len returns the number of buffered records.
+func (rc *Recording) Len() int { return len(rc.recs) }
+
+// WriteStore flushes the buffered records as a validated JSONL run store,
+// returning the number of records written.
+func (rc *Recording) WriteStore(w io.Writer) (int, error) {
+	rw := runstore.NewWriter(w)
+	for _, rec := range rc.recs {
+		if err := rw.Write(rec); err != nil {
+			return rw.Count(), err
+		}
+	}
+	return rw.Count(), rw.Flush()
+}
+
+// addRun flattens one join run — result figures, buffer classes, per-kind
+// timeline totals — plus the full-registry and span-recorder digests that
+// pin the run's complete observable behavior.
+func (rc *Recording) addRun(exp string, params map[string]string,
+	res parjoin.Result, reg *metrics.Registry, tl *timeline.Recorder) {
+	ms := map[string]float64{
+		"response_s":         res.ResponseTime.Seconds(),
+		"first_s":            res.FirstFinish.Seconds(),
+		"avg_s":              res.AvgFinish.Seconds(),
+		"spread_s":           (res.ResponseTime - res.FirstFinish).Seconds(),
+		"total_work_s":       res.TotalWork.Seconds(),
+		"disk":               float64(res.DiskAccesses),
+		"disk_data":          float64(res.DataDiskAccesses),
+		"buffer_local_hits":  float64(res.Buffer.LocalHits),
+		"buffer_remote_hits": float64(res.Buffer.RemoteHits),
+		"buffer_misses":      float64(res.Buffer.Misses),
+		"path_buffer_hits":   float64(res.PathBufferHits),
+		"candidates":         float64(res.Candidates),
+		"tasks":              float64(res.TasksCreated),
+		"task_level":         float64(res.TaskLevel),
+		"reassignments":      float64(res.Reassignments),
+	}
+	busy := make([]float64, len(res.PerProc))
+	for i, p := range res.PerProc {
+		busy[i] = p.Busy.Seconds()
+	}
+	ms["proc_busy_skew"] = stats.Summarize(busy).Skew()
+	totals := tl.KindTotals()
+	for k := sim.SpanKind(0); k < timeline.NumKinds; k++ {
+		ms["timeline."+timeline.KindName(k)+"_ms"] = float64(totals[k])
+	}
+	rc.Add(exp, params, ms)
+	rec := &rc.recs[len(rc.recs)-1]
+	rec.MetricsDigest = registryDigest(reg)
+	rec.TimelineDigest = tl.Digest()
+	rec.Spans = tl.SpanCount()
+}
+
+// registryDigest hashes the registry's full JSON dump (every counter,
+// gauge and histogram bucket, not just the flattened metrics).
+func registryDigest(reg *metrics.Registry) string {
+	h := sha256.New()
+	if err := reg.WriteJSON(h); err != nil {
+		return ""
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// runRec runs one join; when a recording is attached it instruments the
+// run with a fresh registry and span recorder (observation-only — results
+// are bit-identical with or without, pinned by the golden tests) and
+// records the cell.
+func (w *Workload) runRec(exp string, params map[string]string, cfg parjoin.Config) parjoin.Result {
+	if w.Rec == nil {
+		return w.run(cfg)
+	}
+	reg := metrics.NewRegistry()
+	tl := timeline.NewRecorder(cfg.Procs, cfg.Disks)
+	cfg.Metrics = reg
+	cfg.Timeline = tl
+	res := parjoin.Run(w.R, w.S, cfg)
+	w.Rec.addRun(exp, params, res, reg, tl)
+	return res
+}
+
+// reassignLabel maps a reassignment mode to its grid-axis value.
+func reassignLabel(r parjoin.Reassign) string {
+	switch r {
+	case parjoin.ReassignRoot:
+		return "root"
+	case parjoin.ReassignAll:
+		return "all"
+	default:
+		return "none"
+	}
+}
+
+// victimLabel maps a victim policy to its grid-axis value.
+func victimLabel(v parjoin.Victim) string {
+	if v == parjoin.RandomVictim {
+		return "random"
+	}
+	return "loaded"
+}

@@ -21,6 +21,11 @@ type Workload struct {
 	Scale float64
 	Seed  int64
 
+	// Rec, when set, records every experiment cell into a run store
+	// (cmd/experiments -out). Recording is observation-only: attaching the
+	// per-run registry and span recorder never changes the results.
+	Rec *Recording
+
 	fig9 *fig9Data // lazily computed, shared by Figures 9 and 10
 }
 
@@ -101,6 +106,7 @@ func (w *Workload) figure9() *fig9Data {
 		return w.fig9
 	}
 	d := &fig9Data{procs: fig9Procs}
+	labels := [3]string{"1", "8", "n"}
 	for ci := range fig9DiskConfigs {
 		for _, n := range fig9Procs {
 			disks := 0
@@ -112,10 +118,26 @@ func (w *Workload) figure9() *fig9Data {
 			case 2:
 				disks = n
 			}
-			res := w.run(w.config(n, disks, 100*n))
+			res := w.runRec("fig9",
+				map[string]string{"n": fmt.Sprint(n), "d": labels[ci]},
+				w.config(n, disks, 100*n))
 			d.response[ci] = append(d.response[ci], res.ResponseTime)
 			d.disk[ci] = append(d.disk[ci], res.DiskAccesses)
 			d.totalWork[ci] = append(d.totalWork[ci], res.TotalWork)
+		}
+	}
+	if w.Rec != nil {
+		// Speed-up t(1)/t(n) is derivable only once the full sweep is in;
+		// amend it onto every fig9 cell so Figure 10 claims read it directly.
+		for ci := range fig9DiskConfigs {
+			t1 := float64(d.response[ci][0])
+			for i, n := range fig9Procs {
+				sp := 0.0
+				if rt := float64(d.response[ci][i]); rt > 0 {
+					sp = t1 / rt
+				}
+				w.Rec.Amend("fig9", map[string]string{"n": fmt.Sprint(n), "d": labels[ci]}, "speedup", sp)
+			}
 		}
 	}
 	w.fig9 = d

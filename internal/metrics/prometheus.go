@@ -1,0 +1,124 @@
+package metrics
+
+import (
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus writes the registry snapshot in the OpenMetrics text
+// exposition format (the Prometheus scrape format): counters with a
+// `_total` sample suffix, gauges as plain samples, histograms as
+// cumulative `_bucket{le="..."}` series plus `_sum` and `_count`, and a
+// terminating `# EOF` line. Instrument names are sanitized (every
+// character outside [a-zA-Z0-9_:] becomes '_', so "sim.disk.reads.data"
+// exposes as "sim_disk_reads_data").
+//
+// Like WriteJSON the output is deterministic: instruments are emitted in
+// sorted sanitized-name order, so equal registry states produce
+// byte-identical expositions. cmd/spjoin serves this on the -pprof mux at
+// /metrics; the round-trip test parses the exposition back into a
+// Snapshot.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	snap := r.Snapshot()
+	var b []byte
+
+	counters := make([]string, 0, len(snap.Counters))
+	for name := range snap.Counters {
+		counters = append(counters, name)
+	}
+	sort.Slice(counters, func(i, j int) bool {
+		return SanitizeMetricName(counters[i]) < SanitizeMetricName(counters[j])
+	})
+	for _, name := range counters {
+		n := SanitizeMetricName(name)
+		b = append(b, "# TYPE "...)
+		b = append(b, n...)
+		b = append(b, " counter\n"...)
+		b = append(b, n...)
+		b = append(b, "_total "...)
+		b = strconv.AppendInt(b, snap.Counters[name], 10)
+		b = append(b, '\n')
+	}
+
+	gauges := make([]string, 0, len(snap.Gauges))
+	for name := range snap.Gauges {
+		gauges = append(gauges, name)
+	}
+	sort.Slice(gauges, func(i, j int) bool {
+		return SanitizeMetricName(gauges[i]) < SanitizeMetricName(gauges[j])
+	})
+	for _, name := range gauges {
+		n := SanitizeMetricName(name)
+		b = append(b, "# TYPE "...)
+		b = append(b, n...)
+		b = append(b, " gauge\n"...)
+		b = append(b, n...)
+		b = append(b, ' ')
+		b = strconv.AppendFloat(b, snap.Gauges[name], 'g', -1, 64)
+		b = append(b, '\n')
+	}
+
+	hists := make([]string, 0, len(snap.Histograms))
+	for name := range snap.Histograms {
+		hists = append(hists, name)
+	}
+	sort.Slice(hists, func(i, j int) bool {
+		return SanitizeMetricName(hists[i]) < SanitizeMetricName(hists[j])
+	})
+	for _, name := range hists {
+		h := snap.Histograms[name]
+		n := SanitizeMetricName(name)
+		b = append(b, "# TYPE "...)
+		b = append(b, n...)
+		b = append(b, " histogram\n"...)
+		var cum int64
+		for i, c := range h.Counts {
+			cum += c
+			b = append(b, n...)
+			b = append(b, `_bucket{le="`...)
+			if i < len(h.Bounds) {
+				b = strconv.AppendInt(b, h.Bounds[i], 10)
+			} else {
+				b = append(b, "+Inf"...)
+			}
+			b = append(b, `"} `...)
+			b = strconv.AppendInt(b, cum, 10)
+			b = append(b, '\n')
+		}
+		b = append(b, n...)
+		b = append(b, "_sum "...)
+		b = strconv.AppendInt(b, h.Sum, 10)
+		b = append(b, '\n')
+		b = append(b, n...)
+		b = append(b, "_count "...)
+		b = strconv.AppendInt(b, h.Count, 10)
+		b = append(b, '\n')
+	}
+
+	b = append(b, "# EOF\n"...)
+	_, err := w.Write(b)
+	return err
+}
+
+// SanitizeMetricName maps an instrument name onto the Prometheus metric
+// name charset [a-zA-Z0-9_:], replacing every other rune with '_' and
+// prefixing a leading digit with '_'.
+func SanitizeMetricName(name string) string {
+	var sb strings.Builder
+	for i, r := range name {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(r >= '0' && r <= '9')
+		if !ok {
+			sb.WriteByte('_')
+			continue
+		}
+		if i == 0 && r >= '0' && r <= '9' {
+			sb.WriteByte('_')
+		}
+		sb.WriteRune(r)
+	}
+	return sb.String()
+}

@@ -1,0 +1,226 @@
+package metrics
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"reflect"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestSanitizeMetricName(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"sim.disk.reads.data", "sim_disk_reads_data"},
+		{"partjoin.worker.0.pairs", "partjoin_worker_0_pairs"},
+		{"already_fine:ok", "already_fine:ok"},
+		{"9starts.with.digit", "_9starts_with_digit"},
+		{"weird-chars/σ", "weird_chars__"},
+	}
+	for _, c := range cases {
+		if got := SanitizeMetricName(c.in); got != c.want {
+			t.Errorf("SanitizeMetricName(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+// parseExposition parses the OpenMetrics text back into a Snapshot keyed
+// by sanitized names — the round-trip half of the exposition test.
+func parseExposition(t *testing.T, data []byte) Snapshot {
+	t.Helper()
+	snap := Snapshot{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]float64{},
+		Histograms: map[string]HistSnapshot{},
+	}
+	types := map[string]string{}
+	sawEOF := false
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "# EOF" {
+			sawEOF = true
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(line)
+			if len(parts) != 4 {
+				t.Fatalf("malformed TYPE line %q", line)
+			}
+			types[parts[2]] = parts[3]
+			continue
+		}
+		name, value, ok := strings.Cut(line, " ")
+		if !ok {
+			t.Fatalf("malformed sample line %q", line)
+		}
+		switch {
+		case strings.Contains(name, "_bucket{le="):
+			base, rest, _ := strings.Cut(name, "_bucket{le=\"")
+			le := strings.TrimSuffix(rest, "\"}")
+			h := snap.Histograms[base]
+			cum, err := strconv.ParseInt(value, 10, 64)
+			if err != nil {
+				t.Fatalf("bucket value %q: %v", value, err)
+			}
+			// De-cumulate against the running total so far.
+			var prev int64
+			for _, c := range h.Counts {
+				prev += c
+			}
+			h.Counts = append(h.Counts, cum-prev)
+			if le != "+Inf" {
+				bound, err := strconv.ParseInt(le, 10, 64)
+				if err != nil {
+					t.Fatalf("le %q: %v", le, err)
+				}
+				h.Bounds = append(h.Bounds, bound)
+			}
+			snap.Histograms[base] = h
+		case strings.HasSuffix(name, "_sum") && types[strings.TrimSuffix(name, "_sum")] == "histogram":
+			base := strings.TrimSuffix(name, "_sum")
+			h := snap.Histograms[base]
+			v, err := strconv.ParseInt(value, 10, 64)
+			if err != nil {
+				t.Fatal(err)
+			}
+			h.Sum = v
+			snap.Histograms[base] = h
+		case strings.HasSuffix(name, "_count") && types[strings.TrimSuffix(name, "_count")] == "histogram":
+			base := strings.TrimSuffix(name, "_count")
+			h := snap.Histograms[base]
+			v, err := strconv.ParseInt(value, 10, 64)
+			if err != nil {
+				t.Fatal(err)
+			}
+			h.Count = v
+			snap.Histograms[base] = h
+		case strings.HasSuffix(name, "_total"):
+			base := strings.TrimSuffix(name, "_total")
+			if types[base] != "counter" {
+				t.Fatalf("sample %q without counter TYPE", name)
+			}
+			v, err := strconv.ParseInt(value, 10, 64)
+			if err != nil {
+				t.Fatal(err)
+			}
+			snap.Counters[base] = v
+		default:
+			if types[name] != "gauge" {
+				t.Fatalf("sample %q without gauge TYPE", name)
+			}
+			v, err := strconv.ParseFloat(value, 64)
+			if err != nil {
+				t.Fatal(err)
+			}
+			snap.Gauges[name] = v
+		}
+	}
+	if !sawEOF {
+		t.Fatal("exposition missing terminating # EOF")
+	}
+	return snap
+}
+
+func TestWritePrometheusRoundTrip(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("sim.disk.reads.data").Add(346)
+	reg.Counter("sim.disk.reads.directory").Add(230)
+	reg.Counter("partjoin.worker.0.pairs").Add(56)
+	reg.Gauge("sim.response_s").Set(2.691)
+	reg.Gauge("partjoin.wall_ms").Set(1.5)
+	h := reg.Histogram("sim.queue.depth", []int64{1, 4, 16})
+	for _, v := range []int64{0, 1, 2, 5, 17, 100} {
+		h.Observe(v)
+	}
+
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got := parseExposition(t, buf.Bytes())
+
+	want := reg.Snapshot()
+	wantSan := Snapshot{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]float64{},
+		Histograms: map[string]HistSnapshot{},
+	}
+	for name, v := range want.Counters {
+		wantSan.Counters[SanitizeMetricName(name)] = v
+	}
+	for name, v := range want.Gauges {
+		wantSan.Gauges[SanitizeMetricName(name)] = v
+	}
+	for name, v := range want.Histograms {
+		wantSan.Histograms[SanitizeMetricName(name)] = v
+	}
+	if !reflect.DeepEqual(got.Counters, wantSan.Counters) {
+		t.Errorf("counters round-trip:\ngot  %v\nwant %v", got.Counters, wantSan.Counters)
+	}
+	if !reflect.DeepEqual(got.Gauges, wantSan.Gauges) {
+		t.Errorf("gauges round-trip:\ngot  %v\nwant %v", got.Gauges, wantSan.Gauges)
+	}
+	if !reflect.DeepEqual(got.Histograms, wantSan.Histograms) {
+		t.Errorf("histograms round-trip:\ngot  %+v\nwant %+v", got.Histograms, wantSan.Histograms)
+	}
+}
+
+func TestWritePrometheusDeterministic(t *testing.T) {
+	build := func() *Registry {
+		reg := NewRegistry()
+		reg.Counter("b.two").Add(2)
+		reg.Counter("a.one").Inc()
+		reg.Gauge("z.last").Set(9)
+		reg.Histogram("m.hist", []int64{10}).Observe(3)
+		return reg
+	}
+	var b1, b2 bytes.Buffer
+	if err := build().WritePrometheus(&b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := build().WritePrometheus(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+		t.Fatalf("exposition not deterministic:\n%s\nvs\n%s", b1.String(), b2.String())
+	}
+	// Sanitized-sorted order: a.one before b.two, histogram buckets cumulative.
+	out := b1.String()
+	if strings.Index(out, "a_one_total") > strings.Index(out, "b_two_total") {
+		t.Fatalf("counters not sorted:\n%s", out)
+	}
+	for _, want := range []string{
+		"# TYPE a_one counter", "a_one_total 1",
+		"# TYPE z_last gauge", "z_last 9",
+		`m_hist_bucket{le="10"} 1`, `m_hist_bucket{le="+Inf"} 1`,
+		"m_hist_sum 3", "m_hist_count 1", "# EOF",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWritePrometheusEmptyRegistry(t *testing.T) {
+	var buf bytes.Buffer
+	if err := NewRegistry().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.String(); got != "# EOF\n" {
+		t.Fatalf("empty exposition = %q", got)
+	}
+}
+
+func ExampleRegistry_WritePrometheus() {
+	reg := NewRegistry()
+	reg.Counter("sim.join.candidates").Add(56)
+	var buf bytes.Buffer
+	reg.WritePrometheus(&buf)
+	fmt.Print(buf.String())
+	// Output:
+	// # TYPE sim_join_candidates counter
+	// sim_join_candidates_total 56
+	// # EOF
+}

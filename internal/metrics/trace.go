@@ -94,11 +94,16 @@ type TraceSink interface {
 
 // JSONLSink writes one JSON object per event line. It buffers internally;
 // call Flush (or Close) when the run completes. Safe for concurrent use.
+//
+// Write errors do not stop the join (emission sites have no error path);
+// the first underlying io.Writer error is latched instead and reported by
+// Err, Flush and Close, so drivers notice a torn trace file.
 type JSONLSink struct {
 	mu  sync.Mutex
 	w   *bufio.Writer
 	buf []byte
 	n   int64
+	err error
 }
 
 // NewJSONLSink wraps w.
@@ -127,7 +132,9 @@ func (s *JSONLSink) Emit(e Event) {
 		b = strconv.AppendFloat(b, e.F, 'f', 3, 64)
 	}
 	b = append(b, '}', '\n')
-	s.w.Write(b)
+	if _, err := s.w.Write(b); err != nil && s.err == nil {
+		s.err = err
+	}
 	s.buf = b
 	s.n++
 	s.mu.Unlock()
@@ -140,11 +147,34 @@ func (s *JSONLSink) Events() int64 {
 	return s.n
 }
 
-// Flush drains the internal buffer to the underlying writer.
+// Err returns the first write error seen by Emit or Flush (nil if none).
+func (s *JSONLSink) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// Flush drains the internal buffer to the underlying writer and returns
+// the first error of the sink's lifetime.
 func (s *JSONLSink) Flush() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.w.Flush()
+	return s.flushLocked()
+}
+
+func (s *JSONLSink) flushLocked() error {
+	if err := s.w.Flush(); err != nil && s.err == nil {
+		s.err = err
+	}
+	return s.err
+}
+
+// Close flushes the sink and returns the first error of its lifetime. It
+// does not close the underlying writer (the sink does not own it).
+func (s *JSONLSink) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.flushLocked()
 }
 
 // CountingSink counts events by kind; test and diagnostic support.

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/json"
+	"errors"
 	"sync"
 	"testing"
 )
@@ -68,6 +69,72 @@ func TestJSONLSinkConcurrent(t *testing.T) {
 	}
 	if n != 1600 {
 		t.Fatalf("got %d lines, want 1600", n)
+	}
+}
+
+// failingWriter accepts the first n bytes, then fails every write.
+type failingWriter struct {
+	n       int
+	wrote   int
+	failure error
+}
+
+func (w *failingWriter) Write(p []byte) (int, error) {
+	if w.wrote+len(p) > w.n {
+		ok := w.n - w.wrote
+		if ok < 0 {
+			ok = 0
+		}
+		w.wrote += ok
+		return ok, w.failure
+	}
+	w.wrote += len(p)
+	return len(p), nil
+}
+
+func TestJSONLSinkLatchesWriteError(t *testing.T) {
+	wantErr := errors.New("disk full")
+	// The sink buffers 64 KiB internally, so the failure surfaces once the
+	// buffer spills (or on Flush). Emit enough to spill.
+	fw := &failingWriter{n: 100, failure: wantErr}
+	s := NewJSONLSink(fw)
+	for i := 0; i < 2000; i++ {
+		s.Emit(Event{Kind: EvDiskRead, T: float64(i), A: int64(i)})
+	}
+	s.Emit(Event{Kind: EvDiskRead}) // past the failure: must not clobber the latch
+	if err := s.Err(); !errors.Is(err, wantErr) {
+		t.Fatalf("Err() = %v, want %v", err, wantErr)
+	}
+	if err := s.Close(); !errors.Is(err, wantErr) {
+		t.Fatalf("Close() = %v, want the latched %v", err, wantErr)
+	}
+}
+
+func TestJSONLSinkFlushSurfacesError(t *testing.T) {
+	wantErr := errors.New("pipe closed")
+	fw := &failingWriter{n: 10, failure: wantErr}
+	s := NewJSONLSink(fw)
+	s.Emit(Event{Kind: EvBufferMiss, A: 7}) // fits in the internal buffer
+	if err := s.Err(); err != nil {
+		t.Fatalf("error latched before any underlying write: %v", err)
+	}
+	if err := s.Flush(); !errors.Is(err, wantErr) {
+		t.Fatalf("Flush() = %v, want %v", err, wantErr)
+	}
+	if err := s.Err(); !errors.Is(err, wantErr) {
+		t.Fatalf("Err() after Flush = %v, want %v", err, wantErr)
+	}
+}
+
+func TestJSONLSinkCloseCleanRun(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewJSONLSink(&buf)
+	s.Emit(Event{Kind: EvBufferMiss})
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close on healthy sink: %v", err)
+	}
+	if buf.Len() == 0 {
+		t.Fatal("Close must flush buffered events")
 	}
 }
 

@@ -1,0 +1,52 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"spjoin/internal/runstore"
+)
+
+// Markers bracket each generated block in EXPERIMENTS.md:
+//
+//	<!-- generated:fig5 (make experiments-regen) -->
+//	...table...
+//	<!-- /generated:fig5 -->
+//
+// Regen replaces everything between the markers (exclusive) with the
+// section's freshly rendered content.
+
+func beginMarker(name string) string {
+	return fmt.Sprintf("<!-- generated:%s (make experiments-regen) -->", name)
+}
+
+func endMarker(name string) string {
+	return fmt.Sprintf("<!-- /generated:%s -->", name)
+}
+
+// Regen rewrites every marked measured section of doc from the run store.
+// A missing or out-of-order marker pair is an error naming the section —
+// regeneration must never silently skip a table.
+func Regen(doc []byte, s *runstore.Store) ([]byte, error) {
+	text := string(doc)
+	for _, sec := range Sections() {
+		begin, end := beginMarker(sec.Name), endMarker(sec.Name)
+		bi := strings.Index(text, begin)
+		if bi < 0 {
+			return nil, fmt.Errorf("report: marker %q not found", begin)
+		}
+		ei := strings.Index(text, end)
+		if ei < 0 {
+			return nil, fmt.Errorf("report: marker %q not found", end)
+		}
+		if ei < bi {
+			return nil, fmt.Errorf("report: markers for section %s out of order", sec.Name)
+		}
+		body, err := sec.Gen(s)
+		if err != nil {
+			return nil, fmt.Errorf("report: section %s: %w", sec.Name, err)
+		}
+		text = text[:bi+len(begin)] + "\n" + body + text[ei:]
+	}
+	return []byte(text), nil
+}

@@ -1,0 +1,159 @@
+package report
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"spjoin/internal/runstore"
+)
+
+// The charts are hand-rolled SVG: fixed canvas, fixed-precision
+// coordinates, series in declared order — byte-deterministic for a given
+// store, so goldens pin them exactly.
+
+const (
+	svgW, svgH                 = 640.0, 420.0
+	plotL, plotT, plotR, plotB = 60.0, 34.0, 612.0, 368.0
+)
+
+type xy struct{ X, Y float64 }
+
+type series struct {
+	Name  string
+	Color string
+	Pts   []xy
+}
+
+// fnum formats a coordinate with fixed precision (determinism).
+func fnum(v float64) string { return strconv.FormatFloat(v, 'f', 1, 64) }
+
+// flabel formats a tick label compactly ("0.5", "24").
+func flabel(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// lineChart renders one titled line chart with linear axes from the
+// origin to (xMax, yMax).
+func lineChart(title, xLabel, yLabel string, xMax, yMax float64, xTicks, yTicks []float64, extra string, ss []series) string {
+	sx := func(x float64) float64 { return plotL + x/xMax*(plotR-plotL) }
+	sy := func(y float64) float64 { return plotB - y/yMax*(plotB-plotT) }
+	var sb strings.Builder
+	fmt.Fprintf(&sb, `<svg xmlns="http://www.w3.org/2000/svg" width="%g" height="%g" viewBox="0 0 %g %g" font-family="sans-serif" font-size="12">`+"\n", svgW, svgH, svgW, svgH)
+	fmt.Fprintf(&sb, `<rect width="%g" height="%g" fill="white"/>`+"\n", svgW, svgH)
+	fmt.Fprintf(&sb, `<text x="%s" y="18" text-anchor="middle" font-size="14">%s</text>`+"\n", fnum((plotL+plotR)/2), title)
+	// Grid and ticks.
+	for _, t := range yTicks {
+		y := sy(t)
+		fmt.Fprintf(&sb, `<line x1="%s" y1="%s" x2="%s" y2="%s" stroke="#ddd"/>`+"\n", fnum(plotL), fnum(y), fnum(plotR), fnum(y))
+		fmt.Fprintf(&sb, `<text x="%s" y="%s" text-anchor="end">%s</text>`+"\n", fnum(plotL-6), fnum(y+4), flabel(t))
+	}
+	for _, t := range xTicks {
+		x := sx(t)
+		fmt.Fprintf(&sb, `<line x1="%s" y1="%s" x2="%s" y2="%s" stroke="#ddd"/>`+"\n", fnum(x), fnum(plotT), fnum(x), fnum(plotB))
+		fmt.Fprintf(&sb, `<text x="%s" y="%s" text-anchor="middle">%s</text>`+"\n", fnum(x), fnum(plotB+16), flabel(t))
+	}
+	// Axes.
+	fmt.Fprintf(&sb, `<line x1="%s" y1="%s" x2="%s" y2="%s" stroke="black"/>`+"\n", fnum(plotL), fnum(plotT), fnum(plotL), fnum(plotB))
+	fmt.Fprintf(&sb, `<line x1="%s" y1="%s" x2="%s" y2="%s" stroke="black"/>`+"\n", fnum(plotL), fnum(plotB), fnum(plotR), fnum(plotB))
+	fmt.Fprintf(&sb, `<text x="%s" y="%s" text-anchor="middle">%s</text>`+"\n", fnum((plotL+plotR)/2), fnum(svgH-8), xLabel)
+	fmt.Fprintf(&sb, `<text x="14" y="%s" text-anchor="middle" transform="rotate(-90 14 %s)">%s</text>`+"\n", fnum((plotT+plotB)/2), fnum((plotT+plotB)/2), yLabel)
+	sb.WriteString(extraScaled(extra, sx, sy))
+	// Series polylines, markers and legend.
+	for i, s := range ss {
+		var pts []string
+		for _, p := range s.Pts {
+			pts = append(pts, fnum(sx(p.X))+","+fnum(sy(p.Y)))
+		}
+		fmt.Fprintf(&sb, `<polyline points="%s" fill="none" stroke="%s" stroke-width="2"/>`+"\n", strings.Join(pts, " "), s.Color)
+		for _, p := range s.Pts {
+			fmt.Fprintf(&sb, `<circle cx="%s" cy="%s" r="3" fill="%s"/>`+"\n", fnum(sx(p.X)), fnum(sy(p.Y)), s.Color)
+		}
+		ly := plotT + 10 + float64(i)*18
+		fmt.Fprintf(&sb, `<line x1="%s" y1="%s" x2="%s" y2="%s" stroke="%s" stroke-width="2"/>`+"\n", fnum(plotL+12), fnum(ly), fnum(plotL+40), fnum(ly), s.Color)
+		fmt.Fprintf(&sb, `<text x="%s" y="%s">%s</text>`+"\n", fnum(plotL+46), fnum(ly+4), s.Name)
+	}
+	sb.WriteString("</svg>\n")
+	return sb.String()
+}
+
+// extraScaled renders the "ideal" reference line: a dashed diagonal given
+// in data coordinates encoded as "x1,y1,x2,y2" (empty = none).
+func extraScaled(extra string, sx, sy func(float64) float64) string {
+	if extra == "" {
+		return ""
+	}
+	var x1, y1, x2, y2 float64
+	fmt.Sscanf(extra, "%g,%g,%g,%g", &x1, &y1, &x2, &y2)
+	return fmt.Sprintf(`<line x1="%s" y1="%s" x2="%s" y2="%s" stroke="#999" stroke-dasharray="5,4"/>`+"\n",
+		fnum(sx(x1)), fnum(sy(y1)), fnum(sx(x2)), fnum(sy(y2)))
+}
+
+// fig9Series extracts one metric of the Figure 9/10 sweep as chart series
+// (one per disk configuration), x = number of processors.
+func fig9Series(s *runstore.Store, metric string, transform func(n, v float64) float64) ([]series, float64, error) {
+	g, err := fig9Grid(s)
+	if err != nil {
+		return nil, 0, err
+	}
+	colors := map[string]string{"1": "#d62728", "8": "#1f77b4", "n": "#2ca02c"}
+	var out []series
+	xMax := 0.0
+	for _, d := range []string{"1", "8", "n"} {
+		ser := series{Name: "d=" + d, Color: colors[d]}
+		for _, n := range g.Rows {
+			v, ok := g.Metric(n, d, metric)
+			if !ok {
+				return nil, 0, fmt.Errorf("fig9 cell (n=%s, d=%s) missing %s", n, d, metric)
+			}
+			x, _ := strconv.ParseFloat(n, 64)
+			if x > xMax {
+				xMax = x
+			}
+			ser.Pts = append(ser.Pts, xy{X: x, Y: transform(x, v)})
+		}
+		out = append(out, ser)
+	}
+	return out, xMax, nil
+}
+
+// SpeedupSVG charts speed-up vs. processors for d = 1, 8, n with the
+// ideal linear speed-up as a dashed reference.
+func SpeedupSVG(s *runstore.Store) (string, error) {
+	ss, xMax, err := fig9Series(s, "speedup", func(_, v float64) float64 { return v })
+	if err != nil {
+		return "", err
+	}
+	ticks := axisTicks(xMax)
+	return lineChart("Speed-up vs. processors (gd, reassign all, buffer 100·n)",
+		"processors n", "speed-up t(1)/t(n)", xMax, xMax, ticks, ticks,
+		fmt.Sprintf("1,1,%g,%g", xMax, xMax), ss), nil
+}
+
+// EfficiencySVG charts parallel efficiency (speed-up divided by n).
+func EfficiencySVG(s *runstore.Store) (string, error) {
+	ss, xMax, err := fig9Series(s, "speedup", func(n, v float64) float64 {
+		if n == 0 {
+			return 0
+		}
+		return v / n
+	})
+	if err != nil {
+		return "", err
+	}
+	return lineChart("Parallel efficiency vs. processors",
+		"processors n", "efficiency speed-up/n", xMax, 1.1,
+		axisTicks(xMax), []float64{0, 0.25, 0.5, 0.75, 1},
+		fmt.Sprintf("1,1,%g,1", xMax), ss), nil
+}
+
+// axisTicks picks round tick positions for a 0..max axis.
+func axisTicks(max float64) []float64 {
+	step := 4.0
+	if max <= 10 {
+		step = 2
+	}
+	ticks := []float64{1}
+	for t := step; t <= max; t += step {
+		ticks = append(ticks, t)
+	}
+	return ticks
+}

@@ -1,0 +1,123 @@
+package runstore
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"spjoin/internal/stats"
+)
+
+// DiffOpts controls a store-to-store comparison.
+type DiffOpts struct {
+	// Tol is the default relative tolerance (stats.RelDiff) above which a
+	// metric counts as diverged. 0 demands exact equality — the right
+	// default for the deterministic simulator.
+	Tol float64
+	// MetricTol overrides Tol per metric name (e.g. wall-clock metrics on
+	// a noisy host).
+	MetricTol map[string]float64
+	// Digests also compares the metrics/timeline digests of aligned cells
+	// (only meaningful at Tol 0: digests differ whenever anything does).
+	Digests bool
+}
+
+// Divergence is one difference between two stores.
+type Divergence struct {
+	// Kind classifies the difference: "metric" (value out of tolerance),
+	// "missing" (cell or metric present on one side only), "digest".
+	Kind string
+	// Cell is the record key; Metric the metric (or digest) name.
+	Cell, Metric string
+	// A and B are the two values (metric divergences only).
+	A, B float64
+	// Rel is stats.RelDiff(A, B).
+	Rel float64
+	// Detail is the rendered one-line description.
+	Detail string
+}
+
+// Diff compares two stores cell-by-cell and metric-by-metric. The result
+// is deterministic: divergences are sorted by cell key then metric.
+func Diff(a, b *Store, opts DiffOpts) []Divergence {
+	var out []Divergence
+	missing := func(kind, cell, metric, detail string) {
+		out = append(out, Divergence{Kind: kind, Cell: cell, Metric: metric, Detail: detail})
+	}
+
+	for i := range a.Records {
+		ra := &a.Records[i]
+		key := ra.Key()
+		rb, ok := b.byKey[key]
+		if !ok {
+			missing("missing", key, "", fmt.Sprintf("%s: cell only in first store", key))
+			continue
+		}
+		names := make([]string, 0, len(ra.Metrics))
+		for name := range ra.Metrics {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			va := ra.Metrics[name]
+			vb, ok := rb.Metrics[name]
+			if !ok {
+				missing("missing", key, name, fmt.Sprintf("%s: metric %q only in first store", key, name))
+				continue
+			}
+			tol := opts.Tol
+			if t, ok := opts.MetricTol[name]; ok {
+				tol = t
+			}
+			if rel := stats.RelDiff(va, vb); rel > tol {
+				out = append(out, Divergence{
+					Kind: "metric", Cell: key, Metric: name, A: va, B: vb, Rel: rel,
+					Detail: fmt.Sprintf("%s: %s = %v vs %v (rel %.4f > tol %.4f)", key, name, va, vb, rel, tol),
+				})
+			}
+		}
+		for name := range rb.Metrics {
+			if _, ok := ra.Metrics[name]; !ok {
+				missing("missing", key, name, fmt.Sprintf("%s: metric %q only in second store", key, name))
+			}
+		}
+		if opts.Digests {
+			if ra.MetricsDigest != rb.MetricsDigest {
+				missing("digest", key, "metrics_digest",
+					fmt.Sprintf("%s: metrics digest %.12s vs %.12s", key, ra.MetricsDigest, rb.MetricsDigest))
+			}
+			if ra.TimelineDigest != rb.TimelineDigest {
+				missing("digest", key, "timeline_digest",
+					fmt.Sprintf("%s: timeline digest %.12s vs %.12s", key, ra.TimelineDigest, rb.TimelineDigest))
+			}
+		}
+	}
+	for i := range b.Records {
+		key := b.Records[i].Key()
+		if _, ok := a.byKey[key]; !ok {
+			missing("missing", key, "", fmt.Sprintf("%s: cell only in second store", key))
+		}
+	}
+
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Cell != out[j].Cell {
+			return out[i].Cell < out[j].Cell
+		}
+		return out[i].Metric < out[j].Metric
+	})
+	return out
+}
+
+// RenderDiff writes one line per divergence plus a summary line, and
+// returns how many divergences there were.
+func RenderDiff(w io.Writer, divs []Divergence, aCells, bCells int) int {
+	for _, d := range divs {
+		fmt.Fprintln(w, d.Detail)
+	}
+	if len(divs) == 0 {
+		fmt.Fprintf(w, "runsdiff: OK — %d cells match\n", aCells)
+	} else {
+		fmt.Fprintf(w, "runsdiff: %d divergence(s) across %d vs %d cells\n", len(divs), aCells, bCells)
+	}
+	return len(divs)
+}

@@ -1,0 +1,109 @@
+package runstore
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func readStore(t *testing.T, recs ...Record) *Store {
+	t.Helper()
+	s, err := Read(bytes.NewReader(writeStore(t, recs...)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestDiffEqualStores(t *testing.T) {
+	mk := func() *Store {
+		return readStore(t,
+			sampleRecord("fig5", map[string]string{"variant": "gd"}, map[string]float64{"disk": 16243, "response_s": 154.5}),
+			sampleRecord("fig7", map[string]string{"variant": "lsr"}, map[string]float64{"disk": 19036}),
+		)
+	}
+	if divs := Diff(mk(), mk(), DiffOpts{Digests: true}); len(divs) != 0 {
+		t.Fatalf("equal stores diverged: %+v", divs)
+	}
+}
+
+// TestDiffPerturbedMetric pins the acceptance contract: one perturbed
+// metric must produce a divergence (cmd/runsdiff exits nonzero on it).
+func TestDiffPerturbedMetric(t *testing.T) {
+	a := readStore(t,
+		sampleRecord("fig5", map[string]string{"variant": "gd"}, map[string]float64{"disk": 16243, "response_s": 154.5}))
+	b := readStore(t,
+		sampleRecord("fig5", map[string]string{"variant": "gd"}, map[string]float64{"disk": 16244, "response_s": 154.5}))
+	divs := Diff(a, b, DiffOpts{})
+	if len(divs) != 1 {
+		t.Fatalf("got %d divergences, want exactly 1: %+v", len(divs), divs)
+	}
+	d := divs[0]
+	if d.Kind != "metric" || d.Metric != "disk" || d.A != 16243 || d.B != 16244 {
+		t.Fatalf("divergence = %+v", d)
+	}
+	if !strings.Contains(d.Detail, "variant=gd") || !strings.Contains(d.Detail, "disk") {
+		t.Fatalf("detail must name the offending cell and metric: %q", d.Detail)
+	}
+}
+
+func TestDiffTolerance(t *testing.T) {
+	a := readStore(t, sampleRecord("fig9", map[string]string{"n": "8"}, map[string]float64{"response_s": 100, "disk": 1000}))
+	b := readStore(t, sampleRecord("fig9", map[string]string{"n": "8"}, map[string]float64{"response_s": 104, "disk": 1000}))
+	if divs := Diff(a, b, DiffOpts{Tol: 0.05}); len(divs) != 0 {
+		t.Fatalf("4%% drift above 5%% tolerance? %+v", divs)
+	}
+	if divs := Diff(a, b, DiffOpts{Tol: 0.01}); len(divs) != 1 {
+		t.Fatalf("4%% drift under 1%% tolerance must diverge: %+v", divs)
+	}
+	// Per-metric override: exact disk, loose response.
+	divs := Diff(a, b, DiffOpts{Tol: 0, MetricTol: map[string]float64{"response_s": 0.1}})
+	if len(divs) != 0 {
+		t.Fatalf("per-metric tolerance ignored: %+v", divs)
+	}
+}
+
+func TestDiffMissingCellsAndMetrics(t *testing.T) {
+	a := readStore(t,
+		sampleRecord("fig5", map[string]string{"variant": "gd"}, map[string]float64{"disk": 1, "extra": 2}),
+		sampleRecord("fig5", map[string]string{"variant": "lsr"}, map[string]float64{"disk": 1}))
+	b := readStore(t,
+		sampleRecord("fig5", map[string]string{"variant": "gd"}, map[string]float64{"disk": 1}),
+		sampleRecord("fig5", map[string]string{"variant": "gsrr"}, map[string]float64{"disk": 1}))
+	divs := Diff(a, b, DiffOpts{})
+	kinds := map[string]int{}
+	for _, d := range divs {
+		kinds[d.Kind]++
+	}
+	// lsr only in a, gsrr only in b, metric "extra" only in a's gd.
+	if kinds["missing"] != 3 || len(divs) != 3 {
+		t.Fatalf("divergences = %+v", divs)
+	}
+}
+
+func TestDiffDigests(t *testing.T) {
+	ra := sampleRecord("fig5", map[string]string{"variant": "gd"}, map[string]float64{"disk": 1})
+	ra.MetricsDigest, ra.TimelineDigest = "aaaa", "tttt"
+	rb := ra
+	rb.MetricsDigest = "bbbb"
+	a, b := readStore(t, ra), readStore(t, rb)
+	if divs := Diff(a, b, DiffOpts{}); len(divs) != 0 {
+		t.Fatalf("digest compare must be opt-in: %+v", divs)
+	}
+	divs := Diff(a, b, DiffOpts{Digests: true})
+	if len(divs) != 1 || divs[0].Kind != "digest" || divs[0].Metric != "metrics_digest" {
+		t.Fatalf("digest divergence = %+v", divs)
+	}
+}
+
+func TestRenderDiff(t *testing.T) {
+	var buf bytes.Buffer
+	if n := RenderDiff(&buf, nil, 5, 5); n != 0 || !strings.Contains(buf.String(), "OK") {
+		t.Fatalf("clean render: n=%d out=%q", n, buf.String())
+	}
+	buf.Reset()
+	divs := []Divergence{{Kind: "metric", Cell: "fig5|variant=gd", Metric: "disk", Detail: "fig5|variant=gd: disk = 1 vs 2"}}
+	if n := RenderDiff(&buf, divs, 5, 5); n != 1 || !strings.Contains(buf.String(), "1 divergence") {
+		t.Fatalf("diverged render: n=%d out=%q", n, buf.String())
+	}
+}

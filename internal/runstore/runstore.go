@@ -1,0 +1,391 @@
+// Package runstore is the structured run-record store of the experiment
+// observatory: every sweep cell cmd/experiments executes becomes one
+// provenance-stamped JSONL record (schema version, experiment, grid
+// parameters, config hash, seed, scale, engine, git revision, flattened
+// metrics, metrics/timeline digests). A validating reader loads a store
+// and groups records into figure grids; package claims evaluates the
+// paper's qualitative results over those grids, and cmd/runsdiff compares
+// two stores metric-by-metric.
+//
+// The format is line-oriented JSON so stores concatenate, diff and grep
+// like logs; writing is deterministic (encoding/json sorts map keys), so
+// two identical sweeps produce byte-identical stores — the property that
+// makes a run store a regression artifact rather than a report.
+package runstore
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Version is the current run-record schema version. Readers accept only
+// records whose "v" field matches a known version.
+const Version = 1
+
+// Record is one experiment-grid cell: a single join run (or measurement)
+// with its full configuration identity and outcome metrics.
+type Record struct {
+	// V is the schema version (Version).
+	V int `json:"v"`
+	// Experiment names the figure/table the cell belongs to (fig5, fig7,
+	// fig9, table1, sn, est, ...).
+	Experiment string `json:"experiment"`
+	// Params are the grid axes that identify the cell within its
+	// experiment: variant, procs, disks, buffer, reassign, victim, n, d...
+	// Values are strings so axes stay schema-free; numeric axes parse on
+	// demand (AxisLess sorts them numerically).
+	Params map[string]string `json:"params,omitempty"`
+	// ConfigHash is the SHA-256 over the canonical configuration identity
+	// (version, experiment, params, seed, scale, engine). The reader
+	// recomputes and checks it, so hand-edited cells fail validation.
+	ConfigHash string `json:"config_hash"`
+	// Seed, Scale and Engine stamp the workload provenance. Engine is
+	// "sim" for the paper's simulated machine (the only engine the
+	// experiment harness sweeps today).
+	Seed   int64   `json:"seed"`
+	Scale  float64 `json:"scale"`
+	Engine string  `json:"engine"`
+	// GitRev is the source revision that produced the record ("unknown"
+	// outside a git checkout). Not part of the config hash: the same
+	// configuration must keep the same identity across revisions so
+	// cmd/runsdiff can align stores from two builds.
+	GitRev string `json:"git_rev,omitempty"`
+	// Metrics are the flattened outcome measures (disk accesses, response
+	// seconds, finisher spread, buffer hit classes, timeline per-kind
+	// totals, ...).
+	Metrics map[string]float64 `json:"metrics"`
+	// MetricsDigest is the SHA-256 over the run's full metrics-registry
+	// JSON; TimelineDigest is the span recorder's digest and Spans its
+	// span count. Together they pin the complete observable behavior of
+	// the run, far beyond the flattened metrics.
+	MetricsDigest  string `json:"metrics_digest,omitempty"`
+	TimelineDigest string `json:"timeline_digest,omitempty"`
+	Spans          int    `json:"spans,omitempty"`
+}
+
+// Key identifies the cell across stores: experiment plus sorted params.
+// Two stores' records align on Key regardless of revision or outcome.
+func (r *Record) Key() string {
+	var sb strings.Builder
+	sb.WriteString(r.Experiment)
+	keys := make([]string, 0, len(r.Params))
+	for k := range r.Params {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		sb.WriteByte('|')
+		sb.WriteString(k)
+		sb.WriteByte('=')
+		sb.WriteString(r.Params[k])
+	}
+	return sb.String()
+}
+
+// hash computes the canonical configuration hash.
+func (r *Record) hash() string {
+	h := sha256.New()
+	fmt.Fprintf(h, "v%d|%s|seed=%d|scale=%s|engine=%s",
+		r.V, r.Key(), r.Seed, strconv.FormatFloat(r.Scale, 'g', -1, 64), r.Engine)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Seal stamps the schema version and config hash. Writers call it; tests
+// building synthetic records can too.
+func (r *Record) Seal() {
+	r.V = Version
+	r.ConfigHash = r.hash()
+}
+
+// Validate checks the record against the schema: known version, non-empty
+// experiment and metrics, and a config hash that matches the recomputed
+// canonical hash.
+func (r *Record) Validate() error {
+	if r.V != Version {
+		return fmt.Errorf("runstore: unsupported schema version %d (want %d)", r.V, Version)
+	}
+	if r.Experiment == "" {
+		return fmt.Errorf("runstore: record missing experiment")
+	}
+	if len(r.Metrics) == 0 {
+		return fmt.Errorf("runstore: record %s has no metrics", r.Key())
+	}
+	if r.Engine == "" {
+		return fmt.Errorf("runstore: record %s missing engine", r.Key())
+	}
+	if want := r.hash(); r.ConfigHash != want {
+		return fmt.Errorf("runstore: record %s config hash %.12s does not match recomputed %.12s",
+			r.Key(), r.ConfigHash, want)
+	}
+	return nil
+}
+
+// Writer appends sealed records to an io.Writer as JSONL.
+type Writer struct {
+	w   *bufio.Writer
+	n   int
+	err error
+}
+
+// NewWriter wraps w.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: bufio.NewWriter(w)}
+}
+
+// Write seals and appends one record. The first error latches and fails
+// all subsequent writes.
+func (w *Writer) Write(rec Record) error {
+	if w.err != nil {
+		return w.err
+	}
+	rec.Seal()
+	if err := rec.Validate(); err != nil {
+		w.err = err
+		return err
+	}
+	data, err := json.Marshal(rec)
+	if err != nil {
+		w.err = err
+		return err
+	}
+	data = append(data, '\n')
+	if _, err := w.w.Write(data); err != nil {
+		w.err = err
+		return err
+	}
+	w.n++
+	return nil
+}
+
+// Count returns how many records were written.
+func (w *Writer) Count() int { return w.n }
+
+// Flush drains the buffer; returns the first error of the writer's life.
+func (w *Writer) Flush() error {
+	if err := w.w.Flush(); err != nil && w.err == nil {
+		w.err = err
+	}
+	return w.err
+}
+
+// Store is a loaded, validated run store with cell lookup by key.
+type Store struct {
+	Records []Record
+	byKey   map[string]*Record
+}
+
+// Read parses and validates a JSONL run store. Blank lines are skipped;
+// any malformed or invalid record fails the whole read (a run store is a
+// regression artifact — a partially valid one is worse than none).
+// Duplicate cells (same Key) are rejected.
+func Read(r io.Reader) (*Store, error) {
+	s := &Store{byKey: map[string]*Record{}}
+	seen := map[string]bool{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal([]byte(text), &rec); err != nil {
+			return nil, fmt.Errorf("runstore: line %d: %w", line, err)
+		}
+		if err := rec.Validate(); err != nil {
+			return nil, fmt.Errorf("line %d: %w", line, err)
+		}
+		key := rec.Key()
+		if seen[key] {
+			return nil, fmt.Errorf("runstore: line %d: duplicate cell %s", line, key)
+		}
+		seen[key] = true
+		s.Records = append(s.Records, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("runstore: %w", err)
+	}
+	for i := range s.Records {
+		s.byKey[s.Records[i].Key()] = &s.Records[i]
+	}
+	return s, nil
+}
+
+// ReadFile loads a run store from disk.
+func ReadFile(path string) (*Store, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	s, err := Read(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return s, nil
+}
+
+// Len returns the number of records.
+func (s *Store) Len() int { return len(s.Records) }
+
+// Find returns the unique cell with exactly these params.
+func (s *Store) Find(experiment string, params map[string]string) (*Record, bool) {
+	rec, ok := s.byKey[(&Record{Experiment: experiment, Params: params}).Key()]
+	return rec, ok
+}
+
+// Metric returns one metric of one cell, with an error naming the cell
+// when the cell or metric is missing — the lookup the claim engine
+// reports offenders through.
+func (s *Store) Metric(experiment string, params map[string]string, metric string) (float64, error) {
+	rec, ok := s.Find(experiment, params)
+	if !ok {
+		return 0, fmt.Errorf("cell %s not in run store",
+			(&Record{Experiment: experiment, Params: params}).Key())
+	}
+	v, ok := rec.Metrics[metric]
+	if !ok {
+		return 0, fmt.Errorf("cell %s has no metric %q", rec.Key(), metric)
+	}
+	return v, nil
+}
+
+// Select returns every record of the experiment whose params contain
+// match as a subset, in store order.
+func (s *Store) Select(experiment string, match map[string]string) []*Record {
+	var out []*Record
+	for i := range s.Records {
+		rec := &s.Records[i]
+		if rec.Experiment != experiment {
+			continue
+		}
+		ok := true
+		for k, v := range match {
+			if rec.Params[k] != v {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, rec)
+		}
+	}
+	return out
+}
+
+// Experiments returns the distinct experiment names, sorted.
+func (s *Store) Experiments() []string {
+	seen := map[string]bool{}
+	var out []string
+	for i := range s.Records {
+		if !seen[s.Records[i].Experiment] {
+			seen[s.Records[i].Experiment] = true
+			out = append(out, s.Records[i].Experiment)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Grid is a figure grid over one experiment: rows and columns are the
+// distinct values of two param axes (every other axis fixed by the match
+// that built the grid), each cell at most one record.
+type Grid struct {
+	Experiment       string
+	RowAxis, ColAxis string
+	Rows, Cols       []string
+	cells            map[string]*Record
+}
+
+// Grid groups the records selected by (experiment, match) into a grid
+// over rowAxis × colAxis. Axis values sort numerically when every value
+// parses as a number, lexically otherwise. Records missing either axis,
+// or two records landing in one cell, are errors.
+func (s *Store) Grid(experiment, rowAxis, colAxis string, match map[string]string) (*Grid, error) {
+	g := &Grid{Experiment: experiment, RowAxis: rowAxis, ColAxis: colAxis, cells: map[string]*Record{}}
+	rowSeen, colSeen := map[string]bool{}, map[string]bool{}
+	for _, rec := range s.Select(experiment, match) {
+		row, ok := rec.Params[rowAxis]
+		if !ok {
+			return nil, fmt.Errorf("runstore: record %s has no axis %q", rec.Key(), rowAxis)
+		}
+		col, ok := rec.Params[colAxis]
+		if !ok {
+			return nil, fmt.Errorf("runstore: record %s has no axis %q", rec.Key(), colAxis)
+		}
+		ck := row + "\x00" + col
+		if _, dup := g.cells[ck]; dup {
+			return nil, fmt.Errorf("runstore: grid %s: two records in cell (%s=%s, %s=%s); fix the match to pin the free axes",
+				experiment, rowAxis, row, colAxis, col)
+		}
+		g.cells[ck] = rec
+		if !rowSeen[row] {
+			rowSeen[row] = true
+			g.Rows = append(g.Rows, row)
+		}
+		if !colSeen[col] {
+			colSeen[col] = true
+			g.Cols = append(g.Cols, col)
+		}
+	}
+	sortAxis(g.Rows)
+	sortAxis(g.Cols)
+	return g, nil
+}
+
+// Cell returns the record at (row, col), nil when empty.
+func (g *Grid) Cell(row, col string) *Record {
+	return g.cells[row+"\x00"+col]
+}
+
+// Metric returns the metric at (row, col); ok is false when the cell or
+// metric is missing.
+func (g *Grid) Metric(row, col, metric string) (float64, bool) {
+	rec := g.Cell(row, col)
+	if rec == nil {
+		return 0, false
+	}
+	v, ok := rec.Metrics[metric]
+	return v, ok
+}
+
+// sortAxis orders axis values numerically when they all parse, lexically
+// otherwise.
+func sortAxis(vals []string) {
+	allNum := true
+	for _, v := range vals {
+		if _, err := strconv.ParseFloat(v, 64); err != nil {
+			allNum = false
+			break
+		}
+	}
+	sort.Slice(vals, func(i, j int) bool {
+		if allNum {
+			a, _ := strconv.ParseFloat(vals[i], 64)
+			b, _ := strconv.ParseFloat(vals[j], 64)
+			return a < b
+		}
+		return vals[i] < vals[j]
+	})
+}
+
+// AxisLess reports whether axis value a orders before b (numeric-aware,
+// matching sortAxis) — exported for the claim engine's series sweeps.
+func AxisLess(a, b string) bool {
+	fa, errA := strconv.ParseFloat(a, 64)
+	fb, errB := strconv.ParseFloat(b, 64)
+	if errA == nil && errB == nil {
+		return fa < fb
+	}
+	return a < b
+}

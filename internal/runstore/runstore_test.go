@@ -1,0 +1,209 @@
+package runstore
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// sampleRecord builds a sealed, valid record for tests.
+func sampleRecord(exp string, params map[string]string, metrics map[string]float64) Record {
+	rec := Record{
+		Experiment: exp,
+		Params:     params,
+		Seed:       42,
+		Scale:      0.1,
+		Engine:     "sim",
+		GitRev:     "deadbeef",
+		Metrics:    metrics,
+	}
+	rec.Seal()
+	return rec
+}
+
+func writeStore(t *testing.T, recs ...Record) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for _, rec := range recs {
+		if err := w.Write(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	data := writeStore(t,
+		sampleRecord("fig5", map[string]string{"variant": "gd", "procs": "8", "buffer": "800"},
+			map[string]float64{"disk": 16243, "response_s": 154.5}),
+		sampleRecord("fig5", map[string]string{"variant": "lsr", "procs": "8", "buffer": "800"},
+			map[string]float64{"disk": 19036, "response_s": 183.7}),
+	)
+	s, err := Read(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 2 {
+		t.Fatalf("read %d records, want 2", s.Len())
+	}
+	rec, ok := s.Find("fig5", map[string]string{"procs": "8", "variant": "gd", "buffer": "800"})
+	if !ok {
+		t.Fatal("gd cell not found (param order must not matter)")
+	}
+	if rec.Metrics["disk"] != 16243 {
+		t.Fatalf("disk = %v", rec.Metrics["disk"])
+	}
+	if v, err := s.Metric("fig5", map[string]string{"variant": "lsr", "procs": "8", "buffer": "800"}, "response_s"); err != nil || v != 183.7 {
+		t.Fatalf("Metric = %v, %v", v, err)
+	}
+	if _, err := s.Metric("fig5", map[string]string{"variant": "nope"}, "disk"); err == nil {
+		t.Fatal("missing cell must error")
+	}
+	if _, err := s.Metric("fig5", map[string]string{"variant": "gd", "procs": "8", "buffer": "800"}, "nope"); err == nil ||
+		!strings.Contains(err.Error(), "nope") {
+		t.Fatalf("missing metric must error naming the metric, got %v", err)
+	}
+}
+
+func TestWriteDeterministic(t *testing.T) {
+	rec := func() Record {
+		return sampleRecord("fig7", map[string]string{"variant": "gd", "reassign": "all"},
+			map[string]float64{"disk": 16237, "response_s": 154.5, "first_s": 154.1})
+	}
+	a := writeStore(t, rec())
+	b := writeStore(t, rec())
+	if !bytes.Equal(a, b) {
+		t.Fatalf("writer not deterministic:\n%s\nvs\n%s", a, b)
+	}
+}
+
+func TestReadRejectsBadVersion(t *testing.T) {
+	rec := sampleRecord("fig5", nil, map[string]float64{"disk": 1})
+	rec.V = 99
+	data, _ := marshalLine(rec)
+	if _, err := Read(bytes.NewReader(data)); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("bad version accepted: %v", err)
+	}
+}
+
+func TestReadRejectsTamperedConfig(t *testing.T) {
+	data := writeStore(t, sampleRecord("fig5", map[string]string{"procs": "8"}, map[string]float64{"disk": 1}))
+	tampered := bytes.Replace(data, []byte(`"procs":"8"`), []byte(`"procs":"24"`), 1)
+	if bytes.Equal(tampered, data) {
+		t.Fatal("tamper replacement did not apply")
+	}
+	if _, err := Read(bytes.NewReader(tampered)); err == nil || !strings.Contains(err.Error(), "config hash") {
+		t.Fatalf("tampered params accepted: %v", err)
+	}
+}
+
+func TestReadRejectsDuplicateCell(t *testing.T) {
+	rec := sampleRecord("fig5", map[string]string{"procs": "8"}, map[string]float64{"disk": 1})
+	data := append(writeStore(t, rec), writeStore(t, rec)...)
+	if _, err := Read(bytes.NewReader(data)); err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Fatalf("duplicate cell accepted: %v", err)
+	}
+}
+
+func TestReadRejectsGarbageAndEmptyMetrics(t *testing.T) {
+	if _, err := Read(strings.NewReader("not json\n")); err == nil {
+		t.Fatal("garbage line accepted")
+	}
+	rec := sampleRecord("fig5", nil, map[string]float64{})
+	rec.Seal()
+	data, _ := marshalLine(rec)
+	if _, err := Read(bytes.NewReader(data)); err == nil || !strings.Contains(err.Error(), "no metrics") {
+		t.Fatalf("metricless record accepted: %v", err)
+	}
+}
+
+func TestReadSkipsBlankLines(t *testing.T) {
+	data := writeStore(t, sampleRecord("fig5", nil, map[string]float64{"disk": 1}))
+	padded := append([]byte("\n\n"), data...)
+	padded = append(padded, '\n')
+	s, err := Read(bytes.NewReader(padded))
+	if err != nil || s.Len() != 1 {
+		t.Fatalf("blank-line store: %v, len %d", err, s.Len())
+	}
+}
+
+func TestGridGrouping(t *testing.T) {
+	var recs []Record
+	for _, buffer := range []string{"1600", "200", "800"} {
+		for _, variant := range []string{"lsr", "gd"} {
+			recs = append(recs, sampleRecord("fig5",
+				map[string]string{"buffer": buffer, "variant": variant, "procs": "8"},
+				map[string]float64{"disk": float64(len(buffer) * 100)}))
+		}
+	}
+	// A second procs level must be excluded by the match below.
+	recs = append(recs, sampleRecord("fig5",
+		map[string]string{"buffer": "200", "variant": "gd", "procs": "24"},
+		map[string]float64{"disk": 999}))
+	s, err := Read(bytes.NewReader(writeStore(t, recs...)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := s.Grid("fig5", "buffer", "variant", map[string]string{"procs": "8"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Numeric axis sorts numerically: 200 < 800 < 1600.
+	if want := []string{"200", "800", "1600"}; !equalStrings(g.Rows, want) {
+		t.Fatalf("rows = %v, want %v", g.Rows, want)
+	}
+	if want := []string{"gd", "lsr"}; !equalStrings(g.Cols, want) {
+		t.Fatalf("cols = %v, want %v", g.Cols, want)
+	}
+	if v, ok := g.Metric("800", "gd", "disk"); !ok || v != 300 {
+		t.Fatalf("cell(800, gd) = %v, %v", v, ok)
+	}
+	if g.Cell("200", "nope") != nil {
+		t.Fatal("missing cell must be nil")
+	}
+	// Without pinning procs, two records land in one cell.
+	if _, err := s.Grid("fig5", "buffer", "variant", nil); err == nil {
+		t.Fatal("ambiguous grid must error")
+	}
+}
+
+func TestAxisLess(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want bool
+	}{
+		{"2", "10", true},
+		{"10", "2", false},
+		{"gd", "lsr", true},
+		{"1", "x", true}, // mixed falls back to lexical
+	}
+	for _, c := range cases {
+		if got := AxisLess(c.a, c.b); got != c.want {
+			t.Errorf("AxisLess(%q, %q) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+// marshalLine encodes a record verbatim — without Writer's sealing — so
+// tests can construct invalid lines.
+func marshalLine(rec Record) ([]byte, error) {
+	data, err := json.Marshal(rec)
+	return append(data, '\n'), err
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -6,6 +6,7 @@ package stats
 import (
 	"fmt"
 	"io"
+	"math"
 	"strings"
 	"text/tabwriter"
 )
@@ -14,6 +15,17 @@ import (
 type Summary struct {
 	Min, Max, Mean float64
 	N              int
+}
+
+// Skew returns the max/mean load-balance ratio of the summarized series
+// (1.0 = perfectly balanced, 0 for an empty or zero-mean series). This is
+// the imbalance measure the paper's §3.3 reassignment targets and the
+// claim engine checks over grid cells.
+func (s Summary) Skew() float64 {
+	if s.N == 0 || s.Mean == 0 {
+		return 0
+	}
+	return s.Max / s.Mean
 }
 
 // Summarize computes min, max and mean of xs (zero Summary for empty input).
@@ -34,6 +46,23 @@ func Summarize(xs []float64) Summary {
 	}
 	s.Mean = sum / float64(len(xs))
 	return s
+}
+
+// RelDiff returns the relative difference |a-b| / max(|a|, |b|) — the
+// symmetric measure the run-store diff and the ratio predicates use. Two
+// zeros differ by 0; a zero against a non-zero differs by 1.
+func RelDiff(a, b float64) float64 {
+	if a == b {
+		return 0
+	}
+	den := math.Abs(a)
+	if m := math.Abs(b); m > den {
+		den = m
+	}
+	if den == 0 {
+		return 0
+	}
+	return math.Abs(a-b) / den
 }
 
 // Speedups converts a response-time series t(n) into speed-ups t1/t(n),

@@ -8,22 +8,72 @@ import (
 )
 
 func TestSummarize(t *testing.T) {
-	s := Summarize([]float64{3, 1, 2})
-	if s.Min != 1 || s.Max != 3 || s.Mean != 2 || s.N != 3 {
-		t.Fatalf("Summarize = %+v", s)
+	cases := []struct {
+		name string
+		in   []float64
+		want Summary
+	}{
+		{"empty", nil, Summary{}},
+		{"empty slice", []float64{}, Summary{}},
+		{"single", []float64{7}, Summary{Min: 7, Max: 7, Mean: 7, N: 1}},
+		{"ascending", []float64{1, 2, 3}, Summary{Min: 1, Max: 3, Mean: 2, N: 3}},
+		{"unordered", []float64{3, 1, 2}, Summary{Min: 1, Max: 3, Mean: 2, N: 3}},
+		{"negative", []float64{-4, 4}, Summary{Min: -4, Max: 4, Mean: 0, N: 2}},
+		{"constant", []float64{5, 5, 5, 5}, Summary{Min: 5, Max: 5, Mean: 5, N: 4}},
+		{"zeros", []float64{0, 0}, Summary{Min: 0, Max: 0, Mean: 0, N: 2}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := Summarize(c.in); got != c.want {
+				t.Fatalf("Summarize(%v) = %+v, want %+v", c.in, got, c.want)
+			}
+		})
 	}
 }
 
-func TestSummarizeEmpty(t *testing.T) {
-	if s := Summarize(nil); s != (Summary{}) {
-		t.Fatalf("empty summary = %+v", s)
+func TestSummarySkew(t *testing.T) {
+	cases := []struct {
+		name string
+		in   []float64
+		want float64
+	}{
+		{"empty", nil, 0},
+		{"single", []float64{7}, 1},
+		{"balanced", []float64{4, 4, 4}, 1},
+		{"skewed", []float64{1, 1, 4}, 2}, // mean 2, max 4
+		{"zero mean", []float64{0, 0}, 0},
+		{"mixed zero mean", []float64{-4, 4}, 0}, // guarded: mean 0
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := Summarize(c.in).Skew(); math.Abs(got-c.want) > 1e-12 {
+				t.Fatalf("Skew(%v) = %v, want %v", c.in, got, c.want)
+			}
+		})
 	}
 }
 
-func TestSummarizeSingle(t *testing.T) {
-	s := Summarize([]float64{7})
-	if s.Min != 7 || s.Max != 7 || s.Mean != 7 || s.N != 1 {
-		t.Fatalf("single summary = %+v", s)
+func TestRelDiff(t *testing.T) {
+	cases := []struct {
+		name string
+		a, b float64
+		want float64
+	}{
+		{"equal", 5, 5, 0},
+		{"both zero", 0, 0, 0},
+		{"zero vs nonzero", 0, 3, 1},
+		{"nonzero vs zero", 3, 0, 1},
+		{"ten percent", 100, 90, 0.1},
+		{"symmetric", 90, 100, 0.1},
+		{"negative", -100, -90, 0.1},
+		{"sign flip", -1, 1, 2},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := RelDiff(c.a, c.b); math.Abs(got-c.want) > 1e-12 {
+				t.Fatalf("RelDiff(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+			}
+		})
 	}
 }
 

@@ -253,6 +253,24 @@ func (r *Recorder) MaxEnd() sim.Time {
 	return max
 }
 
+// KindTotals returns the summed span duration per kind across all
+// processor and disk tracks. The run store flattens these into
+// "timeline.<kind>_ms" metrics, so a run-store diff localizes a
+// regression to the span kind (disk-wait, cpu-sweep, ...) that grew.
+func (r *Recorder) KindTotals() [NumKinds]sim.Time {
+	var totals [NumKinds]sim.Time
+	for _, tracks := range [][]Track{r.procs, r.disks} {
+		for i := range tracks {
+			for _, s := range tracks[i].Spans {
+				if int(s.Kind) < len(totals) {
+					totals[s.Kind] += s.Duration()
+				}
+			}
+		}
+	}
+	return totals
+}
+
 // Digest returns a SHA-256 hex digest over the canonical serialization of
 // every span and flow. Two identical runs of the deterministic simulator
 // produce equal digests; the golden-timeline test pins the seed workload's.

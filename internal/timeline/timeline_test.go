@@ -81,6 +81,25 @@ func TestDigestDeterministicAndSensitive(t *testing.T) {
 	}
 }
 
+func TestKindTotals(t *testing.T) {
+	totals := buildSample().KindTotals()
+	want := map[sim.SpanKind]sim.Time{
+		KindCPUSweep:    10 + 4 + 13,
+		KindDiskWait:    16,
+		KindQueueIdle:   26,
+		KindReassign:    1,
+		KindDiskService: 16,
+	}
+	for k, wantT := range want {
+		if totals[k] != wantT {
+			t.Errorf("KindTotals[%s] = %v, want %v", KindName(k), totals[k], wantT)
+		}
+	}
+	if totals[KindRefineWait] != 0 || totals[KindLocalBuffer] != 0 {
+		t.Errorf("unobserved kinds must total 0: %v", totals)
+	}
+}
+
 func TestPerfettoExportValidatesAndIsDeterministic(t *testing.T) {
 	r := buildSample()
 	var buf1, buf2 bytes.Buffer

@@ -1,0 +1,47 @@
+#!/bin/sh
+# Observatory gate. Records a run store at the requested scale, machine-
+# checks the paper's claims against it, verifies the committed measured
+# tables of EXPERIMENTS.md still match the committed full-scale store, and
+# proves run-to-run determinism with runsdiff. At scale 1.0 (the weekly CI
+# job) the fresh store is additionally diffed digest-for-digest against the
+# committed docs/observatory/runs.jsonl.
+#
+# Usage: scripts/observatory.sh [scale]     (default 0.1)
+set -eu
+cd "$(dirname "$0")/.."
+
+SCALE="${1:-0.1}"
+mkdir -p artifacts
+
+echo "== record run store (scale $SCALE) =="
+go run ./cmd/experiments -scale "$SCALE" -run all -out artifacts/runs-ci.jsonl \
+    > artifacts/observatory_run.txt
+
+echo "== machine-check paper claims =="
+go run ./cmd/experiments -check artifacts/runs-ci.jsonl | tee artifacts/claims_report.txt
+
+echo "== committed tables vs committed store =="
+out="$(go run ./cmd/experiments -regen docs/observatory/runs.jsonl)"
+echo "$out"
+case "$out" in
+*"already up to date"*) ;;
+*)
+    echo "EXPERIMENTS.md measured sections drifted from docs/observatory/runs.jsonl" >&2
+    echo "(run 'make experiments-regen' and commit the result)" >&2
+    exit 1
+    ;;
+esac
+
+echo "== run-to-run determinism (fig7, runsdiff -digests) =="
+go run ./cmd/experiments -scale "$SCALE" -run fig7 -out artifacts/runs-det-a.jsonl >/dev/null
+go run ./cmd/experiments -scale "$SCALE" -run fig7 -out artifacts/runs-det-b.jsonl >/dev/null
+go run ./cmd/runsdiff -digests artifacts/runs-det-a.jsonl artifacts/runs-det-b.jsonl
+
+case "$SCALE" in
+1 | 1.0)
+    echo "== fresh full-scale store vs committed store =="
+    go run ./cmd/runsdiff -digests artifacts/runs-ci.jsonl docs/observatory/runs.jsonl
+    ;;
+esac
+
+echo "observatory gate passed (scale $SCALE)"
