@@ -63,6 +63,7 @@ func main() {
 	if *runFlag == "all" {
 		selected = exp.All()
 	} else {
+		picked := map[string]bool{}
 		for _, name := range strings.Split(*runFlag, ",") {
 			name = strings.TrimSpace(name)
 			e, ok := exp.ByName(name)
@@ -70,6 +71,12 @@ func main() {
 				fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q (use -list)\n", name)
 				os.Exit(2)
 			}
+			// Dedupe: running an experiment twice would record duplicate
+			// run-store cells.
+			if picked[e.Name] {
+				continue
+			}
+			picked[e.Name] = true
 			selected = append(selected, e)
 		}
 	}

@@ -130,11 +130,16 @@ type Report struct {
 }
 
 // Evaluate checks every claim against the store. Claims whose MinScale
-// exceeds the store's workload scale are skipped, not failed.
+// exceeds the store's workload scale are skipped, not failed. JSONL
+// stores concatenate, so a store may mix scales; gating uses the minimum
+// scale across all records — a claim is only evaluated when every record
+// it could touch was run at sufficient scale.
 func Evaluate(cs []Claim, s *runstore.Store) *Report {
 	scale := 0.0
-	if s.Len() > 0 {
-		scale = s.Records[0].Scale
+	for i, rec := range s.Records {
+		if i == 0 || rec.Scale < scale {
+			scale = rec.Scale
+		}
 	}
 	rep := &Report{}
 	for _, c := range cs {

@@ -15,7 +15,10 @@ func buildStore(t *testing.T, recs ...runstore.Record) *runstore.Store {
 	var buf bytes.Buffer
 	w := runstore.NewWriter(&buf)
 	for _, rec := range recs {
-		rec.Seed, rec.Scale, rec.Engine = 1, 1, "sim"
+		rec.Seed, rec.Engine = 1, "sim"
+		if rec.Scale == 0 {
+			rec.Scale = 1
+		}
 		if err := w.Write(rec); err != nil {
 			t.Fatal(err)
 		}
@@ -240,5 +243,25 @@ func TestMinScaleSkips(t *testing.T) {
 	c.MinScale = 1
 	if res := one(t, c, s); res.Skipped || res.Pass {
 		t.Fatalf("claim at MinScale must evaluate: %+v", res)
+	}
+}
+
+func TestMinScaleUsesStoreMinimum(t *testing.T) {
+	// Concatenated stores may mix scales; gating must use the minimum, not
+	// whichever record happens to come first.
+	full := rec("f", map[string]string{"v": "a"}, map[string]float64{"m": 1})
+	full.Scale = 1
+	small := rec("g", map[string]string{"v": "a"}, map[string]float64{"m": 1})
+	small.Scale = 0.1
+	s := buildStore(t, full, small)
+	c := Claim{ID: "gated", Kind: Bound, Metric: "m", Min: 0, Max: 2, MinScale: 1,
+		Groups: [][]CellRef{{cell("f", map[string]string{"v": "a"})}}}
+	if res := one(t, c, s); !res.Skipped {
+		t.Fatalf("mixed-scale store (min 0.1) did not skip MinScale-1 claim: %+v", res)
+	}
+	// Same records in the opposite order must gate identically.
+	s = buildStore(t, small, full)
+	if res := one(t, c, s); !res.Skipped {
+		t.Fatalf("record order changed MinScale gating: %+v", res)
 	}
 }

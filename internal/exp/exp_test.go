@@ -197,3 +197,15 @@ func TestMetricsObservationOnly(t *testing.T) {
 		}
 	}
 }
+
+func TestRecordingRejectsDuplicateCell(t *testing.T) {
+	rc := NewRecording(1, 1, "test")
+	params := map[string]string{"v": "gd"}
+	rc.Add("fig5", params, map[string]float64{"disk": 1})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate Add did not panic")
+		}
+	}()
+	rc.Add("fig5", params, map[string]float64{"disk": 2})
+}

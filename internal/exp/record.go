@@ -44,7 +44,13 @@ func (rc *Recording) Add(exp string, params map[string]string, ms map[string]flo
 		GitRev:     rc.GitRev,
 		Metrics:    ms,
 	}
-	rc.index[rec.Key()] = len(rc.recs)
+	key := rec.Key()
+	if _, dup := rc.index[key]; dup {
+		// Fail at the recording site: a silent overwrite here would only
+		// surface much later as runstore.Read rejecting the duplicate cell.
+		panic(fmt.Sprintf("exp: duplicate record for cell %s", key))
+	}
+	rc.index[key] = len(rc.recs)
 	rc.recs = append(rc.recs, rec)
 }
 

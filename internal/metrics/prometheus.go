@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"fmt"
 	"io"
 	"sort"
 	"strconv"
@@ -13,7 +14,9 @@ import (
 // cumulative `_bucket{le="..."}` series plus `_sum` and `_count`, and a
 // terminating `# EOF` line. Instrument names are sanitized (every
 // character outside [a-zA-Z0-9_:] becomes '_', so "sim.disk.reads.data"
-// exposes as "sim_disk_reads_data").
+// exposes as "sim_disk_reads_data"); distinct instruments whose names
+// collide after sanitization are rejected with an error rather than
+// emitted as duplicate families.
 //
 // Like WriteJSON the output is deterministic: instruments are emitted in
 // sorted sanitized-name order, so equal registry states produce
@@ -22,6 +25,36 @@ import (
 // Snapshot.
 func (r *Registry) WritePrometheus(w io.Writer) error {
 	snap := r.Snapshot()
+
+	// Distinct instrument names may sanitize to the same metric family
+	// ("a.b" and "a_b" both expose as "a_b"); emitting both would produce
+	// duplicate TYPE lines and duplicate series — an invalid exposition
+	// Prometheus rejects at scrape time. Refuse up front, naming the clash.
+	families := map[string]string{}
+	checkFamily := func(name string) error {
+		n := SanitizeMetricName(name)
+		if prior, ok := families[n]; ok && prior != name {
+			return fmt.Errorf("metrics: instruments %q and %q both sanitize to Prometheus family %q", prior, name, n)
+		}
+		families[n] = name
+		return nil
+	}
+	for name := range snap.Counters {
+		if err := checkFamily(name); err != nil {
+			return err
+		}
+	}
+	for name := range snap.Gauges {
+		if err := checkFamily(name); err != nil {
+			return err
+		}
+	}
+	for name := range snap.Histograms {
+		if err := checkFamily(name); err != nil {
+			return err
+		}
+	}
+
 	var b []byte
 
 	counters := make([]string, 0, len(snap.Counters))

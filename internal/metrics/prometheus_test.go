@@ -224,3 +224,26 @@ func ExampleRegistry_WritePrometheus() {
 	// sim_join_candidates_total 56
 	// # EOF
 }
+
+func TestWritePrometheusRejectsSanitizeCollision(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("a.b").Inc()
+	reg.Counter("a_b").Inc()
+	var buf bytes.Buffer
+	err := reg.WritePrometheus(&buf)
+	if err == nil {
+		t.Fatal("colliding instrument names did not error")
+	}
+	for _, want := range []string{"a.b", "a_b"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("collision error %q does not name %q", err, want)
+		}
+	}
+	// Collisions across instrument kinds are just as invalid.
+	reg2 := NewRegistry()
+	reg2.Counter("x.y").Inc()
+	reg2.Gauge("x_y").Set(1)
+	if err := reg2.WritePrometheus(&buf); err == nil {
+		t.Fatal("cross-kind collision did not error")
+	}
+}

@@ -18,7 +18,16 @@ go run ./cmd/experiments -scale "$SCALE" -run all -out artifacts/runs-ci.jsonl \
     > artifacts/observatory_run.txt
 
 echo "== machine-check paper claims =="
-go run ./cmd/experiments -check artifacts/runs-ci.jsonl | tee artifacts/claims_report.txt
+# No pipe here: under plain sh a `check | tee` pipeline would exit with
+# tee's status and let claim failures through the gate.
+check_status=0
+go run ./cmd/experiments -check artifacts/runs-ci.jsonl \
+    > artifacts/claims_report.txt || check_status=$?
+cat artifacts/claims_report.txt
+if [ "$check_status" -ne 0 ]; then
+    echo "paper claim check failed (exit $check_status)" >&2
+    exit "$check_status"
+fi
 
 echo "== committed tables vs committed store =="
 out="$(go run ./cmd/experiments -regen docs/observatory/runs.jsonl)"
