@@ -9,6 +9,7 @@
 //	       [-engine tree|partition] [-grid 0]
 //	       [-variant gd|gsrr|lsr|sn|est] [-reassign none|root|all]
 //	       [-victim loaded|random] [-native]
+//	       [-kernel auto|purego] [-printkernel]
 //	       [-metrics out.json] [-trace out.jsonl]
 //	       [-timeline out.json] [-report] [-pprof :6060]
 //	       [-loadR r.csv -loadS s.csv]
@@ -40,6 +41,7 @@ import (
 	"strings"
 	"time"
 
+	"spjoin/internal/geom"
 	"spjoin/internal/mapio"
 	"spjoin/internal/metrics"
 	"spjoin/internal/parjoin"
@@ -172,6 +174,8 @@ func main() {
 	reassign := flag.String("reassign", "all", "task reassignment: none | root | all")
 	victim := flag.String("victim", "loaded", "victim selection: loaded | random")
 	native := flag.Bool("native", false, "run natively with goroutines instead of simulating")
+	kernel := flag.String("kernel", "auto", "filter kernel path: auto (best for this CPU) | purego (scalar fallback)")
+	printKernel := flag.Bool("printkernel", false, "print the active filter kernel path and exit")
 	metricsOut := flag.String("metrics", "", "write a JSON metrics snapshot to this file")
 	traceOut := flag.String("trace", "", "write a JSONL event trace to this file")
 	timelineOut := flag.String("timeline", "", "write a Perfetto trace-event timeline to this file")
@@ -180,6 +184,15 @@ func main() {
 	loadR := flag.String("loadR", "", "CSV file for relation R (default: generated streets)")
 	loadS := flag.String("loadS", "", "CSV file for relation S (default: generated mixed features)")
 	flag.Parse()
+
+	if err := geom.SetKernel(*kernel); err != nil {
+		fmt.Fprintf(os.Stderr, "spjoin: -kernel: %v\n", err)
+		os.Exit(2)
+	}
+	if *printKernel {
+		fmt.Println(geom.KernelName())
+		return
+	}
 
 	obs, err := newObservability(*metricsOut, *traceOut)
 	if err != nil {
@@ -427,6 +440,7 @@ func runPartition(out io.Writer, r, s []rtree.Item, workers, grid int, obs *obse
 // and max/mean skew, the load-balance measure the paper tracks).
 func renderPartitionSummary(out io.Writer, snap metrics.Snapshot) {
 	t := stats.NewTable("Partition engine metrics (partjoin.*)", "measure", "value")
+	t.AddRow("filter kernel", geom.KernelName())
 	for _, row := range []struct{ label, counter string }{
 		{"grid tiles", "partjoin.grid_tiles"},
 		{"non-empty partitions", "partjoin.partitions"},

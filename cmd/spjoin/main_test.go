@@ -6,6 +6,7 @@ import (
 	"strings"
 	"testing"
 
+	"spjoin/internal/geom"
 	"spjoin/internal/metrics"
 	"spjoin/internal/tiger"
 )
@@ -22,6 +23,7 @@ func TestPartitionCLIOutput(t *testing.T) {
 	for _, want := range []string{
 		"partition join with 4 goroutines",
 		"Partition engine metrics (partjoin.*)",
+		"filter kernel",
 		"non-empty partitions",
 		"comparisons",
 		"duplicates suppressed",
@@ -31,6 +33,25 @@ func TestPartitionCLIOutput(t *testing.T) {
 		if !strings.Contains(text, want) {
 			t.Fatalf("partition output missing %q:\n%s", want, text)
 		}
+	}
+	if !strings.Contains(text, geom.KernelName()) {
+		t.Fatalf("summary does not name the active kernel %q:\n%s", geom.KernelName(), text)
+	}
+}
+
+// TestKernelSummaryRow pins the -kernel flag's effect on the summary: under
+// the forced scalar path the table must say "purego" regardless of CPU.
+func TestKernelSummaryRow(t *testing.T) {
+	defer geom.SetKernel("auto")
+	if err := geom.SetKernel("purego"); err != nil {
+		t.Fatal(err)
+	}
+	reg := metrics.NewRegistry()
+	reg.Counter("partjoin.partitions").Add(1)
+	var out bytes.Buffer
+	renderPartitionSummary(&out, reg.Snapshot())
+	if !strings.Contains(out.String(), "purego") {
+		t.Fatalf("summary missing forced kernel path:\n%s", out.String())
 	}
 }
 

@@ -1,0 +1,60 @@
+//go:build amd64 && !purego
+
+package geom
+
+// AVX2 kernel bindings. The assembly (kernel_amd64.s) implements the exact
+// 4-wide float64 intersection test and the 64-wide quantized byte gate;
+// this file owns the CPU feature detection that decides whether they may
+// run. Builds with -tags purego exclude both files and fall back to the
+// scalar kernels (kernel_fallback.go), which is also the forced path of
+// SetKernel("purego").
+
+// avx2Available reports whether the CPU supports AVX2 and the OS has
+// enabled 256-bit vector state. Detected once at init.
+var avx2Available = detectAVX2()
+
+// detectAVX2 runs the standard three-step check without external
+// dependencies: AVX + OSXSAVE in CPUID.1:ECX, XMM+YMM state enabled in
+// XCR0 (XGETBV), and AVX2 in CPUID.7.0:EBX.
+func detectAVX2() bool {
+	maxID, _, _, _ := cpuid(0, 0)
+	if maxID < 7 {
+		return false
+	}
+	_, _, ecx1, _ := cpuid(1, 0)
+	const osxsave = 1 << 27
+	const avx = 1 << 28
+	if ecx1&osxsave == 0 || ecx1&avx == 0 {
+		return false
+	}
+	xcr0, _ := xgetbv()
+	if xcr0&6 != 6 { // XMM and YMM state both OS-managed
+		return false
+	}
+	_, ebx7, _, _ := cpuid(7, 0)
+	return ebx7&(1<<5) != 0 // AVX2
+}
+
+// intersectBlocks evaluates the exact closed-rectangle test of query
+// q = {MinX, MinY, MaxX, MaxY} against lanes [0, n) of the four planes,
+// n a positive multiple of 4 (at most 64), and returns the result bits in
+// lane order. NaN compares false in every predicate (VCMPPD LE_OQ), so
+// NaN and EmptyRect lanes never set their bit — identical to intersect1.
+//
+//go:noescape
+func intersectBlocks(q *[4]float64, minx, miny, maxx, maxy *float64, n int) uint64
+
+// quantGate64 evaluates the quantized byte prefilter for a fixed window
+// of 64 lanes starting at the given plane pointers, returning one bit per
+// lane. Callers only test the result against zero; lanes past the logical
+// end are garbage (the padding growQuant guarantees makes the overread
+// safe, and a spurious survivor merely disables a skip).
+//
+//go:noescape
+func quantGate64(q *[4]uint8, minx, miny, maxx, maxy *uint8) uint64
+
+// cpuid executes the CPUID instruction with the given leaf/subleaf.
+func cpuid(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+
+// xgetbv reads extended control register 0 (requires OSXSAVE).
+func xgetbv() (eax, edx uint32)

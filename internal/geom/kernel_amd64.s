@@ -1,0 +1,133 @@
+//go:build amd64 && !purego
+
+#include "textflag.h"
+
+// func intersectBlocks(q *[4]float64, minx, miny, maxx, maxy *float64, n int) uint64
+//
+// Exact 4-wide closed-rectangle test. q holds the query as
+// {MinX, MinY, MaxX, MaxY}; the planes hold the data rectangles. A lane's
+// bit is set iff
+//
+//	minx[i] <= q.MaxX && q.MinX <= maxx[i] &&
+//	miny[i] <= q.MaxY && q.MinY <= maxy[i]
+//
+// evaluated with VCMPPD predicate LE_OQ (0x12): quiet, ordered, so any
+// NaN operand yields false — exactly the scalar semantics. n must be a
+// positive multiple of 4, at most 64 (the caller covers the remainder
+// lanes in Go).
+TEXT ·intersectBlocks(SB), NOSPLIT, $0-56
+	MOVQ q+0(FP), AX
+	VBROADCASTSD 0(AX), Y0  // q.MinX
+	VBROADCASTSD 8(AX), Y1  // q.MinY
+	VBROADCASTSD 16(AX), Y2 // q.MaxX
+	VBROADCASTSD 24(AX), Y3 // q.MaxY
+	MOVQ minx+8(FP), SI
+	MOVQ miny+16(FP), DI
+	MOVQ maxx+24(FP), R8
+	MOVQ maxy+32(FP), R9
+	MOVQ n+40(FP), R11
+	XORQ BX, BX             // result word
+	XORQ CX, CX             // lane index (CL doubles as the shift count)
+
+loop:
+	VMOVUPD (SI)(CX*8), Y4
+	VCMPPD  $0x12, Y2, Y4, Y4 // minx <= q.MaxX
+	VMOVUPD (R8)(CX*8), Y5
+	VCMPPD  $0x12, Y5, Y0, Y5 // q.MinX <= maxx
+	VANDPD  Y5, Y4, Y4
+	VMOVUPD (DI)(CX*8), Y6
+	VCMPPD  $0x12, Y3, Y6, Y6 // miny <= q.MaxY
+	VMOVUPD (R9)(CX*8), Y7
+	VCMPPD  $0x12, Y7, Y1, Y7 // q.MinY <= maxy
+	VANDPD  Y7, Y6, Y6
+	VANDPD  Y6, Y4, Y4
+	VMOVMSKPD Y4, AX
+	SHLQ    CL, AX            // CL = lane index, 0..60
+	ORQ     AX, BX
+	ADDQ    $4, CX
+	CMPQ    CX, R11
+	JLT     loop
+
+	VZEROUPPER
+	MOVQ BX, ret+48(FP)
+	RET
+
+// func quantGate64(q *[4]uint8, minx, miny, maxx, maxy *uint8) uint64
+//
+// Quantized byte prefilter over a fixed 64-lane window: the same four-way
+// test as above on the uint8 mirrors, using the unsigned-compare identity
+// a <= b  <=>  min(a, b) == a (VPMINUB + VPCMPEQB; AVX2 has no unsigned
+// byte compare). Two 32-byte groups, one VPMOVMSKB each. Reads exactly
+// 64 bytes per plane regardless of the logical length — growQuant pads
+// the allocations, and trailing garbage bits only cost a skipped skip.
+TEXT ·quantGate64(SB), NOSPLIT, $0-48
+	MOVQ q+0(FP), AX
+	VPBROADCASTB 0(AX), Y0 // q.MinX
+	VPBROADCASTB 1(AX), Y1 // q.MinY
+	VPBROADCASTB 2(AX), Y2 // q.MaxX
+	VPBROADCASTB 3(AX), Y3 // q.MaxY
+	MOVQ minx+8(FP), SI
+	MOVQ miny+16(FP), DI
+	MOVQ maxx+24(FP), R8
+	MOVQ maxy+32(FP), R9
+
+	// Lanes 0..31.
+	VMOVDQU  (SI), Y4
+	VPMINUB  Y2, Y4, Y5
+	VPCMPEQB Y4, Y5, Y4    // minx <= q.MaxX
+	VMOVDQU  (R8), Y5
+	VPMINUB  Y5, Y0, Y6
+	VPCMPEQB Y0, Y6, Y6    // q.MinX <= maxx
+	VPAND    Y6, Y4, Y4
+	VMOVDQU  (DI), Y5
+	VPMINUB  Y3, Y5, Y6
+	VPCMPEQB Y5, Y6, Y5    // miny <= q.MaxY
+	VPAND    Y5, Y4, Y4
+	VMOVDQU  (R9), Y5
+	VPMINUB  Y5, Y1, Y6
+	VPCMPEQB Y1, Y6, Y6    // q.MinY <= maxy
+	VPAND    Y6, Y4, Y4
+	VPMOVMSKB Y4, BX
+
+	// Lanes 32..63.
+	VMOVDQU  32(SI), Y4
+	VPMINUB  Y2, Y4, Y5
+	VPCMPEQB Y4, Y5, Y4
+	VMOVDQU  32(R8), Y5
+	VPMINUB  Y5, Y0, Y6
+	VPCMPEQB Y0, Y6, Y6
+	VPAND    Y6, Y4, Y4
+	VMOVDQU  32(DI), Y5
+	VPMINUB  Y3, Y5, Y6
+	VPCMPEQB Y5, Y6, Y5
+	VPAND    Y5, Y4, Y4
+	VMOVDQU  32(R9), Y5
+	VPMINUB  Y5, Y1, Y6
+	VPCMPEQB Y1, Y6, Y6
+	VPAND    Y6, Y4, Y4
+	VPMOVMSKB Y4, AX
+	SHLQ     $32, AX
+	ORQ      AX, BX
+
+	VZEROUPPER
+	MOVQ BX, ret+40(FP)
+	RET
+
+// func cpuid(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuid(SB), NOSPLIT, $0-24
+	MOVL eaxIn+0(FP), AX
+	MOVL ecxIn+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbv() (eax, edx uint32)
+TEXT ·xgetbv(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET

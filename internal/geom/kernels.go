@@ -1,0 +1,225 @@
+package geom
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Kernel dispatch. The filter kernels over Planes exist twice: a pure-Go
+// scalar implementation that runs everywhere, and an AVX2 implementation
+// (kernel_amd64.s) selected at init when the CPU and OS support 256-bit
+// vector state. The two are semantically identical — the vector code
+// evaluates the same closed-rectangle predicate, bit for bit, including
+// NaN and EmptyRect never matching — so dispatch is purely a performance
+// decision. SetKernel("purego") forces the fallback at runtime for A/B
+// runs; builds with -tags purego never compile the assembly at all.
+
+var useAVX2 = avx2Available
+
+// KernelName returns the active kernel path: "avx2" or "purego".
+func KernelName() string {
+	if useAVX2 {
+		return "avx2"
+	}
+	return "purego"
+}
+
+// SetKernel selects the kernel path: "auto" picks the best the CPU
+// supports, "purego" forces the scalar fallback. It returns an error for
+// unknown modes. Not safe to call concurrently with running kernels.
+func SetKernel(mode string) error {
+	switch mode {
+	case "auto":
+		useAVX2 = avx2Available
+	case "purego":
+		useAVX2 = false
+	default:
+		return fmt.Errorf("geom: unknown kernel %q (want auto or purego)", mode)
+	}
+	return nil
+}
+
+// IntersectBatchPlanes is IntersectBatch over a coordinate-plane view:
+// bit i%64 of out[i/64] is set iff rectangle i of p intersects q, under
+// exactly the Rect.Intersects predicate (touching edges count; NaN and
+// EmptyRect never match). out must hold at least MaskWords(p.Len())
+// words; used words are fully overwritten with zero trailing bits. It
+// returns the number of intersecting rectangles.
+//
+// When p carries a quantized mirror, each 64-rectangle block first runs
+// the byte-compare prefilter; blocks with no quantized survivor skip the
+// exact float64 test entirely. The prefilter is conservative (outward
+// rounding), so the result mask is unchanged — only the work to compute
+// it shrinks.
+func IntersectBatchPlanes(q Rect, p *Planes, out []uint64) int {
+	n := p.Len()
+	words := MaskWords(n)
+	if words == 0 {
+		return 0
+	}
+	out = out[:words]
+	var qq [4]uint8
+	if p.quantized {
+		qq = p.quantQuery(q)
+	}
+	count := 0
+	if useAVX2 {
+		qv := [4]float64{q.MinX, q.MinY, q.MaxX, q.MaxY}
+		for wi := 0; wi < words; wi++ {
+			base := wi << 6
+			cnt := n - base
+			if cnt > 64 {
+				cnt = 64
+			}
+			if p.quantized && quantGate64(&qq, &p.qMinX[base], &p.qMinY[base], &p.qMaxX[base], &p.qMaxY[base]) == 0 {
+				out[wi] = 0
+				continue
+			}
+			full := cnt &^ 3
+			var word uint64
+			if full > 0 {
+				word = intersectBlocks(&qv, &p.MinX[base], &p.MinY[base], &p.MaxX[base], &p.MaxY[base], full)
+			}
+			for i := base + full; i < base+cnt; i++ {
+				word |= intersectLane(q, p, i) << (uint(i-base) & 63)
+			}
+			out[wi] = word
+			count += bits.OnesCount64(word)
+		}
+		return count
+	}
+	for wi := 0; wi < words; wi++ {
+		base := wi << 6
+		end := base + 64
+		if end > n {
+			end = n
+		}
+		if p.quantized && quantGateGo(&qq, p, base, end) == 0 {
+			out[wi] = 0
+			continue
+		}
+		var word uint64
+		for i := base; i < end; i++ {
+			word |= intersectLane(q, p, i) << (uint(i-base) & 63)
+		}
+		out[wi] = word
+		count += bits.OnesCount64(word)
+	}
+	return count
+}
+
+// intersectLane is the branchless single-lane exact test over the planes
+// (the SoA twin of intersect1).
+func intersectLane(q Rect, p *Planes, i int) uint64 {
+	return b2u(p.MinX[i] <= q.MaxX) & b2u(q.MinX <= p.MaxX[i]) &
+		b2u(p.MinY[i] <= q.MaxY) & b2u(q.MinY <= p.MaxY[i])
+}
+
+// quantGateGo is the scalar form of the quantized prefilter over lanes
+// [lo, hi): the returned word is nonzero iff any lane survives the
+// byte-compare test. Used on the fallback path so the quantized gate
+// behaves identically (conservatively) on every build.
+func quantGateGo(qq *[4]uint8, p *Planes, lo, hi int) uint64 {
+	var word uint64
+	for i := lo; i < hi; i++ {
+		m := b2u(p.qMinX[i] <= qq[2]) & b2u(qq[0] <= p.qMaxX[i]) &
+			b2u(p.qMinY[i] <= qq[3]) & b2u(qq[1] <= p.qMaxY[i])
+		word |= m << (uint(i-lo) & 63)
+	}
+	return word
+}
+
+// SweepPairsPlanesDense sweeps all of r against all of s, both already in
+// ascending (MinX, MinY) order at positions 0..Len-1, and appends every
+// intersecting pair to out as position pairs. This is the segment form of
+// the sweep the partition join runs per tile: both sides are contiguous
+// coordinate-plane slices (tile segments come out of the counting sort
+// already sweep-sorted and densely packed), so every load in the scan is
+// a step through a dense float64 stream — no index indirection, no
+// striding. Pair set, order and the comparison count equal
+// SweepPairsSoA over the same rectangles with identity index slices.
+func SweepPairsPlanesDense(r, s *Planes, out []IndexPair) ([]IndexPair, int) {
+	rMinX, rMinY, rMaxX, rMaxY := r.MinX, r.MinY, r.MaxX, r.MaxY
+	sMinX, sMinY, sMaxX, sMaxY := s.MinX, s.MinY, s.MaxX, s.MaxY
+	// Pin the sibling planes to the MinX lengths so the scans' bounds
+	// checks vanish (the loop conditions already guard len(\*MinX)).
+	rMinY, rMaxX, rMaxY = rMinY[:len(rMinX)], rMaxX[:len(rMinX)], rMaxY[:len(rMinX)]
+	sMinY, sMaxX, sMaxY = sMinY[:len(sMinX)], sMaxX[:len(sMinX)], sMaxY[:len(sMinX)]
+	comparisons := 0
+	i, j := 0, 0
+	for i < len(rMinX) && j < len(sMinX) {
+		if rMinX[i] <= sMinX[j] {
+			tMaxX, tMinY, tMaxY := rMaxX[i], rMinY[i], rMaxY[i]
+			for k := j; k < len(sMinX); k++ {
+				if sMinX[k] > tMaxX {
+					break
+				}
+				comparisons++
+				if tMinY <= sMaxY[k] && sMinY[k] <= tMaxY {
+					out = append(out, IndexPair{R: int32(i), S: int32(k)})
+				}
+			}
+			i++
+		} else {
+			tMaxX, tMinY, tMaxY := sMaxX[j], sMinY[j], sMaxY[j]
+			for k := i; k < len(rMinX); k++ {
+				if rMinX[k] > tMaxX {
+					break
+				}
+				comparisons++
+				if rMinY[k] <= tMaxY && tMinY <= rMaxY[k] {
+					out = append(out, IndexPair{R: int32(k), S: int32(j)})
+				}
+			}
+			j++
+		}
+	}
+	return out, comparisons
+}
+
+// SweepPairsPlanes is SweepPairsSoA over coordinate-plane views: ri and si
+// index into r and s and must be sorted by ascending (MinX, MinY, index).
+// Every intersecting pair is appended to out in local plane-sweep order as
+// original (ri, si) indices; the grown slice is returned with the number
+// of rectangle pairs tested. Pair set, pair order and comparison count are
+// identical to SweepPairsSoA on the same rectangles — the planes layout
+// only changes how the coordinates are loaded (each inner scan reads one
+// dense float64 stream per plane instead of striding 32-byte rects).
+func SweepPairsPlanes(r, s *Planes, ri, si []int32, out []IndexPair) ([]IndexPair, int) {
+	rMinX, rMinY, rMaxX, rMaxY := r.MinX, r.MinY, r.MaxX, r.MaxY
+	sMinX, sMinY, sMaxX, sMaxY := s.MinX, s.MinY, s.MaxX, s.MaxY
+	comparisons := 0
+	i, j := 0, 0
+	for i < len(ri) && j < len(si) {
+		if rMinX[ri[i]] <= sMinX[si[j]] {
+			oi := ri[i]
+			tMaxX, tMinY, tMaxY := rMaxX[oi], rMinY[oi], rMaxY[oi]
+			for k := j; k < len(si); k++ {
+				c := si[k]
+				if sMinX[c] > tMaxX {
+					break
+				}
+				comparisons++
+				if tMinY <= sMaxY[c] && sMinY[c] <= tMaxY {
+					out = append(out, IndexPair{R: oi, S: c})
+				}
+			}
+			i++
+		} else {
+			oj := si[j]
+			tMaxX, tMinY, tMaxY := sMaxX[oj], sMinY[oj], sMaxY[oj]
+			for k := i; k < len(ri); k++ {
+				c := ri[k]
+				if rMinX[c] > tMaxX {
+					break
+				}
+				comparisons++
+				if rMinY[c] <= tMaxY && tMinY <= rMaxY[c] {
+					out = append(out, IndexPair{R: c, S: oj})
+				}
+			}
+			j++
+		}
+	}
+	return out, comparisons
+}

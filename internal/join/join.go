@@ -149,6 +149,8 @@ func (sc *Scratch) expandEqual(nr, ns *rtree.Node, opts Options, leaf bool) int 
 	comparisons := 0
 	rRects, rOrder, rMBR := nr.SweepView()
 	sRects, sOrder, sMBR := ns.SweepView()
+	rPlanes, _, _ := nr.PlanesView()
+	sPlanes, _, _ := ns.PlanesView()
 
 	if opts.NestedLoops {
 		// Ablation baseline: quadratic enumeration in entry order (which
@@ -188,10 +190,12 @@ func (sc *Scratch) expandEqual(nr, ns *rtree.Node, opts Options, leaf bool) int 
 	}
 
 	// Technique (i): restrict both entry sets to the intersection of the
-	// node MBRs. The tests run through the branchless batch kernel over the
-	// SoA rect views (the predicate is bit-identical to Rect.Intersects, so
-	// the comparison count is unchanged); walking the cached order against
-	// the bitmask keeps the restricted sets in ascending MinX for free.
+	// node MBRs. The tests run through the vectorized batch kernel over the
+	// cached coordinate planes (the predicate is bit-identical to
+	// Rect.Intersects, so the comparison count is unchanged — the quantized
+	// prefilter only skips computing blocks whose bits are all zero);
+	// walking the cached order against the bitmask keeps the restricted
+	// sets in ascending MinX for free.
 	rIdx, sIdx := sc.rIdx[:0], sc.sIdx[:0]
 	if opts.DisableRestriction {
 		rIdx = append(rIdx, rOrder...)
@@ -201,8 +205,8 @@ func (sc *Scratch) expandEqual(nr, ns *rtree.Node, opts Options, leaf bool) int 
 		comparisons += len(rRects) + len(sRects)
 		sc.rMask = growMask(sc.rMask, len(rRects))
 		sc.sMask = growMask(sc.sMask, len(sRects))
-		geom.IntersectBatch(inter, rRects, sc.rMask)
-		geom.IntersectBatch(inter, sRects, sc.sMask)
+		geom.IntersectBatchPlanes(inter, rPlanes, sc.rMask)
+		geom.IntersectBatchPlanes(inter, sPlanes, sc.sMask)
 		for _, i := range rOrder {
 			if sc.rMask[i>>6]>>(uint(i)&63)&1 != 0 {
 				rIdx = append(rIdx, i)
@@ -216,9 +220,10 @@ func (sc *Scratch) expandEqual(nr, ns *rtree.Node, opts Options, leaf bool) int 
 	}
 	sc.rIdx, sc.sIdx = rIdx, sIdx
 
-	// Technique (ii): plane-sweep in ascending MinX over the SoA views.
+	// Technique (ii): plane-sweep in ascending MinX over the coordinate
+	// planes.
 	var n int
-	sc.hits, n = geom.SweepPairsSoA(rRects, sRects, rIdx, sIdx, sc.hits[:0])
+	sc.hits, n = geom.SweepPairsPlanes(rPlanes, sPlanes, rIdx, sIdx, sc.hits[:0])
 	comparisons += n
 	for _, h := range sc.hits {
 		sc.emit(nr, ns, h.R, h.S, leaf)
@@ -257,10 +262,12 @@ func (sc *Scratch) expandOneSided(deep, other *rtree.Node, opts Options, rDeeper
 		}
 		return comparisons
 	}
-	// Batch-test the whole node against the other subtree's MBR, then walk
-	// the cached order against the bitmask (sweep order, same predicate).
+	// Batch-test the whole node against the other subtree's MBR through the
+	// vectorized planes kernel, then walk the cached order against the
+	// bitmask (sweep order, same predicate).
+	planes, _, _ := deep.PlanesView()
 	sc.rMask = growMask(sc.rMask, len(rects))
-	geom.IntersectBatch(otherMBR, rects, sc.rMask)
+	geom.IntersectBatchPlanes(otherMBR, planes, sc.rMask)
 	for _, i := range order {
 		if sc.rMask[i>>6]>>(uint(i)&63)&1 != 0 {
 			sc.emitOneSided(deep, other, i, rDeeper)

@@ -15,9 +15,11 @@
 //     scatter) into one flat index array — no per-item allocation. The
 //     scatter walks the sweep order, so every tile segment comes out
 //     already sweep-sorted and the per-tile joins never sort.
-//   - Each tile join runs geom.SweepPairsSoA directly on its two index
-//     segments; tiles are scheduled largest-first over a parnative.Pool so
-//     stragglers start early.
+//   - Each tile segment carries a coordinate-plane (SoA) copy of its
+//     rectangles in segment position order, so the per-tile sweep
+//     (geom.SweepPairsPlanesDense) walks dense float64 streams with no
+//     index indirection; tiles are scheduled largest-first over a
+//     parnative.Pool so stragglers start early.
 //   - A pair intersecting in several tiles is reported exactly once, by
 //     the reference-point method: only the tile containing the top-left
 //     corner of the intersection of the two MBRs reports it.
@@ -108,6 +110,7 @@ const (
 	phaseSort               // sort both sides into global sweep order
 	phaseCount              // count tile occupancy per worker chunk
 	phaseScatter            // scatter rect indices into tile segments
+	phaseFill               // fill the tile-segment coordinate planes
 	phaseVerify             // re-verify sweep order and tile codes in place
 	phaseJoin               // sweep the tiles, largest first
 )
@@ -123,6 +126,14 @@ type gridSide struct {
 	starts   []int32 // tiles+1 segment boundaries into idx
 	idx      []int32 // rect indices grouped by tile
 	disorder []uint8 // per-worker flag: chunk out of order or codes stale
+
+	// planes is the coordinate-plane copy of the tile segments, in segment
+	// position space: planes rectangle p is rects[idx[p]]. Replicating the
+	// coordinates here is what makes the per-tile sweep stride-free — both
+	// sides of every tile are contiguous, sweep-sorted runs of the four
+	// plane arrays. Filled by phaseFill after each scatter and refreshed on
+	// the fast path only when the mirror check patched something.
+	planes geom.Planes
 }
 
 // clearFlags resets the disorder flags ahead of a verification pass.
@@ -150,7 +161,6 @@ func (g *gridSide) unsorted(workers int) bool {
 type workerState struct {
 	cands      []join.Candidate
 	hits       []geom.IndexPair
-	gather     []geom.Rect
 	mask       []uint64
 	candSorter join.CandidateSorter
 
@@ -299,6 +309,12 @@ func (j *Joiner) Join(r, s []rtree.Item, cfg Config) Result {
 			j.sPart.clearFlags(workers)
 			j.runPhase(phaseVerify)
 			fast = !j.rPart.unsorted(workers) && !j.sPart.unsorted(workers)
+			if fast {
+				// The segments survived the mutation but the segment
+				// planes still hold the old coordinates: re-fill them
+				// from the patched mirrors.
+				j.runPhase(phaseFill)
+			}
 		}
 	}
 	if !fast {
@@ -345,6 +361,7 @@ func (j *Joiner) Join(r, s []rtree.Item, cfg Config) Result {
 		j.rPart.prefixSum(workers, tiles)
 		j.sPart.prefixSum(workers, tiles)
 		j.runPhase(phaseScatter)
+		j.runPhase(phaseFill)
 		j.cacheOK = true
 		j.cGX, j.cWk = g, workers
 		j.cRLen, j.cSLen = len(r), len(s)
@@ -431,6 +448,8 @@ func (j *Joiner) RunWorker(w int) {
 		j.bucketChunk(w, false)
 	case phaseScatter:
 		j.bucketChunk(w, true)
+	case phaseFill:
+		j.fillChunk(w)
 	case phaseMirrorCheck:
 		j.mirrorCheckChunk(w)
 	case phaseVerify:
@@ -597,14 +616,18 @@ func (j *Joiner) bucketChunk(w int, scatter bool) {
 // mirrorCheckChunk is the steady-state fast path's first half: a
 // sequential compare of this worker's item chunks against the SoA
 // mirrors, patching any divergence in place and flagging that something
-// changed. On unchanged inputs this pass is the only per-item work before
-// the sweeps.
+// changed (a change triggers the verify pass, and — if the segments
+// survive — a segment-plane refill). On unchanged inputs this pass is
+// the only per-item work before the sweeps, so the compare runs on raw
+// coordinate bits: integer compares beat float compares here, a
+// faithfully mirrored NaN reads as unchanged (it is), and a ±0 sign flip
+// reads as changed (conservative — the verify pass then passes).
 func (j *Joiner) mirrorCheckChunk(w int) {
 	dirty := uint8(0)
 	lo, hi := j.chunkRange(len(j.rItems), w)
 	for i := lo; i < hi; i++ {
 		it := &j.rItems[i]
-		if j.rRects[i] != it.Rect || j.rIDs[i] != it.ID {
+		if rectChanged(&j.rRects[i], &it.Rect) || j.rIDs[i] != it.ID {
 			j.rRects[i] = it.Rect
 			j.rIDs[i] = it.ID
 			dirty = 1
@@ -613,13 +636,46 @@ func (j *Joiner) mirrorCheckChunk(w int) {
 	lo, hi = j.chunkRange(len(j.sItems), w)
 	for i := lo; i < hi; i++ {
 		it := &j.sItems[i]
-		if j.sRects[i] != it.Rect || j.sIDs[i] != it.ID {
+		if rectChanged(&j.sRects[i], &it.Rect) || j.sIDs[i] != it.ID {
 			j.sRects[i] = it.Rect
 			j.sIDs[i] = it.ID
 			dirty = 1
 		}
 	}
 	j.mdirty[w] = dirty
+}
+
+// fillChunk copies this worker's chunk of each side's tile segments into
+// the segment coordinate planes: position p of the planes becomes
+// rects[idx[p]]. The writes are contiguous streams; the gathered reads
+// are the price of de-striding every subsequent sweep over the segment.
+func (j *Joiner) fillChunk(w int) {
+	sides := [2]struct {
+		part  *gridSide
+		rects []geom.Rect
+	}{
+		{&j.rPart, j.rRects},
+		{&j.sPart, j.sRects},
+	}
+	for _, side := range sides {
+		idx := side.part.idx
+		lo, hi := j.chunkRange(len(idx), w)
+		for pos := lo; pos < hi; pos++ {
+			side.part.planes.SetRect(pos, side.rects[idx[pos]])
+		}
+	}
+}
+
+// rectChanged compares a mirror rect against an item rect bit for bit.
+// The XOR-OR accumulation is branchless: in the steady state every rect
+// matches, so one predictable test per rect beats four short-circuit
+// compares.
+func rectChanged(a, b *geom.Rect) bool {
+	d := math.Float64bits(a.MinX) ^ math.Float64bits(b.MinX)
+	d |= math.Float64bits(a.MinY) ^ math.Float64bits(b.MinY)
+	d |= math.Float64bits(a.MaxX) ^ math.Float64bits(b.MaxX)
+	d |= math.Float64bits(a.MaxY) ^ math.Float64bits(b.MaxY)
+	return d != 0
 }
 
 // verifyChunk decides whether the cached tile segments survive an input
@@ -713,49 +769,48 @@ func (j *Joiner) joinTiles(w int) {
 	}
 }
 
-// joinTile joins one tile's two index lists and appends the surviving
-// pairs to ws.cands, returning the comparison count.
+// joinTile joins one tile's two segments and appends the surviving pairs
+// to ws.cands, returning the comparison count. The sweep runs in segment
+// position space over the contiguous plane views; hit positions map back
+// to rect indices through the idx segments for the dedup and emit.
 func (j *Joiner) joinTile(ws *workerState, t int) int {
-	rSeg := j.rPart.idx[j.rPart.starts[t]:j.rPart.starts[t+1]]
-	sSeg := j.sPart.idx[j.sPart.starts[t]:j.sPart.starts[t+1]]
+	rLo, rHi := int(j.rPart.starts[t]), int(j.rPart.starts[t+1])
+	sLo, sHi := int(j.sPart.starts[t]), int(j.sPart.starts[t+1])
+	rSeg := j.rPart.idx[rLo:rHi]
+	sSeg := j.sPart.idx[sLo:sHi]
+	rView := j.rPart.planes.View(rLo, rHi)
+	sView := j.sPart.planes.View(sLo, sHi)
 	tx, ty := t%j.gx, t/j.gx
 
-	// Tiny-side tiles: gathering the larger side once and batch-testing
-	// each small-side rect against it beats the sweep's bookkeeping.
+	// Tiny-side tiles: batch-testing each small-side rect against the
+	// larger side's plane segment beats the sweep's bookkeeping.
 	if len(rSeg) <= batchMax || len(sSeg) <= batchMax {
-		return j.joinTileBatch(ws, rSeg, sSeg, tx, ty)
+		return j.joinTileBatch(ws, rSeg, sSeg, &rView, &sView, tx, ty)
 	}
 
 	// Segments are already in sweep order (see bucketChunk).
 	var comps int
-	ws.hits, comps = geom.SweepPairsSoA(j.rRects, j.sRects, rSeg, sSeg, ws.hits[:0])
+	ws.hits, comps = geom.SweepPairsPlanesDense(&rView, &sView, ws.hits[:0])
 	ws.comps += int64(comps)
 	for _, h := range ws.hits {
-		j.emit(ws, h.R, h.S, tx, ty)
+		j.emit(ws, rSeg[h.R], sSeg[h.S], tx, ty)
 	}
 	return comps
 }
 
 // joinTileBatch is the small-tile path: every rect of the smaller side is
-// batch-tested against the gathered rects of the larger side with the
-// branchless bitmask kernel.
-func (j *Joiner) joinTileBatch(ws *workerState, rSeg, sSeg []int32, tx, ty int) int {
-	small, large := rSeg, sSeg
+// batch-tested against the larger side's contiguous plane segment with
+// the vectorized bitmask kernel.
+func (j *Joiner) joinTileBatch(ws *workerState, rSeg, sSeg []int32, rView, sView *geom.Planes, tx, ty int) int {
+	small, large, largeView := rSeg, sSeg, sView
 	rSmall := true
 	if len(sSeg) < len(rSeg) {
-		small, large = sSeg, rSeg
+		small, large, largeView = sSeg, rSeg, rView
 		rSmall = false
 	}
-	smallRects, largeRects := j.rRects, j.sRects
+	smallRects := j.rRects
 	if !rSmall {
-		smallRects, largeRects = j.sRects, j.rRects
-	}
-	if cap(ws.gather) < len(large) {
-		ws.gather = make([]geom.Rect, len(large), len(large)*2)
-	}
-	ws.gather = ws.gather[:len(large)]
-	for i, li := range large {
-		ws.gather[i] = largeRects[li]
+		smallRects = j.sRects
 	}
 	w := geom.MaskWords(len(large))
 	if cap(ws.mask) < w {
@@ -764,7 +819,7 @@ func (j *Joiner) joinTileBatch(ws *workerState, rSeg, sSeg []int32, tx, ty int) 
 	ws.mask = ws.mask[:w]
 	comps := 0
 	for _, si := range small {
-		geom.IntersectBatch(smallRects[si], ws.gather, ws.mask)
+		geom.IntersectBatchPlanes(smallRects[si], largeView, ws.mask)
 		comps += len(large)
 		for i, li := range large {
 			if ws.mask[i>>6]>>(uint(i)&63)&1 != 0 {
@@ -893,6 +948,7 @@ func (g *gridSide) prefixSum(workers, tiles int) {
 	} else {
 		g.idx = g.idx[:total]
 	}
+	g.planes.Reset(int(total))
 }
 
 // tileOrder sorts j.tiles (and the parallel j.cost) by descending cost,

@@ -214,12 +214,35 @@ func (t *Tree) minFill(n *Node) int {
 // Search calls visit for every data entry whose MBR intersects query.
 // Returning false stops the search. It returns the number of node accesses
 // performed (for tuning experiments).
+//
+// Nodes carrying a sweep cache (built by PrepareSweep or a previous join)
+// are scanned through the vectorized batch kernel over the cached
+// coordinate planes; the per-entry predicate, visit order, early stop and
+// access count are identical either way.
 func (t *Tree) Search(query geom.Rect, visit func(id EntryID, r geom.Rect) bool) int {
 	accesses := 0
 	var rec func(id storage.PageID) bool
 	rec = func(id storage.PageID) bool {
 		n := t.Node(id)
 		accesses++
+		if c := n.sweep; c != nil && len(n.Entries) <= 128 {
+			var mask [2]uint64
+			geom.IntersectBatchPlanes(query, &c.planes, mask[:])
+			for i := range n.Entries {
+				if mask[i>>6]>>(uint(i)&63)&1 == 0 {
+					continue
+				}
+				e := &n.Entries[i]
+				if n.Level == 0 {
+					if !visit(e.Obj, e.Rect) {
+						return false
+					}
+				} else if !rec(e.Child) {
+					return false
+				}
+			}
+			return true
+		}
 		for i := range n.Entries {
 			e := &n.Entries[i]
 			if !e.Rect.Intersects(query) {

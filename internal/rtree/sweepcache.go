@@ -2,6 +2,7 @@ package rtree
 
 import (
 	"fmt"
+	"math"
 
 	"spjoin/internal/geom"
 )
@@ -27,6 +28,11 @@ type sweepCache struct {
 	order []int32
 	// mbr is the union of all entry rects.
 	mbr geom.Rect
+	// planes is the coordinate-plane (SoA) view of rects, in entry order,
+	// with the quantized mirror built over mbr — what the vectorized
+	// filter kernels consume. Entry order (not sweep order) keeps visit
+	// orders and bitmask index spaces identical to the rect view.
+	planes geom.Planes
 }
 
 // ensureSweep returns the node's sweep cache, building it if absent. The
@@ -49,6 +55,8 @@ func (n *Node) ensureSweep() *sweepCache {
 		c.mbr = c.mbr.Union(r)
 	}
 	geom.SortOrderByMinX(c.rects, c.order)
+	c.planes.FromRects(c.rects)
+	c.planes.Quantize(c.mbr)
 	n.sweep = c
 	return c
 }
@@ -61,6 +69,15 @@ func (n *Node) ensureSweep() *sweepCache {
 func (n *Node) SweepView() (rects []geom.Rect, order []int32, mbr geom.Rect) {
 	c := n.ensureSweep()
 	return c.rects, c.order, c.mbr
+}
+
+// PlanesView returns the node's cached coordinate-plane view (aligned
+// with Entries, quantized over the node MBR), the MinX-sorted entry
+// order, and the node MBR. Shared, read-only; same build/concurrency
+// contract as SweepView.
+func (n *Node) PlanesView() (planes *geom.Planes, order []int32, mbr geom.Rect) {
+	c := n.ensureSweep()
+	return &c.planes, c.order, c.mbr
 }
 
 // invalidateSweep drops the cached views. Every mutation of n.Entries —
@@ -94,7 +111,29 @@ func (n *Node) checkSweepCache() error {
 			return fmt.Errorf("rtree: page %d sweep order broken at %d (stale cache)", n.Page, i)
 		}
 	}
+	if c.planes.Len() != len(n.Entries) {
+		return fmt.Errorf("rtree: page %d sweep cache planes hold %d rects for %d entries (stale cache)",
+			n.Page, c.planes.Len(), len(n.Entries))
+	}
+	if !c.planes.HasQuant() {
+		return fmt.Errorf("rtree: page %d sweep cache planes lack the quantized mirror", n.Page)
+	}
+	for i := range n.Entries {
+		if !rectBitsEqual(c.planes.RectAt(i), n.Entries[i].Rect) {
+			return fmt.Errorf("rtree: page %d sweep cache plane %d = %v, entry has %v (stale cache)",
+				n.Page, i, c.planes.RectAt(i), n.Entries[i].Rect)
+		}
+	}
 	return nil
+}
+
+// rectBitsEqual compares two rects bit for bit (so a faithfully copied
+// NaN coordinate does not read as stale).
+func rectBitsEqual(a, b geom.Rect) bool {
+	return math.Float64bits(a.MinX) == math.Float64bits(b.MinX) &&
+		math.Float64bits(a.MinY) == math.Float64bits(b.MinY) &&
+		math.Float64bits(a.MaxX) == math.Float64bits(b.MaxX) &&
+		math.Float64bits(a.MaxY) == math.Float64bits(b.MaxY)
 }
 
 // rectOrderOK reports whether (a, ia) may precede (b, ib) in sweep order.

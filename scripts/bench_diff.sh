@@ -6,6 +6,10 @@
 # Wall-clock numbers wobble with the host, hence the generous default
 # tolerance; allocation counts do not.
 #
+# A snapshot taken under a different kernel dispatch (avx2 vs purego) or a
+# different benchtime is not comparable — the script refuses rather than
+# reporting a bogus regression.
+#
 # Usage: scripts/bench_diff.sh [tolerance-percent] [benchtime]
 set -eu
 cd "$(dirname "$0")/.."
@@ -15,15 +19,43 @@ BENCHTIME="${2:-1000x}"
 FRESH=$(mktemp)
 trap 'rm -f "$FRESH"' EXIT
 
+KERNEL=$(go run ./cmd/spjoin -printkernel)
+
 fail=0
 
-diff_suite() {
+# check_context BASE — refuse to diff against a snapshot whose recorded
+# kernel dispatch or benchtime does not match this run's.
+check_context() {
     base="$1"
-    pattern="$2"
+    base_kernel=$(awk '/"kernel"/ { if (match($0, /"kernel": *"[^"]*"/)) {
+        s = substr($0, RSTART, RLENGTH); gsub(/"kernel": *"|"/, "", s); print s } }' "$base")
+    base_benchtime=$(awk '/"benchtime"/ { if (match($0, /"benchtime": *"[^"]*"/)) {
+        s = substr($0, RSTART, RLENGTH); gsub(/"benchtime": *"|"/, "", s); print s } }' "$base")
+    if [ -n "$base_kernel" ] && [ "$base_kernel" != "$KERNEL" ]; then
+        echo "bench_diff: $base was taken under kernel '$base_kernel' but this run dispatches '$KERNEL' — not comparable (re-snapshot or match the kernel)" >&2
+        fail=1
+        return 1
+    fi
+    if [ -n "$base_benchtime" ] && [ "$base_benchtime" != "$BENCHTIME" ]; then
+        echo "bench_diff: $base was taken with benchtime $base_benchtime but this run uses $BENCHTIME — not comparable" >&2
+        fail=1
+        return 1
+    fi
+    return 0
+}
+
+diff_suite() {
+    base="$1"; shift
 
     [ -f "$base" ] || { echo "bench_diff: missing $base (run make bench-snapshot)" >&2; fail=1; return; }
+    check_context "$base" || return 0
 
-    go test -run='^$' -bench="$pattern" -benchmem -benchtime="$BENCHTIME" . |
+    {
+        while [ "$#" -gt 0 ]; do
+            go test -run='^$' -bench="$2" -benchmem -benchtime="$BENCHTIME" "$1"
+            shift 2
+        done
+    } |
     awk '
         /^Benchmark/ {
             name = $1
@@ -73,7 +105,10 @@ diff_suite() {
     done < "$FRESH"
 }
 
-diff_suite BENCH_kernel.json '^(BenchmarkKernelExpand|BenchmarkSequentialJoin$)'
-diff_suite BENCH_partjoin.json '^(BenchmarkPartitionJoin(Cold)?$|BenchmarkNativeTreeJoin$)'
+diff_suite BENCH_kernel.json \
+    . '^(BenchmarkKernelExpand|BenchmarkSequentialJoin$)' \
+    ./internal/geom/ '^(BenchmarkIntersectBatchPlanes(Quant)?$|BenchmarkSweepPairsPlanes(Dense)?$)'
+diff_suite BENCH_partjoin.json \
+    . '^(BenchmarkPartitionJoin(Cold)?$|BenchmarkNativeTreeJoin$)'
 
 exit "$fail"

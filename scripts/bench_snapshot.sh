@@ -13,11 +13,22 @@ cd "$(dirname "$0")/.."
 
 BENCHTIME="${1:-1000x}"
 
+# The active filter-kernel dispatch (avx2/purego) is stamped into each
+# snapshot: numbers taken under different kernels are not comparable, and
+# bench_diff.sh refuses to diff across a mismatch.
+KERNEL=$(go run ./cmd/spjoin -printkernel)
+
+# snapshot OUT PKG PATTERN [PKG PATTERN]... — run each package's matching
+# benchmarks and merge the results into one JSON snapshot.
 snapshot() {
-    out="$1"
-    pattern="$2"
-    go test -run='^$' -bench="$pattern" -benchmem -benchtime="$BENCHTIME" . |
-    awk -v benchtime="$BENCHTIME" '
+    out="$1"; shift
+    {
+        while [ "$#" -gt 0 ]; do
+            go test -run='^$' -bench="$2" -benchmem -benchtime="$BENCHTIME" "$1"
+            shift 2
+        done
+    } |
+    awk -v benchtime="$BENCHTIME" -v kernel="$KERNEL" '
         /^goos:/    { goos = $2 }
         /^goarch:/  { goarch = $2 }
         /^cpu:/     { sub(/^cpu: */, ""); cpu = $0 }
@@ -36,6 +47,7 @@ snapshot() {
             printf "  \"goos\": \"%s\",\n", goos
             printf "  \"goarch\": \"%s\",\n", goarch
             printf "  \"cpu\": \"%s\",\n", cpu
+            printf "  \"kernel\": \"%s\",\n", kernel
             printf "  \"benchtime\": \"%s\",\n", benchtime
             printf "  \"benchmarks\": [\n"
             for (i = 0; i < n; i++) {
@@ -50,5 +62,8 @@ snapshot() {
     cat "$out"
 }
 
-snapshot BENCH_kernel.json '^(BenchmarkKernelExpand|BenchmarkSequentialJoin$)'
-snapshot BENCH_partjoin.json '^(BenchmarkPartitionJoin(Cold)?$|BenchmarkNativeTreeJoin$)'
+snapshot BENCH_kernel.json \
+    . '^(BenchmarkKernelExpand|BenchmarkSequentialJoin$)' \
+    ./internal/geom/ '^(BenchmarkIntersectBatchPlanes(Quant)?$|BenchmarkSweepPairsPlanes(Dense)?$)'
+snapshot BENCH_partjoin.json \
+    . '^(BenchmarkPartitionJoin(Cold)?$|BenchmarkNativeTreeJoin$)'
