@@ -213,6 +213,49 @@ func BenchmarkPartitionJoinCold(b *testing.B) {
 	}
 }
 
+// skewedSides builds the clustered workload the refinement benchmarks
+// share: both sides pile up on the same gaussian hot spots (shared
+// centerSeed), the distribution where a uniform grid leaves one tile with
+// a quadratic sweep.
+func skewedSides() (r, s []rtree.Item) {
+	return tiger.GaussianClusters(12000, 4, 2, 0.05, 41, 42),
+		tiger.GaussianClusters(12000, 4, 2, 0.05, 41, 43)
+}
+
+// BenchmarkPartitionJoinSkewed is the adversarial baseline: the clustered
+// workload on the uniform grid with tile refinement disabled — the
+// hottest tile dominates the join.
+func BenchmarkPartitionJoinSkewed(b *testing.B) {
+	r, s := skewedSides()
+	var j partjoin.Joiner
+	defer j.Close()
+	cfg := partjoin.Config{RefineThreshold: partjoin.RefineDisabled}
+	j.Join(r, s, cfg) // warm buffers and pool
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j.Join(r, s, cfg)
+	}
+}
+
+// BenchmarkPartitionJoinSkewedRefined is the same workload with the
+// adaptive refinement at its auto threshold: hot tiles split into
+// subtiles until every work unit is back in the sweep sweet spot. Steady
+// state reuses the cached refinement schedule, so this stays
+// allocation-free like BenchmarkPartitionJoin.
+func BenchmarkPartitionJoinSkewedRefined(b *testing.B) {
+	r, s := skewedSides()
+	var j partjoin.Joiner
+	defer j.Close()
+	cfg := partjoin.Config{RefineThreshold: 0}
+	j.Join(r, s, cfg) // warm buffers, pool and refinement schedule
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j.Join(r, s, cfg)
+	}
+}
+
 // BenchmarkNativeTreeJoin is the tree-based comparison point: the same
 // workload joined by the work-stealing native executor over prebuilt
 // R*-trees (tree construction excluded, like the partition benchmark

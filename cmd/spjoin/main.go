@@ -6,7 +6,7 @@
 //
 //	spjoin [-scale 0.1] [-seed 42]
 //	       [-procs 8] [-disks 8] [-buffer 800]
-//	       [-engine tree|partition] [-grid 0]
+//	       [-engine tree|partition|auto] [-grid 0] [-refine 0]
 //	       [-variant gd|gsrr|lsr|sn|est] [-reassign none|root|all]
 //	       [-victim loaded|random] [-native]
 //	       [-kernel auto|purego] [-printkernel]
@@ -17,8 +17,11 @@
 // -engine=partition joins the raw rectangle sets with the grid-partitioned
 // in-memory engine (internal/partjoin): no trees are built and execution is
 // always native. -grid fixes the grid side (0 picks it from the input
-// size). The default tree engine simulates the paper's machine, or runs the
-// native tree join with -native.
+// size) and -refine sets the adaptive tile-refinement threshold (0 = auto,
+// negative = off). -engine=auto probes the inputs with internal/plan and
+// picks engine, grid, refinement and workers itself (printing the
+// decision). The default tree engine simulates the paper's machine, or
+// runs the native tree join with -native.
 //
 // -timeline writes a Perfetto/Chrome trace-event file (open it at
 // ui.perfetto.dev); -report prints the critical-path attribution and the
@@ -47,6 +50,7 @@ import (
 	"spjoin/internal/parjoin"
 	"spjoin/internal/parnative"
 	"spjoin/internal/partjoin"
+	"spjoin/internal/plan"
 	"spjoin/internal/rtree"
 	"spjoin/internal/sim"
 	"spjoin/internal/stats"
@@ -168,8 +172,9 @@ func main() {
 	procs := flag.Int("procs", 8, "simulated processors (or goroutines with -native)")
 	disks := flag.Int("disks", 8, "simulated disks")
 	bufferPages := flag.Int("buffer", 800, "total LRU buffer size in pages")
-	engine := flag.String("engine", "tree", "join engine: tree (R-tree based) | partition (grid-partitioned, native)")
+	engine := flag.String("engine", "tree", "join engine: tree (R-tree based) | partition (grid-partitioned, native) | auto (planner picks)")
 	grid := flag.Int("grid", 0, "partition engine grid side (0 = choose from input size)")
+	refine := flag.Int64("refine", 0, "partition tile refinement threshold (0 = auto, negative = off)")
 	variant := flag.String("variant", "gd", "lsr | gsrr | gd | sn (shared-nothing) | est (estimated static)")
 	reassign := flag.String("reassign", "all", "task reassignment: none | root | all")
 	victim := flag.String("victim", "loaded", "victim selection: loaded | random")
@@ -236,6 +241,28 @@ func main() {
 		fmt.Printf("generating maps at scale %g (seed %d)...\n", *scale, *seed)
 		streets, mixed = tiger.Maps(*scale, *seed)
 	}
+	if *engine == "auto" {
+		// The planner probes the raw inputs and rewrites the engine flags
+		// with its decision; execution then follows the ordinary paths
+		// below, so auto runs exactly what a hand-picked invocation would.
+		maxW := *procs
+		if maxW <= 0 {
+			maxW = runtime.GOMAXPROCS(0)
+		}
+		st := plan.Analyze(streets, mixed)
+		d := plan.Decide(st, maxW)
+		fmt.Printf("planner: n=%d+%d skew=%.2f replication=%.2f -> %v\n",
+			st.NR, st.NS, st.Skew, st.Rep, d)
+		*procs = d.Workers
+		if d.Engine == plan.EnginePartition {
+			*engine = "partition"
+			*grid = d.Grid
+			*refine = d.RefineThreshold
+		} else {
+			*engine = "tree"
+			*native = true
+		}
+	}
 	switch *engine {
 	case "partition":
 		workers := *procs
@@ -246,7 +273,7 @@ func main() {
 		if *timelineOut != "" || *report {
 			rec = timeline.NewWallRecorder(workers)
 		}
-		runPartition(os.Stdout, streets, mixed, workers, *grid, obs, rec)
+		runPartition(os.Stdout, streets, mixed, workers, *grid, *refine, obs, rec)
 		if rec != nil {
 			if err := finishTimeline(rec, *timelineOut, *report, rec.MaxEnd()); err != nil {
 				fmt.Fprintf(os.Stderr, "spjoin: %v\n", err)
@@ -413,17 +440,21 @@ func loadCSV(path string) ([]rtree.Item, error) {
 	return mapio.Read(f)
 }
 
-func runPartition(out io.Writer, r, s []rtree.Item, workers, grid int, obs *observability, rec *timeline.Recorder) {
+func runPartition(out io.Writer, r, s []rtree.Item, workers, grid int, refine int64, obs *observability, rec *timeline.Recorder) {
 	t0 := time.Now()
 	res := partjoin.Join(r, s, partjoin.Config{
-		Workers:  workers,
-		Grid:     grid,
-		Metrics:  obs.reg,
-		Timeline: rec,
+		Workers:         workers,
+		Grid:            grid,
+		RefineThreshold: refine,
+		Metrics:         obs.reg,
+		Timeline:        rec,
 	})
 	wall := time.Since(t0)
 	fmt.Fprintf(out, "partition join with %d goroutines\n", res.Workers)
-	fmt.Fprintf(out, "grid:         %dx%d (%d non-empty partitions)\n", res.GX, res.GY, res.Partitions)
+	fmt.Fprintf(out, "grid:         %dx%d (%d work units)\n", res.GX, res.GY, res.Partitions)
+	if res.RefinedTiles > 0 {
+		fmt.Fprintf(out, "refined:      %d hot tiles -> %d subtiles\n", res.RefinedTiles, res.Subtiles)
+	}
 	fmt.Fprintf(out, "candidates:   %d\n", len(res.Candidates))
 	fmt.Fprintf(out, "duplicates:   %d suppressed\n", res.Duplicates)
 	fmt.Fprintf(out, "comparisons:  %d\n", res.Comparisons)
@@ -444,6 +475,8 @@ func renderPartitionSummary(out io.Writer, snap metrics.Snapshot) {
 	for _, row := range []struct{ label, counter string }{
 		{"grid tiles", "partjoin.grid_tiles"},
 		{"non-empty partitions", "partjoin.partitions"},
+		{"refined tiles", "partjoin.refined_tiles"},
+		{"subtiles", "partjoin.subtiles"},
 		{"comparisons", "partjoin.comparisons"},
 		{"candidates", "partjoin.candidates"},
 		{"duplicates suppressed", "partjoin.duplicates_suppressed"},

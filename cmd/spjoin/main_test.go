@@ -18,7 +18,7 @@ func TestPartitionCLIOutput(t *testing.T) {
 	streets, mixed := tiger.Maps(0.01, 42)
 	obs := &observability{reg: metrics.NewRegistry()}
 	var out bytes.Buffer
-	runPartition(&out, streets, mixed, 4, 0, obs, nil)
+	runPartition(&out, streets, mixed, 4, 0, 0, obs, nil)
 	text := out.String()
 	for _, want := range []string{
 		"partition join with 4 goroutines",
@@ -60,7 +60,7 @@ func TestKernelSummaryRow(t *testing.T) {
 func TestPartitionCLIOutputNoRegistry(t *testing.T) {
 	streets, mixed := tiger.Maps(0.01, 42)
 	var out bytes.Buffer
-	runPartition(&out, streets, mixed, 2, 0, &observability{}, nil)
+	runPartition(&out, streets, mixed, 2, 0, 0, &observability{}, nil)
 	if strings.Contains(out.String(), "Partition engine metrics") {
 		t.Fatalf("summary table printed without a registry:\n%s", out.String())
 	}

@@ -51,7 +51,7 @@ func TestPaperClaimSet(t *testing.T) {
 	}
 	for _, fig := range []string{
 		"Table 1", "Figure 5", "Figure 7", "Figure 8", "Figure 9", "Figure 10",
-		"Extension SN", "Extension EST",
+		"Extension SN", "Extension EST", "Extension SKEW",
 	} {
 		if !figures[fig] {
 			t.Errorf("no claim covers %s", fig)

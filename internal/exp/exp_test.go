@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"spjoin/internal/metrics"
+	"spjoin/internal/runstore"
 )
 
 // testWorkload is small enough for fast experiment smoke runs.
@@ -35,8 +36,8 @@ func TestByName(t *testing.T) {
 	if _, ok := ByName("nope"); ok {
 		t.Fatal("bogus experiment found")
 	}
-	if len(All()) != 11 {
-		t.Fatalf("expected 11 experiments, got %d", len(All()))
+	if len(All()) != 12 {
+		t.Fatalf("expected 12 experiments, got %d", len(All()))
 	}
 }
 
@@ -154,6 +155,54 @@ func TestExtensionExperimentsRender(t *testing.T) {
 	out := buf.String()
 	if !strings.Contains(out, "Pearson") || !strings.Contains(out, "dynamic") {
 		t.Fatalf("est experiment output incomplete:\n%s", out)
+	}
+}
+
+// TestSkewExperiment pins the skew extension's own contracts: the cells
+// record deterministic counters (two recordings are identical), refined
+// and unrefined cells agree on the candidate count for every
+// distribution, and the rendered table carries the whole skew ladder.
+func TestSkewExperiment(t *testing.T) {
+	record := func() (string, string) {
+		w := testWorkload(t)
+		w.Rec = NewRecording(w.Seed, w.Scale, "test")
+		var buf, store bytes.Buffer
+		ExpSkew(w, &buf)
+		if _, err := w.Rec.WriteStore(&store); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String(), store.String()
+	}
+	out, store1 := record()
+	for _, want := range []string{"uniform", "gauss60", "gauss20", "gauss5", "refined tiles"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("skew table missing %q:\n%s", want, out)
+		}
+	}
+	if _, store2 := record(); store1 != store2 {
+		t.Error("skew recording is not run-to-run deterministic")
+	}
+	s, err := runstore.Read(strings.NewReader(store1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 8 {
+		t.Fatalf("skew recorded %d cells, want 8", s.Len())
+	}
+	for _, rec := range s.Records {
+		if rec.Engine != "partjoin" {
+			t.Errorf("skew cell %v stamped engine %q, want partjoin", rec.Params, rec.Engine)
+		}
+	}
+	for _, dist := range []string{"uniform", "gauss60", "gauss20", "gauss5"} {
+		off, err1 := s.Metric("skew", map[string]string{"dist": dist, "refine": "off"}, "candidates")
+		auto, err2 := s.Metric("skew", map[string]string{"dist": dist, "refine": "auto"}, "candidates")
+		if err1 != nil || err2 != nil {
+			t.Fatalf("missing skew cells for %s: %v %v", dist, err1, err2)
+		}
+		if off != auto {
+			t.Errorf("%s: candidate counts diverge refined vs unrefined: %v vs %v", dist, auto, off)
+		}
 	}
 }
 

@@ -35,12 +35,19 @@ func NewRecording(seed int64, scale float64, gitRev string) *Recording {
 // Add appends one bare record (derived cells such as the estimator
 // correlation, or tree statistics that are not join runs).
 func (rc *Recording) Add(exp string, params map[string]string, ms map[string]float64) {
+	rc.AddEngine("sim", exp, params, ms)
+}
+
+// AddEngine appends one bare record stamped with an explicit engine —
+// the skew experiment's cells run the native partition engine, not the
+// simulator, and the store schema requires the provenance to say so.
+func (rc *Recording) AddEngine(engine, exp string, params map[string]string, ms map[string]float64) {
 	rec := runstore.Record{
 		Experiment: exp,
 		Params:     params,
 		Seed:       rc.Seed,
 		Scale:      rc.Scale,
-		Engine:     "sim",
+		Engine:     engine,
 		GitRev:     rc.GitRev,
 		Metrics:    ms,
 	}

@@ -1,6 +1,7 @@
 package partjoin
 
 import (
+	"math"
 	"testing"
 
 	"spjoin/internal/geom"
@@ -62,6 +63,113 @@ func FuzzPartitionJoin(f *testing.F) {
 			for k := range want {
 				if !got[k] {
 					t.Fatalf("cfg %+v %s: missing pair %v", cfg, stage, k)
+				}
+			}
+		}
+		check("cold")
+		check("rejoin")
+		if len(r) > 0 && len(data) >= 4 {
+			i := int(data[2]) % len(r)
+			switch data[3] % 3 {
+			case 0: // grow within the world — may stay in-tile or cross
+				r[i].Rect.MaxX += float64(data[0] % 8)
+				r[i].Rect.MaxY += float64(data[1] % 8)
+			case 1: // move left — typically breaks the sweep order
+				r[i].Rect.MinX = -float64(data[0] % 16)
+			case 2: // change identity only
+				r[i].ID += 777
+			}
+			check("mutated")
+		}
+	})
+}
+
+// fuzzRefinedInput decodes the refined-fuzz payload: the base layout of
+// fuzzJoinInput plus a refinement threshold selector and special-rect
+// injection. Byte 1 (grid) doubles as the threshold source so tiny
+// explicit thresholds (forcing deep refinement on small inputs) and auto
+// mode both occur; rect bytes with a 0xF? x-coordinate are replaced by
+// NaN/EmptyRect/duplicate shapes.
+func fuzzRefinedInput(data []byte) (r, s []rtree.Item, cfg Config) {
+	r, s, cfg = fuzzJoinInput(data)
+	if len(data) < 4 {
+		return r, s, cfg
+	}
+	switch data[1] % 4 {
+	case 0:
+		cfg.RefineThreshold = 0 // auto
+	case 1:
+		cfg.RefineThreshold = 1 // refine everything splittable
+	case 2:
+		cfg.RefineThreshold = 16
+	case 3:
+		cfg.RefineThreshold = 256
+	}
+	// Degenerate injections driven by the raw payload: NaN rects, empty
+	// rects, and exact duplicates of rect 0 (duplicate-heavy stacks).
+	nan := math.NaN()
+	for i := range r {
+		switch data[(i+1)%len(data)] {
+		case 0xF0:
+			r[i].Rect = geom.Rect{MinX: nan, MinY: nan, MaxX: nan, MaxY: nan}
+		case 0xF1:
+			r[i].Rect = geom.EmptyRect()
+		case 0xF2:
+			if len(r) > 0 {
+				r[i].Rect = r[0].Rect
+			}
+		}
+	}
+	return r, s, cfg
+}
+
+// FuzzPartitionJoinRefined pins the refined engine to the brute-force
+// oracle AND to the unrefined engine's exact sorted pair sequence, across
+// skewed/degenerate/duplicate-heavy inputs and the Joiner reuse tiers
+// after mutations. Sorted mode is forced so the two engines' outputs are
+// comparable element by element.
+func FuzzPartitionJoinRefined(f *testing.F) {
+	f.Add([]byte{2, 1, 1, 0, 0, 0, 4, 4, 1, 1, 4, 4, 3, 3, 2, 2, 8, 8, 1, 1})
+	f.Add([]byte{0, 0, 0, 0})
+	// All-in-one-tile stack: identical rects, grid 1, threshold 1.
+	f.Add([]byte{7, 1, 3, 1, 5, 5, 0, 0, 5, 5, 0, 0, 5, 5, 0, 0, 5, 5, 0, 0})
+	// NaN + empty + duplicate injections (0xF0/0xF1/0xF2 markers).
+	f.Add([]byte{9, 1, 2, 1, 0xF0, 0xF1, 0xF2, 3, 1, 1, 4, 4, 2, 2, 8, 8, 6, 6, 1, 1, 9, 9, 2, 2})
+	// Boundary lattice: rects touching at multiples of 8.
+	f.Add([]byte{6, 2, 2, 1, 0, 0, 8, 8, 8, 8, 8, 8, 16, 16, 8, 8, 0, 8, 8, 8, 8, 0, 8, 8})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, s, cfg := fuzzRefinedInput(data)
+		cfg.Sorted = true
+		base := cfg
+		base.RefineThreshold = RefineDisabled
+		var jr, ju Joiner
+		defer jr.Close()
+		defer ju.Close()
+		check := func(stage string) {
+			t.Helper()
+			res := jr.Join(r, s, cfg)
+			got := toSet(t, res.Candidates)
+			want := bruteSet(r, s)
+			if len(got) != len(want) {
+				t.Fatalf("cfg %+v %s: %d pairs, want %d", cfg, stage, len(got), len(want))
+			}
+			for k := range want {
+				if !got[k] {
+					t.Fatalf("cfg %+v %s: missing pair %v", cfg, stage, k)
+				}
+			}
+			// Exact pair-sequence equality against the unrefined engine.
+			ref := ju.Join(r, s, base)
+			if len(ref.Candidates) != len(res.Candidates) {
+				t.Fatalf("cfg %+v %s: refined %d pairs, unrefined %d",
+					cfg, stage, len(res.Candidates), len(ref.Candidates))
+			}
+			for i := range ref.Candidates {
+				if ref.Candidates[i].R != res.Candidates[i].R ||
+					ref.Candidates[i].S != res.Candidates[i].S {
+					t.Fatalf("cfg %+v %s: pair %d differs: refined (%d,%d) vs unrefined (%d,%d)",
+						cfg, stage, i, res.Candidates[i].R, res.Candidates[i].S,
+						ref.Candidates[i].R, ref.Candidates[i].S)
 				}
 			}
 		}

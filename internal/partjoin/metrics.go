@@ -12,11 +12,13 @@ import (
 // the owner flushes once after the join phase, so the tile loop never
 // touches shared counters.
 type partMetrics struct {
-	partitions  *metrics.Counter
-	duplicates  *metrics.Counter
-	comparisons *metrics.Counter
-	candidates  *metrics.Counter
-	workerPairs []*metrics.Counter
+	partitions   *metrics.Counter
+	duplicates   *metrics.Counter
+	comparisons  *metrics.Counter
+	candidates   *metrics.Counter
+	refinedTiles *metrics.Counter
+	subtiles     *metrics.Counter
+	workerPairs  []*metrics.Counter
 
 	gridTiles *metrics.Gauge
 	wallMS    *metrics.Gauge
@@ -26,13 +28,15 @@ type partMetrics struct {
 // newPartMetrics resolves all instruments under the "partjoin." prefix.
 func newPartMetrics(reg *metrics.Registry, workers int) *partMetrics {
 	m := &partMetrics{
-		partitions:  reg.Counter("partjoin.partitions"),
-		duplicates:  reg.Counter("partjoin.duplicates_suppressed"),
-		comparisons: reg.Counter("partjoin.comparisons"),
-		candidates:  reg.Counter("partjoin.candidates"),
-		gridTiles:   reg.Gauge("partjoin.grid_tiles"),
-		wallMS:      reg.Gauge("partjoin.wall_ms"),
-		start:       time.Now(),
+		partitions:   reg.Counter("partjoin.partitions"),
+		duplicates:   reg.Counter("partjoin.duplicates_suppressed"),
+		comparisons:  reg.Counter("partjoin.comparisons"),
+		candidates:   reg.Counter("partjoin.candidates"),
+		refinedTiles: reg.Counter("partjoin.refined_tiles"),
+		subtiles:     reg.Counter("partjoin.subtiles"),
+		gridTiles:    reg.Gauge("partjoin.grid_tiles"),
+		wallMS:       reg.Gauge("partjoin.wall_ms"),
+		start:        time.Now(),
 	}
 	for i := 0; i < workers; i++ {
 		m.workerPairs = append(m.workerPairs,
@@ -58,6 +62,8 @@ func (m *partMetrics) finish(res *Result) {
 	if m == nil {
 		return
 	}
+	m.refinedTiles.Add(int64(res.RefinedTiles))
+	m.subtiles.Add(int64(res.Subtiles))
 	m.gridTiles.Set(float64(res.GX * res.GY))
 	m.wallMS.Set(float64(time.Since(m.start)) / float64(time.Millisecond))
 }

@@ -58,6 +58,12 @@ type Config struct {
 	// Sorted returns the candidates sorted by (R, S) id so results are
 	// deterministic regardless of scheduling.
 	Sorted bool
+	// RefineThreshold controls adaptive tile refinement (see refine.go):
+	// 0 derives a threshold from the tile cost distribution (the default —
+	// refinement engages only when the grid is skewed), RefineDisabled
+	// (any negative value) turns refinement off, and a positive value is
+	// the explicit per-tile sweep-cost bound above which a tile is split.
+	RefineThreshold int64
 	// Metrics, when set, receives the run's counters under the "partjoin."
 	// prefix (partitions joined, duplicates suppressed, per-worker pairs).
 	Metrics *metrics.Registry
@@ -75,9 +81,14 @@ type Result struct {
 	Candidates []join.Candidate
 	// GX, GY are the grid dimensions used.
 	GX, GY int
-	// Partitions is the number of non-empty tiles joined (tiles holding
-	// rectangles of both sides).
+	// Partitions is the number of work units joined: unrefined non-empty
+	// tiles plus refined leaf subtiles (units holding rectangles of both
+	// sides).
 	Partitions int
+	// RefinedTiles is the number of hot tiles the adaptive refinement
+	// split; Subtiles is the number of leaf subtile units they became.
+	RefinedTiles int
+	Subtiles     int
 	// Duplicates is the number of cross-tile duplicate pairs suppressed by
 	// the reference-point test.
 	Duplicates int
@@ -112,7 +123,8 @@ const (
 	phaseScatter            // scatter rect indices into tile segments
 	phaseFill               // fill the tile-segment coordinate planes
 	phaseVerify             // re-verify sweep order and tile codes in place
-	phaseJoin               // sweep the tiles, largest first
+	phaseRefineFill         // fill the refinement-arena coordinate planes
+	phaseJoin               // sweep the work units, largest first
 )
 
 // batchMax is the small-side threshold below which a tile skips the
@@ -199,9 +211,28 @@ type Joiner struct {
 
 	bounds []geom.Rect // per-worker chunk MBR unions (phaseMirror)
 
-	tiles  []int32   // non-empty tile ids, largest-first
-	cost   []int64   // matching estimated cost per tiles entry
-	order  tileOrder // reusable sorter over tiles/cost
+	tiles []int32 // non-empty tile ids (schedule source)
+	cost  []int64 // matching estimated cost per tiles entry
+
+	// Work-unit schedule: unrefined tiles plus refined leaf subtiles,
+	// sorted largest-first. The refinement arenas (refRIdx/refSIdx and
+	// their position-space planes) are the subtile analogue of
+	// gridSide.idx/planes; refNodes holds the frozen split geometry the
+	// emit-time ownership walk re-evaluates. unitsOK + cThr gate the
+	// clean-fast-path reuse of the whole schedule.
+	units                  []workUnit
+	ucost                  []int64
+	refNodes               []refNode
+	refRIdx                []int32
+	refSIdx                []int32
+	refRPlanes             geom.Planes
+	refSPlanes             geom.Planes
+	refBudget              int
+	refinedTiles, subtiles int
+	unitsOK                bool
+	cThr                   int64
+
+	order  tileOrder // reusable sorter over units/ucost
 	cursor atomic.Int64
 
 	ws   []workerState
@@ -294,6 +325,7 @@ func (j *Joiner) Join(r, s []rtree.Item, cfg Config) Result {
 	}
 	fast := j.cacheOK && j.cGX == g && j.cWk == workers &&
 		j.cRLen == len(r) && j.cSLen == len(s)
+	clean := false // fast with bit-identical coordinates: schedule reusable
 	if fast {
 		j.mdirty = growFlags(j.mdirty, workers)
 		j.runPhase(phaseMirrorCheck)
@@ -316,6 +348,7 @@ func (j *Joiner) Join(r, s []rtree.Item, cfg Config) Result {
 				j.runPhase(phaseFill)
 			}
 		}
+		clean = fast && !changed
 	}
 	if !fast {
 		j.bounds = growRects(j.bounds, workers)
@@ -366,25 +399,31 @@ func (j *Joiner) Join(r, s []rtree.Item, cfg Config) Result {
 		j.cGX, j.cWk = g, workers
 		j.cRLen, j.cSLen = len(r), len(s)
 	}
-	tiles := j.gx * j.gy
-
-	// Tile order: non-empty tiles, largest estimated sweep first, so the
-	// big tiles cannot become stragglers at the end of the schedule.
-	j.tiles = j.tiles[:0]
-	j.cost = j.cost[:0]
-	for t := 0; t < tiles; t++ {
-		rn := int64(j.rPart.starts[t+1] - j.rPart.starts[t])
-		sn := int64(j.sPart.starts[t+1] - j.sPart.starts[t])
-		if rn == 0 || sn == 0 {
-			continue
+	// Work-unit schedule: non-empty tiles largest-first, hot tiles refined
+	// into leaf subtiles (see refine.go) so one dense cluster cannot turn
+	// into a single straggling sweep. A clean fast-path join over
+	// bit-identical coordinates reuses the previous schedule outright —
+	// assignment and refinement are functions of the coordinates — while a
+	// patched or cold join rebuilds it.
+	if !(clean && j.unitsOK && j.cThr == cfg.RefineThreshold) {
+		tiles := j.gx * j.gy
+		j.tiles = j.tiles[:0]
+		j.cost = j.cost[:0]
+		for t := 0; t < tiles; t++ {
+			rn := int64(j.rPart.starts[t+1] - j.rPart.starts[t])
+			sn := int64(j.sPart.starts[t+1] - j.sPart.starts[t])
+			if rn == 0 || sn == 0 {
+				continue
+			}
+			j.tiles = append(j.tiles, int32(t))
+			j.cost = append(j.cost, rn*sn+rn+sn)
 		}
-		j.tiles = append(j.tiles, int32(t))
-		j.cost = append(j.cost, rn*sn+rn+sn)
+		j.buildUnits(j.resolveThreshold(cfg.RefineThreshold))
+		j.unitsOK = true
+		j.cThr = cfg.RefineThreshold
 	}
-	j.order.j = j
-	sort.Sort(&j.order)
 
-	// Phase 5: join the tiles over the pool, workers pulling from the
+	// Phase 5: join the work units over the pool, workers pulling from the
 	// shared cursor.
 	j.ws = growStates(j.ws, workers)
 	for w := range j.ws[:workers] {
@@ -426,6 +465,7 @@ func (j *Joiner) Join(r, s []rtree.Item, cfg Config) Result {
 	}
 	res.Candidates = j.out
 	res.GX, res.GY = j.gx, j.gy
+	res.RefinedTiles, res.Subtiles = j.refinedTiles, j.subtiles
 	res.PerWorker = j.perWorker
 	j.met.finish(&res)
 	return res
@@ -454,6 +494,8 @@ func (j *Joiner) RunWorker(w int) {
 		j.mirrorCheckChunk(w)
 	case phaseVerify:
 		j.verifyChunk(w)
+	case phaseRefineFill:
+		j.refineFillChunk(w)
 	case phaseJoin:
 		j.joinTiles(w)
 	}
@@ -736,23 +778,30 @@ func unpackTiles(c int64) (x0, y0, x1, y1 int) {
 	return int(c & 1023), int(c >> 10 & 1023), int(c >> 20 & 1023), int(c >> 30 & 1023)
 }
 
-// joinTiles pulls tiles off the shared cursor (largest first) and joins
-// each; with Sorted pending the worker sorts its run before returning so
-// the merge on the owner goroutine is all that remains single-threaded.
+// joinTiles pulls work units off the shared cursor (largest first) and
+// joins each; with Sorted pending the worker sorts its run before
+// returning so the merge on the owner goroutine is all that remains
+// single-threaded.
 func (j *Joiner) joinTiles(w int) {
 	ws := &j.ws[w]
 	for {
 		k := int(j.cursor.Add(1)) - 1
-		if k >= len(j.tiles) {
+		if k >= len(j.units) {
 			break
 		}
-		t := int(j.tiles[k])
+		u := j.units[k]
+		t := int(u.tile)
 		var t0 sim.Time
 		if j.rec != nil {
 			t0 = wallSince(j.epoch)
 		}
 		before := len(ws.cands)
-		comps := j.joinTile(ws, t)
+		var comps int
+		if u.node < 0 {
+			comps = j.joinTile(ws, t)
+		} else {
+			comps = j.joinSub(ws, u.node)
+		}
 		ws.parts++
 		if j.rec != nil {
 			j.rec.Complete(w, t0, wallSince(j.epoch), timeline.KindCPUSweep, sim.SpanArgs{
@@ -769,10 +818,7 @@ func (j *Joiner) joinTiles(w int) {
 	}
 }
 
-// joinTile joins one tile's two segments and appends the surviving pairs
-// to ws.cands, returning the comparison count. The sweep runs in segment
-// position space over the contiguous plane views; hit positions map back
-// to rect indices through the idx segments for the dedup and emit.
+// joinTile joins one unrefined tile's two segments.
 func (j *Joiner) joinTile(ws *workerState, t int) int {
 	rLo, rHi := int(j.rPart.starts[t]), int(j.rPart.starts[t+1])
 	sLo, sHi := int(j.sPart.starts[t]), int(j.sPart.starts[t+1])
@@ -780,28 +826,37 @@ func (j *Joiner) joinTile(ws *workerState, t int) int {
 	sSeg := j.sPart.idx[sLo:sHi]
 	rView := j.rPart.planes.View(rLo, rHi)
 	sView := j.sPart.planes.View(sLo, sHi)
-	tx, ty := t%j.gx, t/j.gx
+	return j.joinSegs(ws, rSeg, sSeg, &rView, &sView, t%j.gx, t/j.gx, -1)
+}
 
-	// Tiny-side tiles: batch-testing each small-side rect against the
+// joinSegs joins one work unit's two segments and appends the surviving
+// pairs to ws.cands, returning the comparison count. The sweep runs in
+// segment position space over the contiguous plane views; hit positions
+// map back to rect indices through the idx segments for the dedup and
+// emit. node < 0 is a root tile; otherwise the refNode whose ownership
+// chain the emit must check.
+func (j *Joiner) joinSegs(ws *workerState, rSeg, sSeg []int32, rView, sView *geom.Planes, tx, ty int, node int32) int {
+	// Tiny-side units: batch-testing each small-side rect against the
 	// larger side's plane segment beats the sweep's bookkeeping.
 	if len(rSeg) <= batchMax || len(sSeg) <= batchMax {
-		return j.joinTileBatch(ws, rSeg, sSeg, &rView, &sView, tx, ty)
+		return j.joinTileBatch(ws, rSeg, sSeg, rView, sView, tx, ty, node)
 	}
 
-	// Segments are already in sweep order (see bucketChunk).
+	// Segments are already in sweep order (see bucketChunk; refinement
+	// scatters preserve the order level by level).
 	var comps int
-	ws.hits, comps = geom.SweepPairsPlanesDense(&rView, &sView, ws.hits[:0])
+	ws.hits, comps = geom.SweepPairsPlanesDense(rView, sView, ws.hits[:0])
 	ws.comps += int64(comps)
 	for _, h := range ws.hits {
-		j.emit(ws, rSeg[h.R], sSeg[h.S], tx, ty)
+		j.emit(ws, rSeg[h.R], sSeg[h.S], tx, ty, node)
 	}
 	return comps
 }
 
-// joinTileBatch is the small-tile path: every rect of the smaller side is
+// joinTileBatch is the small-unit path: every rect of the smaller side is
 // batch-tested against the larger side's contiguous plane segment with
 // the vectorized bitmask kernel.
-func (j *Joiner) joinTileBatch(ws *workerState, rSeg, sSeg []int32, rView, sView *geom.Planes, tx, ty int) int {
+func (j *Joiner) joinTileBatch(ws *workerState, rSeg, sSeg []int32, rView, sView *geom.Planes, tx, ty int, node int32) int {
 	small, large, largeView := rSeg, sSeg, sView
 	rSmall := true
 	if len(sSeg) < len(rSeg) {
@@ -824,9 +879,9 @@ func (j *Joiner) joinTileBatch(ws *workerState, rSeg, sSeg []int32, rView, sView
 		for i, li := range large {
 			if ws.mask[i>>6]>>(uint(i)&63)&1 != 0 {
 				if rSmall {
-					j.emit(ws, si, li, tx, ty)
+					j.emit(ws, si, li, tx, ty, node)
 				} else {
-					j.emit(ws, li, si, tx, ty)
+					j.emit(ws, li, si, tx, ty, node)
 				}
 			}
 		}
@@ -835,12 +890,14 @@ func (j *Joiner) joinTileBatch(ws *workerState, rSeg, sSeg []int32, rView, sView
 	return comps
 }
 
-// emit reports the intersecting pair (rIdx, sIdx) iff the current tile
-// owns it: the reference-point method keeps the pair only in the tile
-// containing the top-left corner of the intersection of the two MBRs.
-// That corner lies inside both rects, hence inside one of the tiles both
-// were assigned to, so every pair is reported exactly once.
-func (j *Joiner) emit(ws *workerState, rIdx, sIdx int32, tx, ty int) {
+// emit reports the intersecting pair (rIdx, sIdx) iff the current work
+// unit owns it: the reference-point method keeps the pair only in the
+// unit containing the top-left corner of the intersection of the two
+// MBRs. That corner lies inside both rects, hence inside one of the tiles
+// (and, per split level, one of the subcells) both were assigned to, so
+// every pair is reported exactly once. For refined units the root tile
+// check is followed by the node chain's frozen subcell checks.
+func (j *Joiner) emit(ws *workerState, rIdx, sIdx int32, tx, ty int, node int32) {
 	a := &j.rRects[rIdx]
 	b := &j.sRects[sIdx]
 	px := a.MinX // left edge of the intersection
@@ -853,6 +910,10 @@ func (j *Joiner) emit(ws *workerState, rIdx, sIdx int32, tx, ty int) {
 	}
 	ox, oy := j.tileOf(px, py)
 	if ox != tx || oy != ty {
+		ws.dups++
+		return
+	}
+	if node >= 0 && !j.ownsRefined(node, px, py) {
 		ws.dups++
 		return
 	}
@@ -886,6 +947,17 @@ func safeInv(width float64, g int) float64 {
 		return float64(g) / width
 	}
 	return 0
+}
+
+// AutoGrid reports the grid side Join would pick for n = len(r)+len(s)
+// rectangles and the given worker count when Config.Grid is zero. It is
+// exported for the planner (internal/plan), which records the resolved
+// grid in its decision instead of leaving it implicit.
+func AutoGrid(n, workers int) int {
+	if workers <= 0 {
+		workers = 1
+	}
+	return autoGrid(n, workers)
 }
 
 // autoGrid picks the default grid side: about 160 rects per tile keeps the
@@ -951,20 +1023,24 @@ func (g *gridSide) prefixSum(workers, tiles int) {
 	g.planes.Reset(int(total))
 }
 
-// tileOrder sorts j.tiles (and the parallel j.cost) by descending cost,
-// ties on ascending tile id for determinism.
+// tileOrder sorts j.units (and the parallel j.ucost) by descending cost,
+// ties on ascending (tile, node) for determinism.
 type tileOrder struct{ j *Joiner }
 
-func (o *tileOrder) Len() int { return len(o.j.tiles) }
+func (o *tileOrder) Len() int { return len(o.j.units) }
 func (o *tileOrder) Less(i, k int) bool {
-	if o.j.cost[i] != o.j.cost[k] {
-		return o.j.cost[i] > o.j.cost[k]
+	if o.j.ucost[i] != o.j.ucost[k] {
+		return o.j.ucost[i] > o.j.ucost[k]
 	}
-	return o.j.tiles[i] < o.j.tiles[k]
+	a, b := o.j.units[i], o.j.units[k]
+	if a.tile != b.tile {
+		return a.tile < b.tile
+	}
+	return a.node < b.node
 }
 func (o *tileOrder) Swap(i, k int) {
-	o.j.tiles[i], o.j.tiles[k] = o.j.tiles[k], o.j.tiles[i]
-	o.j.cost[i], o.j.cost[k] = o.j.cost[k], o.j.cost[i]
+	o.j.units[i], o.j.units[k] = o.j.units[k], o.j.units[i]
+	o.j.ucost[i], o.j.ucost[k] = o.j.ucost[k], o.j.ucost[i]
 }
 
 // wallSince returns wall milliseconds since epoch, the native timeline's

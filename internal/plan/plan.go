@@ -1,0 +1,208 @@
+// Package plan chooses a join execution plan from cheap input statistics.
+//
+// The repo has two native in-memory engines with different failure modes:
+// the grid-partitioned engine (internal/partjoin) wins on small rectangles
+// but replicates large ones into every overlapped tile, and the tree
+// engine (R*-tree build + internal/parnative) is insensitive to rectangle
+// size but pays a construction phase. Within the partition engine, the
+// adaptive tile refinement pass helps exactly when tile occupancy is
+// skewed and is a (small) waste of a scan when it is not. Analyze probes
+// both inputs with a single coarse grid pass — O(n), no sorting, no tree —
+// and Decide maps those statistics to an engine, grid resolution,
+// refinement threshold and worker count.
+package plan
+
+import (
+	"fmt"
+	"math"
+
+	"spjoin/internal/partjoin"
+	"spjoin/internal/rtree"
+	"spjoin/internal/stats"
+)
+
+// Engine selects which join implementation executes the plan.
+type Engine int
+
+const (
+	// EnginePartition is the grid-partitioned native engine
+	// (internal/partjoin), the default for small-rectangle workloads.
+	EnginePartition Engine = iota
+	// EngineTree bulk-loads R*-trees and runs the work-stealing native
+	// tree join (internal/parnative).
+	EngineTree
+)
+
+func (e Engine) String() string {
+	switch e {
+	case EnginePartition:
+		return "partition"
+	case EngineTree:
+		return "tree"
+	}
+	return fmt.Sprintf("Engine(%d)", int(e))
+}
+
+// probeGrid is the fixed side of the statistics grid. 16×16 = 256 cells
+// is coarse enough that one pass over the centers costs nothing and fine
+// enough to expose cluster hot spots and replication of mid-sized
+// rectangles. tiger.OccupancySkew uses the same convention, so generator
+// tests and planner inputs agree on what "skew 20" means.
+const probeGrid = 16
+
+// Stats are the input statistics Decide works from. All figures come from
+// one O(NR+NS) pass over the rectangles; nothing is sorted or built.
+type Stats struct {
+	NR, NS int     // input cardinalities
+	Skew   float64 // probe-tile occupancy skew: max/mean over all cells, both sides pooled
+	Rep    float64 // mean probe tiles overlapped per rectangle (replication factor)
+	Probe  int     // probe grid side the figures were measured on
+}
+
+// Analyze computes Stats with a single pass over both inputs: the joint
+// finite MBR, then per-cell center-point occupancy (for Skew) and the
+// count of probe cells each rectangle overlaps (for Rep). Rectangles with
+// NaN coordinates or inverted extents are skipped — they join with
+// nothing and should not distort the plan.
+func Analyze(r, s []rtree.Item) Stats {
+	st := Stats{NR: len(r), NS: len(s), Probe: probeGrid}
+	minX, minY := math.Inf(1), math.Inf(1)
+	maxX, maxY := math.Inf(-1), math.Inf(-1)
+	valid := 0
+	for _, side := range [2][]rtree.Item{r, s} {
+		for i := range side {
+			rc := &side[i].Rect
+			if !(rc.MinX <= rc.MaxX && rc.MinY <= rc.MaxY) {
+				continue // NaN or empty: joins with nothing
+			}
+			valid++
+			minX = math.Min(minX, rc.MinX)
+			minY = math.Min(minY, rc.MinY)
+			maxX = math.Max(maxX, rc.MaxX)
+			maxY = math.Max(maxY, rc.MaxY)
+		}
+	}
+	if valid == 0 {
+		st.Skew, st.Rep = 1, 1
+		return st
+	}
+	invW := safeProbeInv(maxX - minX)
+	invH := safeProbeInv(maxY - minY)
+	counts := make([]float64, probeGrid*probeGrid)
+	tilesSum := 0.0
+	for _, side := range [2][]rtree.Item{r, s} {
+		for i := range side {
+			rc := &side[i].Rect
+			if !(rc.MinX <= rc.MaxX && rc.MinY <= rc.MaxY) {
+				continue
+			}
+			cx := clampProbe(int(((rc.MinX+rc.MaxX)/2 - minX) * invW))
+			cy := clampProbe(int(((rc.MinY+rc.MaxY)/2 - minY) * invH))
+			counts[cy*probeGrid+cx]++
+			lox := clampProbe(int((rc.MinX - minX) * invW))
+			hix := clampProbe(int((rc.MaxX - minX) * invW))
+			loy := clampProbe(int((rc.MinY - minY) * invH))
+			hiy := clampProbe(int((rc.MaxY - minY) * invH))
+			tilesSum += float64((hix - lox + 1) * (hiy - loy + 1))
+		}
+	}
+	st.Skew = stats.Summarize(counts).Skew()
+	st.Rep = tilesSum / float64(valid)
+	return st
+}
+
+// Tuning thresholds for Decide. They are deliberately coarse: the planner
+// only needs to stay out of each engine's failure mode, not find the
+// optimum — the ≤1.5×-of-best regression test in plan_test.go pins that
+// contract.
+const (
+	// treeRep is the replication factor above which partitioning is
+	// abandoned: each rectangle landing in >3 probe tiles means the grid
+	// would mostly shuffle duplicates around. (Tiny inputs stay on the
+	// partition engine too — a measured one-shot partition join beats a
+	// tree build even at a few hundred rectangles.)
+	treeRep = 3.0
+	// refineSkew is the occupancy skew above which tile refinement is
+	// enabled (auto threshold). Uniform data probes ≈1.3; clustered data
+	// starts around 4 and climbs past 60 — 2.5 splits the two regimes.
+	refineSkew = 2.5
+	// workerShare is the number of rectangles that justifies one more
+	// worker before the maxWorkers cap.
+	workerShare = 16 << 10
+)
+
+// Decision is an executable plan: which engine, and with what knobs.
+type Decision struct {
+	Engine          Engine
+	Grid            int   // partition grid side (0 for the tree engine)
+	RefineThreshold int64 // partjoin.Config.RefineThreshold (0 auto, RefineDisabled off)
+	Workers         int
+}
+
+func (d Decision) String() string {
+	if d.Engine == EngineTree {
+		return fmt.Sprintf("engine=tree workers=%d", d.Workers)
+	}
+	ref := "off"
+	switch {
+	case d.RefineThreshold == 0:
+		ref = "auto"
+	case d.RefineThreshold > 0:
+		ref = fmt.Sprintf("%d", d.RefineThreshold)
+	}
+	return fmt.Sprintf("engine=partition grid=%dx%d refine=%s workers=%d",
+		d.Grid, d.Grid, ref, d.Workers)
+}
+
+// Decide maps input statistics to a plan. maxWorkers caps parallelism
+// (≤0 means 1). The rules, in order:
+//
+//   - heavy replication → tree engine;
+//   - otherwise the partition engine at its auto grid, with tile
+//     refinement switched to auto exactly when the probe grid saw a
+//     skewed occupancy (refinement on uniform data is a wasted scan,
+//     refinement on clustered data is worth >1.5× — see
+//     TestRefinedBeatsUnrefinedClustered).
+func Decide(st Stats, maxWorkers int) Decision {
+	if maxWorkers <= 0 {
+		maxWorkers = 1
+	}
+	n := st.NR + st.NS
+	workers := n / workerShare
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > maxWorkers {
+		workers = maxWorkers
+	}
+	if st.Rep > treeRep {
+		return Decision{Engine: EngineTree, Workers: workers}
+	}
+	d := Decision{
+		Engine:          EnginePartition,
+		Grid:            partjoin.AutoGrid(n, workers),
+		RefineThreshold: partjoin.RefineDisabled,
+		Workers:         workers,
+	}
+	if st.Skew >= refineSkew {
+		d.RefineThreshold = 0 // auto: fair-share trigger, sweet-spot recursion
+	}
+	return d
+}
+
+func clampProbe(v int) int {
+	if v < 0 {
+		return 0
+	}
+	if v >= probeGrid {
+		return probeGrid - 1
+	}
+	return v
+}
+
+func safeProbeInv(width float64) float64 {
+	if width > 0 {
+		return float64(probeGrid) / width
+	}
+	return 0
+}

@@ -1,0 +1,281 @@
+package plan_test
+
+import (
+	"encoding/json"
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"testing"
+	"time"
+
+	"spjoin/internal/geom"
+	"spjoin/internal/parnative"
+	"spjoin/internal/partjoin"
+	"spjoin/internal/plan"
+	"spjoin/internal/rtree"
+	"spjoin/internal/tiger"
+)
+
+var update = flag.Bool("update", false, "rewrite testdata/decisions.json from the current planner")
+
+// corpus is the committed planner workload set: every regime the decision
+// rules distinguish, generated deterministically so the golden file is
+// stable. The same set feeds the ≤1.5×-of-best regression test.
+func corpus() []struct {
+	name string
+	r, s []rtree.Item
+} {
+	bigRects := func(n int, seed int64) []rtree.Item {
+		// Rectangles spanning ~1/8 of the world: every one overlaps a
+		// 2–3-tile block of the probe grid, the replication regime where
+		// the grid engine drowns in duplicates.
+		items := tiger.Uniform(n, 1, seed)
+		for i := range items {
+			items[i].Rect.MaxX = items[i].Rect.MinX + tiger.World/8
+			items[i].Rect.MaxY = items[i].Rect.MinY + tiger.World/8
+		}
+		return items
+	}
+	return []struct {
+		name string
+		r, s []rtree.Item
+	}{
+		{"tiger-maps", nil, nil}, // filled below: tiger.Maps needs both at once
+		{"uniform", tiger.Uniform(24000, 0.3, 1), tiger.Uniform(24000, 0.3, 2)},
+		{"clustered-mild", tiger.GaussianClusters(24000, 8, 60, 0.3, 7, 1), tiger.GaussianClusters(24000, 8, 60, 0.3, 7, 2)},
+		{"clustered-extreme", tiger.GaussianClusters(24000, 4, 2, 0.05, 41, 42), tiger.GaussianClusters(24000, 4, 2, 0.05, 41, 43)},
+		{"diagonal", tiger.DiagonalLine(24000, 3, 0.3, 1), tiger.DiagonalLine(24000, 3, 0.3, 2)},
+		{"big-rects", bigRects(3000, 5), bigRects(3000, 6)},
+		{"tiny", tiger.Uniform(400, 0.5, 9), tiger.Uniform(400, 0.5, 10)},
+	}
+}
+
+func fullCorpus() []struct {
+	name string
+	r, s []rtree.Item
+} {
+	c := corpus()
+	c[0].r, c[0].s = tiger.Maps(0.05, 42)
+	return c
+}
+
+// goldenEntry is one committed planner verdict: the (rounded) statistics
+// Analyze measured and the Decision derived from them at maxWorkers=8.
+type goldenEntry struct {
+	Name    string  `json:"name"`
+	NR      int     `json:"nr"`
+	NS      int     `json:"ns"`
+	Skew    float64 `json:"skew"`
+	Rep     float64 `json:"rep"`
+	Engine  string  `json:"engine"`
+	Grid    int     `json:"grid"`
+	Refine  int64   `json:"refine"`
+	Workers int     `json:"workers"`
+}
+
+func round3(v float64) float64 { return math.Round(v*1000) / 1000 }
+
+func observe() []goldenEntry {
+	var out []goldenEntry
+	for _, c := range fullCorpus() {
+		st := plan.Analyze(c.r, c.s)
+		d := plan.Decide(st, 8)
+		out = append(out, goldenEntry{
+			Name: c.name, NR: st.NR, NS: st.NS,
+			Skew: round3(st.Skew), Rep: round3(st.Rep),
+			Engine: d.Engine.String(), Grid: d.Grid,
+			Refine: d.RefineThreshold, Workers: d.Workers,
+		})
+	}
+	return out
+}
+
+// TestGoldenDecisions pins the planner end to end: input statistics and
+// the derived plan for every corpus workload, committed in
+// testdata/decisions.json. Run with -update after a deliberate tuning
+// change and review the diff — an unreviewed drift here is a planner
+// regression.
+func TestGoldenDecisions(t *testing.T) {
+	got := observe()
+	path := filepath.Join("testdata", "decisions.json")
+	if *update {
+		buf, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s with %d entries", path, len(got))
+		return
+	}
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (regenerate with -update): %v", err)
+	}
+	var want []goldenEntry
+	if err := json.Unmarshal(buf, &want); err != nil {
+		t.Fatalf("parse golden: %v", err)
+	}
+	if len(want) != len(got) {
+		t.Fatalf("golden has %d entries, corpus has %d (re-run with -update)", len(want), len(got))
+	}
+	for i := range got {
+		if !reflect.DeepEqual(got[i], want[i]) {
+			t.Errorf("%s:\n  got  %+v\n  want %+v", got[i].Name, got[i], want[i])
+		}
+	}
+}
+
+// TestDecideRules pins the individual decision rules against synthetic
+// statistics, independent of the generators.
+func TestDecideRules(t *testing.T) {
+	cases := []struct {
+		name string
+		st   plan.Stats
+		max  int
+		want plan.Decision
+	}{
+		{
+			"uniform-large",
+			plan.Stats{NR: 50000, NS: 50000, Skew: 1.3, Rep: 1.1, Probe: 16},
+			8,
+			plan.Decision{Engine: plan.EnginePartition, Grid: partjoin.AutoGrid(100000, 6), RefineThreshold: partjoin.RefineDisabled, Workers: 6},
+		},
+		{
+			"skewed-large",
+			plan.Stats{NR: 50000, NS: 50000, Skew: 20, Rep: 1.1, Probe: 16},
+			8,
+			plan.Decision{Engine: plan.EnginePartition, Grid: partjoin.AutoGrid(100000, 6), RefineThreshold: 0, Workers: 6},
+		},
+		{
+			"replicated",
+			plan.Stats{NR: 50000, NS: 50000, Skew: 1.5, Rep: 9, Probe: 16},
+			8,
+			plan.Decision{Engine: plan.EngineTree, Workers: 6},
+		},
+		{
+			"tiny",
+			plan.Stats{NR: 300, NS: 300, Skew: 1.2, Rep: 1.0, Probe: 16},
+			8,
+			plan.Decision{Engine: plan.EnginePartition, Grid: partjoin.AutoGrid(600, 1), RefineThreshold: partjoin.RefineDisabled, Workers: 1},
+		},
+		{
+			"zero-workers-clamped",
+			plan.Stats{NR: 50000, NS: 50000, Skew: 1.3, Rep: 1.1, Probe: 16},
+			0,
+			plan.Decision{Engine: plan.EnginePartition, Grid: partjoin.AutoGrid(100000, 1), RefineThreshold: partjoin.RefineDisabled, Workers: 1},
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := plan.Decide(c.st, c.max); got != c.want {
+				t.Errorf("Decide(%+v, %d) = %+v, want %+v", c.st, c.max, got, c.want)
+			}
+		})
+	}
+}
+
+// TestAnalyzeDegenerate checks Analyze survives the inputs that would
+// poison the statistics: empty sides, NaN rectangles, inverted extents,
+// and a zero-extent world (all rectangles identical points).
+func TestAnalyzeDegenerate(t *testing.T) {
+	if st := plan.Analyze(nil, nil); st.Skew != 1 || st.Rep != 1 {
+		t.Errorf("empty input: %+v, want neutral skew/rep", st)
+	}
+	nan := math.NaN()
+	bad := []rtree.Item{
+		{ID: 0, Rect: geom.NewRect(nan, nan, nan, nan)},
+		{ID: 1, Rect: geom.Rect{MinX: 5, MinY: 5, MaxX: 1, MaxY: 1}},
+	}
+	if st := plan.Analyze(bad, nil); st.Skew != 1 || st.Rep != 1 {
+		t.Errorf("all-invalid input: %+v, want neutral skew/rep", st)
+	}
+	pt := geom.NewRect(7, 7, 7, 7)
+	same := []rtree.Item{{ID: 0, Rect: pt}, {ID: 1, Rect: pt}}
+	st := plan.Analyze(same, same)
+	if math.IsNaN(st.Skew) || math.IsNaN(st.Rep) {
+		t.Errorf("zero-extent world produced NaN stats: %+v", st)
+	}
+	mixed := append([]rtree.Item{}, bad...)
+	mixed = append(mixed, tiger.Uniform(1000, 0.5, 1)...)
+	st = plan.Analyze(mixed, tiger.Uniform(1000, 0.5, 2))
+	if st.Rep < 1 || math.IsNaN(st.Skew) {
+		t.Errorf("mixed valid/invalid input produced bad stats: %+v", st)
+	}
+}
+
+// execDecision runs a plan the way cmd/spjoin -engine=auto does, so the
+// regression test times the real dispatch surface.
+func execDecision(d plan.Decision, r, s []rtree.Item) {
+	switch d.Engine {
+	case plan.EngineTree:
+		rt := rtree.BulkLoadSTR(rtree.DefaultParams(), r, 0.73)
+		st := rtree.BulkLoadSTR(rtree.DefaultParams(), s, 0.73)
+		parnative.Join(rt, st, parnative.Config{Workers: d.Workers})
+	default:
+		partjoin.Join(r, s, partjoin.Config{
+			Workers:         d.Workers,
+			Grid:            d.Grid,
+			RefineThreshold: d.RefineThreshold,
+		})
+	}
+}
+
+func medianOf3(f func()) time.Duration {
+	var ts []time.Duration
+	for i := 0; i < 3; i++ {
+		t0 := time.Now()
+		f()
+		ts = append(ts, time.Since(t0))
+	}
+	sort.Slice(ts, func(i, j int) bool { return ts[i] < ts[j] })
+	return ts[1]
+}
+
+// TestAutoWithinFactorOfBest is the planner's contract: on every corpus
+// workload, executing the auto plan is never more than 1.5× slower than
+// the best fixed engine (partition with refinement off, partition with
+// refinement auto, or the tree join including its build). The auto plan
+// IS one of those configurations, so the test fails only when the planner
+// picks a regime badly — timing noise cannot push a plan past 1.5× of
+// itself under median-of-3.
+func TestAutoWithinFactorOfBest(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing regression test; skipped in -short")
+	}
+	const maxWorkers = 4
+	for _, c := range fullCorpus() {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			fixed := []struct {
+				name string
+				d    plan.Decision
+			}{
+				{"partition", plan.Decision{Engine: plan.EnginePartition, RefineThreshold: partjoin.RefineDisabled, Workers: maxWorkers}},
+				{"partition-refined", plan.Decision{Engine: plan.EnginePartition, RefineThreshold: 0, Workers: maxWorkers}},
+				{"tree", plan.Decision{Engine: plan.EngineTree, Workers: maxWorkers}},
+			}
+			best := time.Duration(math.MaxInt64)
+			bestName := ""
+			for _, f := range fixed {
+				f := f
+				got := medianOf3(func() { execDecision(f.d, c.r, c.s) })
+				if got < best {
+					best, bestName = got, f.name
+				}
+			}
+			d := plan.Decide(plan.Analyze(c.r, c.s), maxWorkers)
+			auto := medianOf3(func() { execDecision(d, c.r, c.s) })
+			limit := best + best/2
+			t.Logf("auto(%v) %v vs best %s %v", d, auto, bestName, best)
+			if auto > limit {
+				t.Errorf("auto plan %v took %v, more than 1.5x the best fixed engine %s (%v)",
+					d, auto, bestName, best)
+			}
+		})
+	}
+}

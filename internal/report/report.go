@@ -32,6 +32,7 @@ func Sections() []Section {
 		{"fig10", Fig10Table},
 		{"sn", SNTable},
 		{"est", ESTTable},
+		{"skew", SkewTable},
 	}
 }
 
@@ -57,6 +58,7 @@ func Markdown(w io.Writer, s *runstore.Store) error {
 		"fig10": "Figure 10 — speed-up and disk accesses",
 		"sn":    "Extension SN — SVM vs. shared-nothing",
 		"est":   "Extension EST — estimation-based balancing",
+		"skew":  "Extension SKEW — skew-adaptive tile refinement",
 	}
 	for _, sec := range Sections() {
 		body, err := sec.Gen(s)
@@ -295,4 +297,42 @@ func ESTTable(s *runstore.Store) (string, error) {
 	}
 	return fmt.Sprintf("Estimate vs. actual per-task work: Pearson r = **%.2f**.\n\n%s",
 		r, table(header, rows)), nil
+}
+
+// skewDistOrder fixes the skew ladder's display order (mild to extreme);
+// lexical sorting would interleave the sigma levels.
+var skewDistOrder = []string{"uniform", "gauss60", "gauss20", "gauss5"}
+
+// SkewTable renders the partition engine's refinement cells: comparisons
+// with the refinement off and on the auto threshold, the resulting tile
+// decomposition, and the candidate count both must agree on.
+func SkewTable(s *runstore.Store) (string, error) {
+	header := []string{"distribution", "comparisons (off)", "comparisons (auto)",
+		"auto/off", "refined tiles", "subtiles", "candidates"}
+	var rows [][]string
+	for _, dist := range skewDistOrder {
+		var m [2]map[string]float64
+		for i, refine := range []string{"off", "auto"} {
+			recs := s.Select("skew", map[string]string{"dist": dist, "refine": refine})
+			if len(recs) != 1 {
+				return "", fmt.Errorf("skew cell dist=%s refine=%s: %d records", dist, refine, len(recs))
+			}
+			m[i] = recs[0].Metrics
+		}
+		off, auto := m[0], m[1]
+		if off["candidates"] != auto["candidates"] {
+			return "", fmt.Errorf("skew dist=%s: candidate counts diverge (%v vs %v)",
+				dist, off["candidates"], auto["candidates"])
+		}
+		ratio := 1.0
+		if off["comparisons"] > 0 {
+			ratio = auto["comparisons"] / off["comparisons"]
+		}
+		rows = append(rows, []string{dist,
+			commas(off["comparisons"]), commas(auto["comparisons"]),
+			fmt.Sprintf("%.2f", ratio),
+			fmt.Sprintf("%.0f", auto["refined_tiles"]), fmt.Sprintf("%.0f", auto["subtiles"]),
+			commas(auto["candidates"])})
+	}
+	return table(header, rows), nil
 }

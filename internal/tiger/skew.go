@@ -1,0 +1,141 @@
+package tiger
+
+import (
+	"math"
+	"math/rand"
+
+	"spjoin/internal/geom"
+	"spjoin/internal/rtree"
+	"spjoin/internal/stats"
+)
+
+// Skewed workload generators for the partition engine's adversarial cases:
+// the uniform grid of package partjoin assumes roughly even tile load, and
+// these generators produce exactly the distributions that break that
+// assumption (the Join Product Skew shapes). All are deterministic in
+// their arguments; two sides of a join share cluster geometry by sharing
+// centerSeed while drawing their own points from seed.
+
+// Uniform generates n small rectangles spread evenly over the world
+// square — the baseline the skewed distributions are compared against.
+func Uniform(n int, maxSide float64, seed int64) []rtree.Item {
+	rng := rand.New(rand.NewSource(seed))
+	items := make([]rtree.Item, n)
+	for i := range items {
+		x := rng.Float64() * World
+		y := rng.Float64() * World
+		w := rng.Float64() * maxSide
+		h := rng.Float64() * maxSide
+		items[i] = rtree.Item{ID: rtree.EntryID(i), Rect: clamp(geom.NewRect(x, y, x+w, y+h))}
+	}
+	return items
+}
+
+// GaussianClusters generates n small rectangles drawn from `clusters`
+// gaussian blobs of standard deviation sigma. The cluster centers are a
+// function of centerSeed alone, so two sides built with the same
+// centerSeed (and different seeds) pile up in the same places — the
+// overlapping-hotspot case where a uniform grid degenerates. Smaller
+// sigma means sharper skew.
+func GaussianClusters(n, clusters int, sigma, maxSide float64, centerSeed, seed int64) []rtree.Item {
+	crng := rand.New(rand.NewSource(centerSeed ^ 0x636c_7573)) // "clus"
+	cx := make([]float64, clusters)
+	cy := make([]float64, clusters)
+	for i := range cx {
+		cx[i] = (0.1 + 0.8*crng.Float64()) * World
+		cy[i] = (0.1 + 0.8*crng.Float64()) * World
+	}
+	rng := rand.New(rand.NewSource(seed))
+	items := make([]rtree.Item, n)
+	for i := range items {
+		c := rng.Intn(clusters)
+		x := cx[c] + rng.NormFloat64()*sigma
+		y := cy[c] + rng.NormFloat64()*sigma
+		w := rng.Float64() * maxSide
+		h := rng.Float64() * maxSide
+		items[i] = rtree.Item{ID: rtree.EntryID(i), Rect: clamp(geom.NewRect(x, y, x+w, y+h))}
+	}
+	return items
+}
+
+// ZipfTiles generates n small rectangles whose tile occupancy over a
+// gridDim×gridDim partition of the world follows a Zipf law with exponent
+// skew: tile k (in a seed-shuffled rank order) receives weight
+// 1/(k+1)^skew. skew 0 is uniform-per-tile; 1 and above concentrates most
+// of the data in a handful of tiles.
+func ZipfTiles(n, gridDim int, skew, maxSide float64, seed int64) []rtree.Item {
+	rng := rand.New(rand.NewSource(seed))
+	tiles := gridDim * gridDim
+	ranks := rng.Perm(tiles) // which tile gets rank k's weight
+	weights := make([]float64, tiles)
+	total := 0.0
+	for k, t := range ranks {
+		weights[t] = 1 / math.Pow(float64(k+1), skew)
+		total += weights[t]
+	}
+	cum := make([]float64, tiles)
+	acc := 0.0
+	for t := range weights {
+		acc += weights[t] / total
+		cum[t] = acc
+	}
+	side := World / float64(gridDim)
+	items := make([]rtree.Item, n)
+	for i := range items {
+		u := rng.Float64()
+		t := 0
+		for t < tiles-1 && cum[t] < u {
+			t++
+		}
+		x := (float64(t%gridDim) + rng.Float64()) * side
+		y := (float64(t/gridDim) + rng.Float64()) * side
+		w := rng.Float64() * maxSide
+		h := rng.Float64() * maxSide
+		items[i] = rtree.Item{ID: rtree.EntryID(i), Rect: clamp(geom.NewRect(x, y, x+w, y+h))}
+	}
+	return items
+}
+
+// DiagonalLine generates n small rectangles jittered around the world
+// diagonal — the classic correlated distribution: every occupied tile
+// lies on the diagonal, so a g×g grid keeps only g of its g² tiles busy.
+func DiagonalLine(n int, jitter, maxSide float64, seed int64) []rtree.Item {
+	rng := rand.New(rand.NewSource(seed))
+	items := make([]rtree.Item, n)
+	for i := range items {
+		d := rng.Float64() * World
+		x := d + rng.NormFloat64()*jitter
+		y := d + rng.NormFloat64()*jitter
+		w := rng.Float64() * maxSide
+		h := rng.Float64() * maxSide
+		items[i] = rtree.Item{ID: rtree.EntryID(i), Rect: clamp(geom.NewRect(x, y, x+w, y+h))}
+	}
+	return items
+}
+
+// OccupancySkew measures a distribution's tile skew the way the planner
+// does: center-point occupancy over a gridDim×gridDim partition of the
+// world, reported as max/mean over all tiles (≈1 = perfectly even,
+// higher = hotter hot spots; empty tiles count toward the mean, so
+// concentration always raises the figure).
+func OccupancySkew(items []rtree.Item, gridDim int) float64 {
+	counts := make([]float64, gridDim*gridDim)
+	inv := float64(gridDim) / World
+	for i := range items {
+		r := &items[i].Rect
+		tx := clampDim(int(((r.MinX+r.MaxX)/2)*inv), gridDim)
+		ty := clampDim(int(((r.MinY+r.MaxY)/2)*inv), gridDim)
+		counts[ty*gridDim+tx]++
+	}
+	return stats.Summarize(counts).Skew()
+}
+
+func clampDim(v, g int) int {
+	if v < 0 {
+		return 0
+	}
+	if v >= g {
+		return g - 1
+	}
+	return v
+}

@@ -1,0 +1,99 @@
+package tiger
+
+import (
+	"testing"
+
+	"spjoin/internal/rtree"
+)
+
+// TestSkewGeneratorRanges pins each generator's occupancy skew (max/mean
+// over non-empty tiles of a 16×16 probe grid) to the range it is designed
+// to produce, so the skew experiment's "three skew levels" stay three
+// distinguishable levels.
+func TestSkewGeneratorRanges(t *testing.T) {
+	const n, probe = 20000, 16
+	cases := []struct {
+		name     string
+		items    []rtree.Item
+		lo, hi   float64
+		maxTiles int // 0 = no occupied-tile bound
+	}{
+		{"uniform", Uniform(n, 0.5, 1), 1.0, 2.0, 0},
+		{"gauss-mild", GaussianClusters(n, 8, 60, 0.5, 7, 1), 2.5, 10, 0},
+		{"gauss-medium", GaussianClusters(n, 8, 20, 0.5, 7, 1), 10, 35, 0},
+		{"gauss-extreme", GaussianClusters(n, 8, 5, 0.5, 7, 1), 25, 120, 0},
+		{"zipf-1.2", ZipfTiles(n, probe, 1.2, 0.5, 1), 30, 200, 0},
+		{"diagonal", DiagonalLine(n, 3, 0.5, 1), 8, 30, 3 * probe},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if len(c.items) != n {
+				t.Fatalf("generated %d items, want %d", len(c.items), n)
+			}
+			got := OccupancySkew(c.items, probe)
+			if got < c.lo || got > c.hi {
+				t.Errorf("occupancy skew %.2f outside [%v, %v]", got, c.lo, c.hi)
+			}
+			if c.maxTiles > 0 {
+				occ := occupiedTiles(c.items, probe)
+				if occ > c.maxTiles {
+					t.Errorf("%d occupied tiles, want <= %d (correlated data)", occ, c.maxTiles)
+				}
+			}
+		})
+	}
+}
+
+// TestSkewGeneratorsDeterministic pins seed determinism: same arguments,
+// same items; shared centerSeed, shared cluster centers.
+func TestSkewGeneratorsDeterministic(t *testing.T) {
+	a := GaussianClusters(500, 4, 10, 0.5, 42, 1)
+	b := GaussianClusters(500, 4, 10, 0.5, 42, 1)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("item %d differs across identical calls", i)
+		}
+	}
+	// Different point seed, same centerSeed: different items, but the two
+	// sides must pile up in the same tiles (that is the generator's whole
+	// point for join workloads).
+	c := GaussianClusters(500, 4, 10, 0.5, 42, 2)
+	if a[0] == c[0] {
+		t.Fatal("different seeds produced identical first item")
+	}
+	hotA, hotC := hottestTile(a, 8), hottestTile(c, 8)
+	if hotA != hotC {
+		t.Errorf("shared centerSeed but hottest tile differs: %d vs %d", hotA, hotC)
+	}
+}
+
+func occupiedTiles(items []rtree.Item, g int) int {
+	seen := make(map[int]bool)
+	inv := float64(g) / World
+	for i := range items {
+		r := &items[i].Rect
+		tx := clampDim(int(((r.MinX+r.MaxX)/2)*inv), g)
+		ty := clampDim(int(((r.MinY+r.MaxY)/2)*inv), g)
+		seen[ty*g+tx] = true
+	}
+	return len(seen)
+}
+
+func hottestTile(items []rtree.Item, g int) int {
+	counts := make([]int, g*g)
+	inv := float64(g) / World
+	for i := range items {
+		r := &items[i].Rect
+		tx := clampDim(int(((r.MinX+r.MaxX)/2)*inv), g)
+		ty := clampDim(int(((r.MinY+r.MaxY)/2)*inv), g)
+		counts[ty*g+tx]++
+	}
+	best := 0
+	for t, c := range counts {
+		if c > counts[best] {
+			best = t
+		}
+		_ = c
+	}
+	return best
+}
