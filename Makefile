@@ -2,7 +2,7 @@
 # (see README.md): full build, vet, race tests on the concurrent executors,
 # then the whole test suite.
 
-.PHONY: check test bench bench-snapshot bench-diff cover fuzz timeline-smoke timeline-diff observatory experiments-regen
+.PHONY: check test bench bench-snapshot bench-diff cover fuzz timeline-smoke timeline-diff introspect-smoke observatory experiments-regen
 
 check:
 	./scripts/check.sh
@@ -33,6 +33,11 @@ fuzz:
 # artifacts/) and validate the trace against the trace-event schema.
 timeline-smoke:
 	./scripts/timeline_smoke.sh
+
+# Run spjoin -explain over the corpus workloads (to artifacts/): EXPLAIN
+# reports, wall-clock Perfetto traces validated with tracecheck, heatmap SVG.
+introspect-smoke:
+	./scripts/introspect_smoke.sh
 
 # Compare the seed critical-path attribution against the committed snapshot;
 # fails on shifts beyond TOLERANCE percentage points (default 2).

@@ -15,6 +15,7 @@ import (
 	"path/filepath"
 	"spjoin/internal/exp"
 
+	"spjoin/internal/flight"
 	"spjoin/internal/join"
 	"spjoin/internal/pagefile"
 	"spjoin/internal/parjoin"
@@ -183,6 +184,40 @@ func BenchmarkPartitionJoin(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		j.Join(streets, mixed, cfg)
+	}
+}
+
+// BenchmarkPartitionJoinIntrospected is BenchmarkPartitionJoin with the
+// full introspection path on: Config.Introspect (top-tile and heat-grid
+// collection inside the engine) plus assembling a flight.Record and adding
+// it to a warm recorder every join — exactly what cmd/spjoin does per
+// execution under -explain. The delta against BenchmarkPartitionJoin is
+// the documented enabled-path overhead; the recorder keeps this
+// allocation-free in steady state.
+func BenchmarkPartitionJoinIntrospected(b *testing.B) {
+	streets, mixed := tiger.Maps(benchScale, 42)
+	var j partjoin.Joiner
+	defer j.Close()
+	cfg := partjoin.Config{Introspect: true}
+	flights := flight.NewRecorder(16)
+	record := func() {
+		res := j.Join(streets, mixed, cfg)
+		rec := flight.Record{
+			Engine: "partition",
+			NR:     len(streets), NS: len(mixed),
+			Candidates: len(res.Candidates), Comparisons: res.Comparisons,
+			GX: res.GX, GY: res.GY, Partitions: res.Partitions,
+			PhaseNS:  res.PhaseNS,
+			TopTiles: res.TopTiles,
+			HeatW:    res.HeatW, HeatH: res.HeatH, Heat: res.Heat,
+		}
+		flights.Add(&rec)
+	}
+	record() // warm buffers, pool and ring slots
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		record()
 	}
 }
 

@@ -12,6 +12,7 @@
 //	       [-kernel auto|purego] [-printkernel]
 //	       [-metrics out.json] [-trace out.jsonl]
 //	       [-timeline out.json] [-report] [-pprof :6060]
+//	       [-explain] [-slowlog 50ms] [-explain-svg heat.svg]
 //	       [-loadR r.csv -loadS s.csv]
 //
 // -engine=partition joins the raw rectangle sets with the grid-partitioned
@@ -28,9 +29,17 @@
 // per-processor utilization/skew tables; -pprof serves net/http/pprof and
 // expvar (including a live metrics snapshot) on the given address for the
 // duration of the run.
+//
+// Every native join (partition or -native tree) lands in an always-on
+// flight recorder (internal/flight). -explain prints the EXPLAIN ANALYZE
+// report for the run; -slowlog prints it only when the join's wall time
+// exceeds the given threshold; -explain-svg additionally writes the
+// tile-cost heatmap as SVG. With -pprof, /debug/joins serves the recorded
+// executions as JSON.
 package main
 
 import (
+	"encoding/json"
 	"expvar"
 	"flag"
 	"fmt"
@@ -44,6 +53,7 @@ import (
 	"strings"
 	"time"
 
+	"spjoin/internal/flight"
 	"spjoin/internal/geom"
 	"spjoin/internal/mapio"
 	"spjoin/internal/metrics"
@@ -51,6 +61,7 @@ import (
 	"spjoin/internal/parnative"
 	"spjoin/internal/partjoin"
 	"spjoin/internal/plan"
+	"spjoin/internal/report"
 	"spjoin/internal/rtree"
 	"spjoin/internal/sim"
 	"spjoin/internal/stats"
@@ -166,6 +177,65 @@ func renderSnapshot(snap metrics.Snapshot) {
 	t.Render(os.Stdout)
 }
 
+// introspection bundles the flight recorder and the report triggers for
+// the native join paths. The zero value records nothing (tests use it);
+// main always wires a recorder so /debug/joins has history even when no
+// report was asked for.
+type introspection struct {
+	flights *flight.Recorder
+	planRec flight.Plan   // captured planner decision, zero when none
+	explain bool          // always print the EXPLAIN report
+	slowlog time.Duration // print it when wall time exceeds this (>0)
+	svgPath string        // write the tile-cost heatmap SVG here
+}
+
+// wantIntrospect reports whether the engine should spend the (bounded)
+// extra work of collecting tile-cost introspection.
+func (in *introspection) wantIntrospect() bool {
+	return in.explain || in.slowlog > 0 || in.svgPath != ""
+}
+
+// record captures one execution: ring, metrics export, and — when -explain
+// asked for it or the join breached -slowlog — the EXPLAIN report and SVG.
+func (in *introspection) record(out io.Writer, reg *metrics.Registry, rec *flight.Record) {
+	rec.Start = time.Now().Add(-time.Duration(rec.WallNS))
+	rec.Plan = in.planRec
+	rec.Seq = in.flights.Add(rec)
+	flight.Observe(reg, rec)
+	slow := in.slowlog > 0 && rec.WallNS >= in.slowlog.Nanoseconds()
+	if slow {
+		fmt.Fprintf(out, "\nslowlog: join exceeded %v\n", in.slowlog)
+	}
+	if in.explain || slow {
+		fmt.Fprintln(out)
+		flight.Explain(out, rec)
+	}
+	if in.svgPath != "" && rec.HeatW > 0 {
+		svg, err := report.HeatmapSVG("tile cost heat", rec.HeatW, rec.HeatH, rec.Heat)
+		if err == nil {
+			err = os.WriteFile(in.svgPath, []byte(svg), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "spjoin: -explain-svg: %v\n", err)
+			return
+		}
+		fmt.Fprintf(out, "heatmap:      %s\n", in.svgPath)
+	}
+}
+
+// joinsHandler serves the flight recorder's history as JSON (oldest
+// first), mounted as /debug/joins on the -pprof mux.
+func joinsHandler(flights *flight.Recorder) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(flights.Snapshot()); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+}
+
 func main() {
 	scale := flag.Float64("scale", 0.1, "workload scale (1.0 = paper cardinalities)")
 	seed := flag.Int64("seed", 42, "workload generator seed")
@@ -184,8 +254,11 @@ func main() {
 	metricsOut := flag.String("metrics", "", "write a JSON metrics snapshot to this file")
 	traceOut := flag.String("trace", "", "write a JSONL event trace to this file")
 	timelineOut := flag.String("timeline", "", "write a Perfetto trace-event timeline to this file")
-	report := flag.Bool("report", false, "print the critical-path / load-balance report")
+	reportFlag := flag.Bool("report", false, "print the critical-path / load-balance report")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof and expvar on this address (e.g. :6060)")
+	explain := flag.Bool("explain", false, "print an EXPLAIN ANALYZE report for the native join")
+	slowlog := flag.Duration("slowlog", 0, "print the EXPLAIN report when the join exceeds this wall time (e.g. 50ms)")
+	explainSVG := flag.String("explain-svg", "", "write the tile-cost heatmap SVG to this file (implies introspection)")
 	loadR := flag.String("loadR", "", "CSV file for relation R (default: generated streets)")
 	loadS := flag.String("loadS", "", "CSV file for relation S (default: generated mixed features)")
 	flag.Parse()
@@ -204,6 +277,12 @@ func main() {
 		fmt.Fprintf(os.Stderr, "spjoin: %v\n", err)
 		os.Exit(1)
 	}
+	intro := &introspection{
+		flights: flight.NewRecorder(16),
+		explain: *explain,
+		slowlog: *slowlog,
+		svgPath: *explainSVG,
+	}
 
 	if *pprofAddr != "" {
 		if obs.reg == nil {
@@ -212,12 +291,13 @@ func main() {
 		reg := obs.reg
 		expvar.Publish("spjoin.metrics", expvar.Func(func() interface{} { return reg.Snapshot() }))
 		http.Handle("/metrics", metricsHandler(reg))
+		http.Handle("/debug/joins", joinsHandler(intro.flights))
 		ln, err := net.Listen("tcp", *pprofAddr)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "spjoin: -pprof: %v\n", err)
 			os.Exit(1)
 		}
-		fmt.Printf("pprof/expvar on http://%s/debug/pprof/, OpenMetrics on /metrics\n", ln.Addr())
+		fmt.Printf("pprof/expvar on http://%s/debug/pprof/, OpenMetrics on /metrics, flight recorder on /debug/joins\n", ln.Addr())
 		go http.Serve(ln, nil)
 	}
 
@@ -253,6 +333,12 @@ func main() {
 		d := plan.Decide(st, maxW)
 		fmt.Printf("planner: n=%d+%d skew=%.2f replication=%.2f -> %v\n",
 			st.NR, st.NS, st.Skew, st.Rep, d)
+		intro.planRec = flight.Plan{
+			Source: "auto", Engine: d.Engine.String(),
+			Grid: d.Grid, RefineThreshold: d.RefineThreshold, Workers: d.Workers,
+			NR: st.NR, NS: st.NS, Skew: st.Skew, Rep: st.Rep,
+			Selectivity: st.Selectivity, Probe: st.Probe,
+		}
 		*procs = d.Workers
 		if d.Engine == plan.EnginePartition {
 			*engine = "partition"
@@ -269,13 +355,19 @@ func main() {
 		if workers <= 0 {
 			workers = runtime.GOMAXPROCS(0)
 		}
+		if intro.planRec.Engine == "" {
+			intro.planRec = flight.Plan{
+				Source: "forced", Engine: "partition",
+				Grid: *grid, RefineThreshold: *refine, Workers: workers,
+			}
+		}
 		var rec *timeline.Recorder
-		if *timelineOut != "" || *report {
+		if *timelineOut != "" || *reportFlag {
 			rec = timeline.NewWallRecorder(workers)
 		}
-		runPartition(os.Stdout, streets, mixed, workers, *grid, *refine, obs, rec)
+		runPartition(os.Stdout, streets, mixed, workers, *grid, *refine, obs, rec, intro)
 		if rec != nil {
-			if err := finishTimeline(rec, *timelineOut, *report, rec.MaxEnd()); err != nil {
+			if err := finishTimeline(rec, *timelineOut, *reportFlag, rec.MaxEnd()); err != nil {
 				fmt.Fprintf(os.Stderr, "spjoin: %v\n", err)
 				os.Exit(1)
 			}
@@ -303,15 +395,18 @@ func main() {
 		if workers <= 0 {
 			workers = runtime.GOMAXPROCS(0)
 		}
+		if intro.planRec.Engine == "" {
+			intro.planRec = flight.Plan{Source: "forced", Engine: "tree", Workers: workers}
+		}
 		var rec *timeline.Recorder
-		if *timelineOut != "" || *report {
+		if *timelineOut != "" || *reportFlag {
 			rec = timeline.NewWallRecorder(workers)
 		}
-		runNative(r, s, workers, obs, rec)
+		runNative(r, s, workers, obs, rec, intro)
 		if rec != nil {
 			// No simulated response time: the wall response is the latest
 			// recorded span end.
-			if err := finishTimeline(rec, *timelineOut, *report, rec.MaxEnd()); err != nil {
+			if err := finishTimeline(rec, *timelineOut, *reportFlag, rec.MaxEnd()); err != nil {
 				fmt.Fprintf(os.Stderr, "spjoin: %v\n", err)
 				os.Exit(1)
 			}
@@ -323,8 +418,13 @@ func main() {
 		return
 	}
 
+	if intro.wantIntrospect() {
+		fmt.Fprintln(os.Stderr, "spjoin: -explain/-slowlog/-explain-svg apply to the native engines"+
+			" (-engine partition, -engine auto, or -native); the simulated run keeps virtual time only")
+	}
+
 	var rec *timeline.Recorder
-	if *timelineOut != "" || *report {
+	if *timelineOut != "" || *reportFlag {
 		rec = timeline.NewRecorder(*procs, *disks)
 	}
 
@@ -383,7 +483,7 @@ func main() {
 	fmt.Printf("path buffer hits:       %d\n", res.PathBufferHits)
 	fmt.Printf("task reassignments:     %d\n", res.Reassignments)
 	fmt.Printf("simulated in:           %v wall time\n", wall.Round(time.Millisecond))
-	if err := finishTimeline(rec, *timelineOut, *report, res.ResponseTime); err != nil {
+	if err := finishTimeline(rec, *timelineOut, *reportFlag, res.ResponseTime); err != nil {
 		fmt.Fprintf(os.Stderr, "spjoin: %v\n", err)
 		os.Exit(1)
 	}
@@ -440,7 +540,7 @@ func loadCSV(path string) ([]rtree.Item, error) {
 	return mapio.Read(f)
 }
 
-func runPartition(out io.Writer, r, s []rtree.Item, workers, grid int, refine int64, obs *observability, rec *timeline.Recorder) {
+func runPartition(out io.Writer, r, s []rtree.Item, workers, grid int, refine int64, obs *observability, rec *timeline.Recorder, intro *introspection) {
 	t0 := time.Now()
 	res := partjoin.Join(r, s, partjoin.Config{
 		Workers:         workers,
@@ -448,6 +548,7 @@ func runPartition(out io.Writer, r, s []rtree.Item, workers, grid int, refine in
 		RefineThreshold: refine,
 		Metrics:         obs.reg,
 		Timeline:        rec,
+		Introspect:      intro != nil && intro.wantIntrospect(),
 	})
 	wall := time.Since(t0)
 	fmt.Fprintf(out, "partition join with %d goroutines\n", res.Workers)
@@ -462,16 +563,57 @@ func runPartition(out io.Writer, r, s []rtree.Item, workers, grid int, refine in
 	fmt.Fprintf(out, "pairs/worker: %v\n", res.PerWorker)
 	if obs.reg != nil {
 		fmt.Fprintln(out)
-		renderPartitionSummary(out, obs.reg.Snapshot())
+		renderPartitionSummary(out, obs.reg.Snapshot(), intro)
 	}
+	if intro != nil {
+		frec := flight.Record{
+			WallNS: wall.Nanoseconds(),
+			Engine: "partition",
+			NR:     len(r), NS: len(s),
+			Candidates: len(res.Candidates), Comparisons: res.Comparisons,
+			Duplicates: res.Duplicates,
+			GX:         res.GX, GY: res.GY, Partitions: res.Partitions,
+			RefinedTiles: res.RefinedTiles, Subtiles: res.Subtiles,
+			PhaseNS:     res.PhaseNS,
+			WorkerPairs: toInt64s(res.PerWorker),
+			TopTiles:    res.TopTiles,
+			HeatW:       res.HeatW, HeatH: res.HeatH, Heat: res.Heat,
+		}
+		intro.record(out, obs.reg, &frec)
+	}
+}
+
+// toInt64s widens a per-worker count slice for the flight record.
+func toInt64s(in []int) []int64 {
+	if in == nil {
+		return nil
+	}
+	out := make([]int64, len(in))
+	for i, v := range in {
+		out[i] = int64(v)
+	}
+	return out
 }
 
 // renderPartitionSummary prints the curated partjoin.* counter view: the
 // headline counters plus the per-worker pair distribution (min/mean/max
-// and max/mean skew, the load-balance measure the paper tracks).
-func renderPartitionSummary(out io.Writer, snap metrics.Snapshot) {
+// and max/mean skew, the load-balance measure the paper tracks), and —
+// when a plan was captured — the planner's decision and driving stats.
+func renderPartitionSummary(out io.Writer, snap metrics.Snapshot, intro *introspection) {
 	t := stats.NewTable("Partition engine metrics (partjoin.*)", "measure", "value")
 	t.AddRow("filter kernel", geom.KernelName())
+	if intro != nil && intro.planRec.Engine != "" {
+		p := &intro.planRec
+		t.AddRow("plan source", p.Source)
+		t.AddRow("plan engine", p.Engine)
+		t.AddRow("plan grid", fmt.Sprintf("%dx%d", p.Grid, p.Grid))
+		t.AddRow("plan workers", p.Workers)
+		if p.NR > 0 || p.NS > 0 {
+			t.AddRow("plan skew", fmt.Sprintf("%.2f", p.Skew))
+			t.AddRow("plan replication", fmt.Sprintf("%.2f", p.Rep))
+			t.AddRow("plan selectivity", fmt.Sprintf("%.3g", p.Selectivity))
+		}
+	}
 	for _, row := range []struct{ label, counter string }{
 		{"grid tiles", "partjoin.grid_tiles"},
 		{"non-empty partitions", "partjoin.partitions"},
@@ -499,7 +641,7 @@ func renderPartitionSummary(out io.Writer, snap metrics.Snapshot) {
 	t.Render(out)
 }
 
-func runNative(r, s *rtree.Tree, workers int, obs *observability, rec *timeline.Recorder) {
+func runNative(r, s *rtree.Tree, workers int, obs *observability, rec *timeline.Recorder, intro *introspection) {
 	t0 := time.Now()
 	res := parnative.Join(r, s, parnative.Config{
 		Workers:  workers,
@@ -514,4 +656,17 @@ func runNative(r, s *rtree.Tree, workers int, obs *observability, rec *timeline.
 	fmt.Printf("wall time:    %v\n", wall.Round(time.Microsecond))
 	fmt.Printf("pairs/worker: %v\n", res.PerWorker)
 	fmt.Printf("steals:       %d\n", res.Steals)
+	if intro != nil {
+		frec := flight.Record{
+			WallNS: wall.Nanoseconds(),
+			Engine: "tree",
+			NR:     r.Len(), NS: s.Len(),
+			Candidates: len(res.Candidates),
+			Tasks:      res.Tasks, Steals: res.Steals, StealAttempts: res.StealAttempts,
+			PhaseNS:      res.PhaseNS,
+			WorkerPairs:  toInt64s(res.PerWorker),
+			WorkerSteals: toInt64s(res.PerWorkerSteals),
+		}
+		intro.record(os.Stdout, obs.reg, &frec)
+	}
 }

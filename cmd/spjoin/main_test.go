@@ -2,10 +2,15 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
+	"spjoin/internal/flight"
 	"spjoin/internal/geom"
 	"spjoin/internal/metrics"
 	"spjoin/internal/tiger"
@@ -18,7 +23,7 @@ func TestPartitionCLIOutput(t *testing.T) {
 	streets, mixed := tiger.Maps(0.01, 42)
 	obs := &observability{reg: metrics.NewRegistry()}
 	var out bytes.Buffer
-	runPartition(&out, streets, mixed, 4, 0, 0, obs, nil)
+	runPartition(&out, streets, mixed, 4, 0, 0, obs, nil, nil)
 	text := out.String()
 	for _, want := range []string{
 		"partition join with 4 goroutines",
@@ -49,7 +54,7 @@ func TestKernelSummaryRow(t *testing.T) {
 	reg := metrics.NewRegistry()
 	reg.Counter("partjoin.partitions").Add(1)
 	var out bytes.Buffer
-	renderPartitionSummary(&out, reg.Snapshot())
+	renderPartitionSummary(&out, reg.Snapshot(), nil)
 	if !strings.Contains(out.String(), "purego") {
 		t.Fatalf("summary missing forced kernel path:\n%s", out.String())
 	}
@@ -60,7 +65,7 @@ func TestKernelSummaryRow(t *testing.T) {
 func TestPartitionCLIOutputNoRegistry(t *testing.T) {
 	streets, mixed := tiger.Maps(0.01, 42)
 	var out bytes.Buffer
-	runPartition(&out, streets, mixed, 2, 0, 0, &observability{}, nil)
+	runPartition(&out, streets, mixed, 2, 0, 0, &observability{}, nil, nil)
 	if strings.Contains(out.String(), "Partition engine metrics") {
 		t.Fatalf("summary table printed without a registry:\n%s", out.String())
 	}
@@ -75,7 +80,7 @@ func TestRenderPartitionSummarySkew(t *testing.T) {
 	reg.Counter("partjoin.worker.0.pairs").Add(100)
 	reg.Counter("partjoin.worker.1.pairs").Add(300)
 	var out bytes.Buffer
-	renderPartitionSummary(&out, reg.Snapshot())
+	renderPartitionSummary(&out, reg.Snapshot(), nil)
 	// mean 200, max 300 -> skew 1.50.
 	if !strings.Contains(out.String(), "100 / 200.0 / 300") || !strings.Contains(out.String(), "1.50") {
 		t.Fatalf("distribution rows wrong:\n%s", out.String())
@@ -124,5 +129,149 @@ func TestMetricsEndpointTreeCounters(t *testing.T) {
 	metricsHandler(reg).ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
 	if !strings.Contains(rec.Body.String(), "sim_join_candidates_total 9") {
 		t.Fatalf("tree counter missing:\n%s", rec.Body.String())
+	}
+}
+
+// TestPartitionExplainReport pins -explain: the EXPLAIN ANALYZE report
+// follows the partition summary and the execution lands in the flight
+// recorder with the captured plan attached.
+func TestPartitionExplainReport(t *testing.T) {
+	streets, mixed := tiger.Maps(0.01, 42)
+	intro := &introspection{
+		flights: flight.NewRecorder(4),
+		planRec: flight.Plan{Source: "forced", Engine: "partition", Workers: 4},
+		explain: true,
+	}
+	var out bytes.Buffer
+	runPartition(&out, streets, mixed, 4, 0, 0, &observability{}, nil, intro)
+	text := out.String()
+	for _, want := range []string{
+		"JOIN #1", "engine=partition",
+		"plan (forced): engine=partition",
+		"phases (measured",
+		"workers (pairs):",
+		"top work units",
+		"tile cost heat",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("explain output missing %q:\n%s", want, text)
+		}
+	}
+	last, ok := intro.flights.Last()
+	if !ok || last.Engine != "partition" || last.Plan.Source != "forced" {
+		t.Fatalf("flight record not captured: ok=%v %+v", ok, last)
+	}
+	if last.Candidates == 0 || last.WallNS <= 0 || len(last.WorkerPairs) != 4 {
+		t.Fatalf("flight record incomplete: %+v", last)
+	}
+	if len(last.TopTiles) == 0 || last.HeatW == 0 {
+		t.Fatalf("introspection payload missing: %+v", last)
+	}
+}
+
+// Without -explain the join is still recorded (always-on) but no report
+// is printed; a generous -slowlog threshold stays silent too.
+func TestPartitionFlightAlwaysOnSilent(t *testing.T) {
+	streets, mixed := tiger.Maps(0.01, 42)
+	intro := &introspection{flights: flight.NewRecorder(4), slowlog: time.Hour}
+	var out bytes.Buffer
+	runPartition(&out, streets, mixed, 2, 0, 0, &observability{}, nil, intro)
+	if strings.Contains(out.String(), "JOIN #") || strings.Contains(out.String(), "slowlog:") {
+		t.Fatalf("silent run printed a report:\n%s", out.String())
+	}
+	if intro.flights.Len() != 1 {
+		t.Fatalf("flight recorder holds %d records, want 1", intro.flights.Len())
+	}
+	// A 0 threshold that every join breaches prints via the slowlog path.
+	intro2 := &introspection{flights: flight.NewRecorder(4), slowlog: time.Nanosecond}
+	out.Reset()
+	runPartition(&out, streets, mixed, 2, 0, 0, &observability{}, nil, intro2)
+	if !strings.Contains(out.String(), "slowlog: join exceeded") ||
+		!strings.Contains(out.String(), "JOIN #1") {
+		t.Fatalf("slowlog breach did not print the report:\n%s", out.String())
+	}
+}
+
+// TestJoinsEndpoint pins /debug/joins: JSON array, oldest first, with the
+// phase timings and plan visible to a scraper.
+func TestJoinsEndpoint(t *testing.T) {
+	streets, mixed := tiger.Maps(0.01, 42)
+	intro := &introspection{
+		flights: flight.NewRecorder(4),
+		planRec: flight.Plan{Source: "auto", Engine: "partition", Grid: 12, Workers: 2, Skew: 3.3},
+	}
+	var out bytes.Buffer
+	runPartition(&out, streets, mixed, 2, 0, 0, &observability{}, nil, intro)
+	rec := httptest.NewRecorder()
+	joinsHandler(intro.flights).ServeHTTP(rec, httptest.NewRequest("GET", "/debug/joins", nil))
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content type = %q", ct)
+	}
+	var got []flight.Record
+	if err := json.Unmarshal(rec.Body.Bytes(), &got); err != nil {
+		t.Fatalf("decode /debug/joins: %v\n%s", err, rec.Body.String())
+	}
+	if len(got) != 1 || got[0].Engine != "partition" || got[0].Plan.Grid != 12 {
+		t.Fatalf("unexpected payload: %+v", got)
+	}
+	var phaseSum int64
+	for _, ns := range got[0].PhaseNS {
+		phaseSum += ns
+	}
+	if phaseSum <= 0 {
+		t.Fatalf("phase timings absent from the JSON payload: %+v", got[0].PhaseNS)
+	}
+}
+
+// TestExplainObservesMetrics pins the OpenMetrics wiring: a recorded join
+// feeds the phase histograms and plan gauges scraped at /metrics.
+func TestExplainObservesMetrics(t *testing.T) {
+	streets, mixed := tiger.Maps(0.01, 42)
+	obs := &observability{reg: metrics.NewRegistry()}
+	intro := &introspection{
+		flights: flight.NewRecorder(4),
+		planRec: flight.Plan{
+			Source: "auto", Engine: "partition", Grid: 12, Workers: 2,
+			NR: len(streets), NS: len(mixed), Skew: 3.3, Rep: 1.1,
+		},
+	}
+	var out bytes.Buffer
+	runPartition(&out, streets, mixed, 2, 0, 0, obs, nil, intro)
+	if got := obs.reg.Counter("flight.joins").Load(); got != 1 {
+		t.Fatalf("flight.joins=%d", got)
+	}
+	if got := obs.reg.Gauge("plan.grid").Load(); got != 12 {
+		t.Fatalf("plan.grid=%v", got)
+	}
+	rec := httptest.NewRecorder()
+	metricsHandler(obs.reg).ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	for _, want := range []string{"flight_joins_total 1", "plan_grid 12", "flight_phase_us_sweep"} {
+		if !strings.Contains(rec.Body.String(), want) {
+			t.Fatalf("exposition missing %q:\n%s", want, rec.Body.String())
+		}
+	}
+	// The partition summary surfaces the plan rows.
+	if !strings.Contains(out.String(), "plan engine") || !strings.Contains(out.String(), "plan skew") {
+		t.Fatalf("summary missing plan rows:\n%s", out.String())
+	}
+}
+
+// TestExplainSVGOutput pins -explain-svg: a standalone SVG heatmap lands
+// at the requested path.
+func TestExplainSVGOutput(t *testing.T) {
+	streets, mixed := tiger.Maps(0.01, 42)
+	path := filepath.Join(t.TempDir(), "heat.svg")
+	intro := &introspection{flights: flight.NewRecorder(4), svgPath: path}
+	var out bytes.Buffer
+	runPartition(&out, streets, mixed, 2, 0, 0, &observability{}, nil, intro)
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("heatmap SVG not written: %v", err)
+	}
+	if !strings.HasPrefix(string(buf), "<svg xmlns=") {
+		t.Fatalf("not an SVG document:\n%.120s", buf)
+	}
+	if !strings.Contains(out.String(), "heatmap:") {
+		t.Fatalf("output does not mention the heatmap path:\n%s", out.String())
 	}
 }

@@ -180,6 +180,82 @@ func AssignLPT(tasks []join.NodePair, costs []float64, n int) [][]join.NodePair 
 	return out
 }
 
+// SetStats summarizes one rectangle set for the set-level selectivity
+// model: cardinality, mean extents, and the finite MBR. It is the flat-set
+// analogue of treeAgg, for callers (the planner, the flight recorder) that
+// have item slices rather than built trees.
+type SetStats struct {
+	N          int // rectangles with finite, non-inverted extents
+	AvgW, AvgH float64
+	MBR        geom.Rect
+}
+
+// AnalyzeSet computes SetStats in one pass. Rectangles with NaN
+// coordinates or inverted extents are skipped — they join with nothing
+// and would poison the means.
+func AnalyzeSet(items []rtree.Item) SetStats {
+	st := SetStats{MBR: geom.EmptyRect()}
+	var sw, sh float64
+	for i := range items {
+		r := &items[i].Rect
+		if !(r.MinX <= r.MaxX && r.MinY <= r.MaxY) {
+			continue
+		}
+		st.N++
+		sw += r.MaxX - r.MinX
+		sh += r.MaxY - r.MinY
+		st.MBR = st.MBR.Union(*r)
+	}
+	if st.N > 0 {
+		st.AvgW = sw / float64(st.N)
+		st.AvgH = sh / float64(st.N)
+	}
+	return st
+}
+
+// Selectivity estimates the probability that a random R rectangle
+// intersects a random S rectangle: the classical uniform model
+// (wR+wS)(hR+hS)/(W·H) evaluated over the intersection window of the two
+// MBRs, scaled by the fraction of each side expected inside the window.
+// The result is clamped to [0, 1]; either side empty yields 0.
+func Selectivity(r, s SetStats) float64 {
+	if r.N == 0 || s.N == 0 {
+		return 0
+	}
+	pairs := ExpectedPairs(r, s)
+	sel := pairs / (float64(r.N) * float64(s.N))
+	if sel > 1 {
+		return 1
+	}
+	return sel
+}
+
+// ExpectedPairs estimates the candidate count of r ⋈ s under the same
+// model: objects of both sides falling into the common window, times the
+// average-extent intersection probability inside it. A degenerate window
+// (the sets touch on a line or point) keeps p = 1 for the objects in it.
+func ExpectedPairs(r, s SetStats) float64 {
+	if r.N == 0 || s.N == 0 {
+		return 0
+	}
+	window := r.MBR.Intersection(s.MBR)
+	if window.IsEmpty() {
+		return 0
+	}
+	nR := float64(r.N) * fractionIn(r.MBR, window)
+	nS := float64(s.N) * fractionIn(s.MBR, window)
+	w := window.MaxX - window.MinX
+	h := window.MaxY - window.MinY
+	p := 1.0
+	if w > 0 && h > 0 {
+		p = (r.AvgW + s.AvgW) * (r.AvgH + s.AvgH) / (w * h)
+		if p > 1 {
+			p = 1
+		}
+	}
+	return nR * nS * p
+}
+
 // Correlation returns the Pearson correlation coefficient between two
 // series (0 if undefined). The harness uses it to report how well the
 // estimates track the actual per-task run times.

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"spjoin/internal/estimate"
+	"spjoin/internal/geom"
 	"spjoin/internal/join"
 	"spjoin/internal/parjoin"
 	"spjoin/internal/rtree"
@@ -167,4 +168,97 @@ func TestDynamicBeatsEstimatedStatic(t *testing.T) {
 	}
 	t.Logf("response: estimated-static %.1f s, dynamic+reassign %.1f s",
 		lpt.ResponseTime.Seconds(), gd.ResponseTime.Seconds())
+}
+
+// TestAnalyzeSet pins the set-statistics pass: means over finite rects
+// only, EmptyRect MBR for unusable input.
+func TestAnalyzeSet(t *testing.T) {
+	items := func(rects ...geom.Rect) []rtree.Item {
+		out := make([]rtree.Item, len(rects))
+		for i, r := range rects {
+			out[i] = rtree.Item{ID: rtree.EntryID(i), Rect: r}
+		}
+		return out
+	}
+	for _, tc := range []struct {
+		name       string
+		in         []rtree.Item
+		n          int
+		avgW, avgH float64
+	}{
+		{"empty", nil, 0, 0, 0},
+		{"single", items(geom.NewRect(0, 0, 4, 2)), 1, 4, 2},
+		{"two", items(geom.NewRect(0, 0, 4, 2), geom.NewRect(10, 10, 12, 18)), 2, 3, 5},
+		{"skips inverted", items(geom.NewRect(0, 0, 2, 2), geom.Rect{MinX: 5, MinY: 5, MaxX: 1, MaxY: 1}), 1, 2, 2},
+		{"skips nan", items(geom.NewRect(0, 0, 2, 2), geom.Rect{MinX: math.NaN(), MaxX: 1, MaxY: 1}), 1, 2, 2},
+	} {
+		st := estimate.AnalyzeSet(tc.in)
+		if st.N != tc.n || st.AvgW != tc.avgW || st.AvgH != tc.avgH {
+			t.Errorf("%s: got {N:%d AvgW:%g AvgH:%g}, want {N:%d AvgW:%g AvgH:%g}",
+				tc.name, st.N, st.AvgW, st.AvgH, tc.n, tc.avgW, tc.avgH)
+		}
+	}
+}
+
+// TestSelectivityModel is the table-driven check of the §3.4 selectivity
+// figure over hand-constructed SetStats.
+func TestSelectivityModel(t *testing.T) {
+	set := func(n int, w, h float64, mbr geom.Rect) estimate.SetStats {
+		return estimate.SetStats{N: n, AvgW: w, AvgH: h, MBR: mbr}
+	}
+	world := geom.NewRect(0, 0, 100, 100)
+	for _, tc := range []struct {
+		name     string
+		r, s     estimate.SetStats
+		sel      float64
+		selBelow float64 // upper bound when the exact value is model-dependent
+	}{
+		// (wR+wS)(hR+hS)/(W·H) = (1+1)(1+1)/10000 with full overlap.
+		{"uniform small rects", set(100, 1, 1, world), set(100, 1, 1, world), 4.0 / 10000, 0},
+		// Rectangles as large as the window intersect almost surely: clamps to 1.
+		{"huge rects clamp", set(10, 100, 100, world), set(10, 100, 100, world), 1, 0},
+		// Disjoint MBRs cannot produce pairs.
+		{"disjoint worlds", set(50, 1, 1, geom.NewRect(0, 0, 10, 10)), set(50, 1, 1, geom.NewRect(20, 20, 30, 30)), 0, 0},
+		// Either side empty: zero, not NaN.
+		{"empty side", set(0, 0, 0, geom.EmptyRect()), set(50, 1, 1, world), 0, 0},
+		// Partial overlap scales both sides down by their window fraction.
+		{"half overlap", set(100, 1, 1, geom.NewRect(0, 0, 100, 100)), set(100, 1, 1, geom.NewRect(50, 0, 150, 100)), 0, 4.0 / 10000},
+		// Degenerate window (sets touch on a line): the zero-area window
+		// holds no population under the area-fraction model — zero, and
+		// crucially not NaN from the W·H division.
+		{"line contact", set(10, 1, 1, geom.NewRect(0, 0, 50, 100)), set(10, 1, 1, geom.NewRect(50, 0, 100, 100)), 0, 0},
+	} {
+		got := estimate.Selectivity(tc.r, tc.s)
+		if math.IsNaN(got) || got < 0 || got > 1 {
+			t.Fatalf("%s: selectivity %g out of [0,1]", tc.name, got)
+		}
+		if tc.selBelow > 0 {
+			if got <= tc.sel || got > tc.selBelow {
+				t.Errorf("%s: selectivity %g, want in (%g, %g]", tc.name, got, tc.sel, tc.selBelow)
+			}
+		} else if math.Abs(got-tc.sel) > 1e-12 {
+			t.Errorf("%s: selectivity %g, want %g", tc.name, got, tc.sel)
+		}
+		pairs := estimate.ExpectedPairs(tc.r, tc.s)
+		if pairs < 0 || math.IsNaN(pairs) {
+			t.Errorf("%s: expected pairs %g", tc.name, pairs)
+		}
+	}
+}
+
+// TestExpectedPairsTracksActual sanity-checks the model against a real
+// workload: the estimate must land within an order of magnitude of the
+// true candidate count (the model is coarse by design).
+func TestExpectedPairsTracksActual(t *testing.T) {
+	streets, mixed := tiger.Maps(0.05, 42)
+	got := float64(len(join.Sequential(
+		rtree.BulkLoadSTR(rtree.DefaultParams(), streets, 0.8),
+		rtree.BulkLoadSTR(rtree.DefaultParams(), mixed, 0.8), join.Options{})))
+	est := estimate.ExpectedPairs(estimate.AnalyzeSet(streets), estimate.AnalyzeSet(mixed))
+	if est <= 0 {
+		t.Fatalf("expected pairs %g, want positive", est)
+	}
+	if ratio := est / got; ratio < 0.1 || ratio > 10 {
+		t.Errorf("estimate %g vs actual %g (ratio %.2f), want within 10x", est, got, ratio)
+	}
 }

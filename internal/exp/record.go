@@ -114,7 +114,10 @@ func (rc *Recording) addRun(exp string, params map[string]string,
 	}
 	ms["proc_busy_skew"] = stats.Summarize(busy).Skew()
 	totals := tl.KindTotals()
-	for k := sim.SpanKind(0); k < timeline.NumKinds; k++ {
+	// Flatten exactly the simulator's kinds: the committed run stores pin
+	// this metric set per cell, and wall-only kinds (KindPhase) are never
+	// emitted by simulated runs anyway.
+	for k := sim.SpanKind(0); k < timeline.NumSimKinds; k++ {
 		ms["timeline."+timeline.KindName(k)+"_ms"] = float64(totals[k])
 	}
 	rc.Add(exp, params, ms)

@@ -1,0 +1,42 @@
+package flight
+
+import (
+	"spjoin/internal/metrics"
+	"spjoin/internal/timeline"
+)
+
+// phaseBounds are the histogram bucket boundaries for per-phase latency in
+// microseconds: 50µs to 1s, roughly ×2.5 per step — wide enough to cover a
+// corpus-scale join phase and a toy test alike.
+var phaseBounds = []int64{50, 100, 250, 500, 1000, 2500, 5000, 10000, 25000, 50000, 100000, 250000, 500000, 1000000}
+
+// Observe exports one captured execution to the metrics registry:
+// per-phase latency histograms (flight.phase_us.<phase>), the join
+// counter, and gauges mirroring the most recent plan so an OpenMetrics
+// scrape shows what the planner last decided and why. Nil-safe on reg.
+func Observe(reg *metrics.Registry, rec *Record) {
+	if reg == nil || rec == nil {
+		return
+	}
+	reg.Counter("flight.joins").Inc()
+	reg.Histogram("flight.wall_us", phaseBounds).Observe(rec.WallNS / 1000)
+	for p := 0; p < timeline.NumPhases; p++ {
+		if ns := rec.PhaseNS[p]; ns > 0 {
+			reg.Histogram("flight.phase_us."+timeline.PhaseName(p), phaseBounds).Observe(ns / 1000)
+		}
+	}
+	if rec.Plan.Engine == "" {
+		return
+	}
+	enginePartition := 0.0
+	if rec.Plan.Engine == "partition" {
+		enginePartition = 1
+	}
+	reg.Gauge("plan.engine_partition").Set(enginePartition)
+	reg.Gauge("plan.grid").Set(float64(rec.Plan.Grid))
+	reg.Gauge("plan.workers").Set(float64(rec.Plan.Workers))
+	reg.Gauge("plan.refine_threshold").Set(float64(rec.Plan.RefineThreshold))
+	reg.Gauge("plan.skew").Set(rec.Plan.Skew)
+	reg.Gauge("plan.replication").Set(rec.Plan.Rep)
+	reg.Gauge("plan.selectivity").Set(rec.Plan.Selectivity)
+}

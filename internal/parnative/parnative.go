@@ -71,11 +71,17 @@ type Result struct {
 	PerWorker []int
 	// Steals counts how often an idle worker took work from a loaded one;
 	// StealAttempts additionally counts the failed tries (empty victims,
-	// lost races).
-	Steals        int
-	StealAttempts int
+	// lost races). PerWorkerSteals splits Steals by the thief.
+	Steals          int
+	StealAttempts   int
+	PerWorkerSteals []int
 	// FalseHits counts candidates the Refiner rejected (0 without one).
 	FalseHits int
+	// PhaseNS is the wall time spent in each pipeline phase, indexed by the
+	// timeline.Phase* constants. The tree executor fills the subset that
+	// applies: prep (sweep-cache build), partition (task creation), sweep
+	// (the parallel expansion loop) and merge (result assembly).
+	PhaseNS [timeline.NumPhases]int64
 }
 
 // Join runs the parallel filter step of r ⋈ s and returns all candidate
@@ -87,16 +93,38 @@ func Join(r, s *rtree.Tree, cfg Config) Result {
 	if cfg.TaskFactor <= 0 {
 		cfg.TaskFactor = 3
 	}
+	rec := cfg.Timeline
+	if rec != nil {
+		if got := len(rec.Procs()); got != cfg.Workers {
+			panic(fmt.Sprintf("parnative: Timeline has %d tracks, need %d (size with NewWallRecorder(Workers))",
+				got, cfg.Workers))
+		}
+	}
 	// Workers share the in-memory nodes; build every node's sweep cache up
 	// front so no lazy construction races inside the join.
+	t0 := time.Now()
+	epoch := t0
 	r.PrepareSweep()
 	s.PrepareSweep()
+	t1 := time.Now()
 	tasks, _, _ := parjoin.CreateTasks(r, s, cfg.Opts, cfg.TaskFactor*cfg.Workers)
-	res := Result{
-		Tasks:     len(tasks),
-		Workers:   cfg.Workers,
-		PerWorker: make([]int, cfg.Workers),
+	t2 := time.Now()
+	if rec != nil {
+		// Owner-side phase spans on track 0 (the worker goroutines are not
+		// running yet, so the track has a single writer here).
+		rec.Complete(0, 0, wallAt(t1, epoch), timeline.KindPhase,
+			sim.SpanArgs{A: timeline.PhasePrep})
+		rec.Complete(0, wallAt(t1, epoch), wallAt(t2, epoch), timeline.KindPhase,
+			sim.SpanArgs{A: timeline.PhasePartition})
 	}
+	res := Result{
+		Tasks:           len(tasks),
+		Workers:         cfg.Workers,
+		PerWorker:       make([]int, cfg.Workers),
+		PerWorkerSteals: make([]int, cfg.Workers),
+	}
+	res.PhaseNS[timeline.PhasePrep] = t1.Sub(t0).Nanoseconds()
+	res.PhaseNS[timeline.PhasePartition] = t2.Sub(t1).Nanoseconds()
 	if len(tasks) == 0 {
 		return res
 	}
@@ -109,14 +137,8 @@ func Join(r, s *rtree.Tree, cfg Config) Result {
 	falseHits := make([]int, cfg.Workers)
 	sched := newStealScheduler(cfg.Workers, tasks)
 	sched.met = met
-	rec := cfg.Timeline
-	var epoch time.Time
+	sched.perSteals = res.PerWorkerSteals
 	if rec != nil {
-		if got := len(rec.Procs()); got != cfg.Workers {
-			panic(fmt.Sprintf("parnative: Timeline has %d tracks, need %d (size with NewWallRecorder(Workers))",
-				got, cfg.Workers))
-		}
-		epoch = time.Now()
 		sched.rec, sched.epoch = rec, epoch
 	}
 	src := join.DirectSource{R: r, S: s}
@@ -126,6 +148,12 @@ func Join(r, s *rtree.Tree, cfg Config) Result {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			if rec != nil {
+				// The whole worker loop is one sweep-phase span; expansion
+				// and idle spans nest inside it.
+				rec.BeginSpan(w, wallSince(epoch), timeline.KindPhase,
+					sim.SpanArgs{A: timeline.PhaseSweep})
+			}
 			var sc join.Scratch
 			// Hot-path counts stay in locals; flushed once on exit.
 			var pairs, comps, candTotal int64
@@ -180,9 +208,14 @@ func Join(r, s *rtree.Tree, cfg Config) Result {
 				join.SortCandidates(perWorker[w])
 			}
 			met.flushWorker(w, pairs, comps, candTotal, int64(falseHits[w]))
+			if rec != nil {
+				rec.EndSpan(w, wallSince(epoch), sim.SpanArgs{}, false)
+			}
 		}()
 	}
 	wg.Wait()
+	t3 := time.Now()
+	res.PhaseNS[timeline.PhaseSweep] = t3.Sub(t2).Nanoseconds()
 	res.Steals = int(sched.steals.Load())
 	res.StealAttempts = int(sched.attempts.Load())
 
@@ -201,6 +234,11 @@ func Join(r, s *rtree.Tree, cfg Config) Result {
 			res.Candidates = append(res.Candidates, cands...)
 		}
 	}
+	res.PhaseNS[timeline.PhaseMerge] = time.Since(t3).Nanoseconds()
+	if rec != nil {
+		rec.Complete(0, wallAt(t3, epoch), wallSince(epoch), timeline.KindPhase,
+			sim.SpanArgs{A: timeline.PhaseMerge})
+	}
 	met.finish(&res)
 	return res
 }
@@ -208,6 +246,11 @@ func Join(r, s *rtree.Tree, cfg Config) Result {
 // wallSince returns wall milliseconds since epoch on the recorder's clock.
 func wallSince(epoch time.Time) sim.Time {
 	return sim.Time(float64(time.Since(epoch)) / float64(time.Millisecond))
+}
+
+// wallAt converts an absolute timestamp to the recorder's clock.
+func wallAt(t, epoch time.Time) sim.Time {
+	return sim.Time(float64(t.Sub(epoch)) / float64(time.Millisecond))
 }
 
 // sortCandidates orders candidates by (R, S) id for deterministic output.

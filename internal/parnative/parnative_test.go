@@ -14,6 +14,7 @@ import (
 	"spjoin/internal/pagefile"
 	"spjoin/internal/rtree"
 	"spjoin/internal/tiger"
+	"spjoin/internal/timeline"
 )
 
 func testTrees(tb testing.TB) (*rtree.Tree, *rtree.Tree) {
@@ -369,5 +370,64 @@ func TestJoinPagedWithRefiner(t *testing.T) {
 	if len(half.Candidates)+half.FalseHits != len(all.Candidates) {
 		t.Fatalf("refined %d + fh %d != all %d",
 			len(half.Candidates), half.FalseHits, len(all.Candidates))
+	}
+}
+
+// TestJoinPhaseTimings pins the tree executor's PhaseNS buckets: prep,
+// partition (task creation), sweep and merge are always filled, and
+// PerWorkerSteals splits the steal total by the thief.
+func TestJoinPhaseTimings(t *testing.T) {
+	r, s := testTrees(t)
+	res := Join(r, s, Config{Workers: 4})
+	for _, p := range []int{timeline.PhasePrep, timeline.PhasePartition,
+		timeline.PhaseSweep, timeline.PhaseMerge} {
+		if res.PhaseNS[p] <= 0 {
+			t.Errorf("phase %s has no wall time", timeline.PhaseName(p))
+		}
+	}
+	for _, p := range []int{timeline.PhaseSort, timeline.PhaseFill, timeline.PhaseRefine} {
+		if res.PhaseNS[p] != 0 {
+			t.Errorf("phase %s filled (%dns); the tree executor never runs it",
+				timeline.PhaseName(p), res.PhaseNS[p])
+		}
+	}
+	if len(res.PerWorkerSteals) != res.Workers {
+		t.Fatalf("PerWorkerSteals has %d slots, want %d", len(res.PerWorkerSteals), res.Workers)
+	}
+	sum := 0
+	for _, n := range res.PerWorkerSteals {
+		sum += n
+	}
+	if sum != res.Steals {
+		t.Errorf("PerWorkerSteals sums to %d, want Steals=%d", sum, res.Steals)
+	}
+}
+
+// TestJoinTimelinePhaseSpans checks the wall recorder carries the phase
+// spans the Perfetto export names "phase:<name>".
+func TestJoinTimelinePhaseSpans(t *testing.T) {
+	r, s := testTrees(t)
+	const workers = 3
+	rec := timeline.NewWallRecorder(workers)
+	Join(r, s, Config{Workers: workers, Timeline: rec})
+	var phases [timeline.NumPhases]int
+	for _, proc := range rec.Procs() {
+		for _, sp := range proc.Spans {
+			if sp.Kind != timeline.KindPhase {
+				continue
+			}
+			if sp.Args.A < 0 || sp.Args.A >= timeline.NumPhases {
+				t.Fatalf("phase span with out-of-range phase %d", sp.Args.A)
+			}
+			phases[sp.Args.A]++
+		}
+	}
+	if phases[timeline.PhaseSweep] != workers {
+		t.Errorf("%d sweep phase spans, want %d", phases[timeline.PhaseSweep], workers)
+	}
+	if phases[timeline.PhasePrep] != 1 || phases[timeline.PhasePartition] != 1 ||
+		phases[timeline.PhaseMerge] != 1 {
+		t.Errorf("owner phase spans prep=%d partition=%d merge=%d, want 1 each",
+			phases[timeline.PhasePrep], phases[timeline.PhasePartition], phases[timeline.PhaseMerge])
 	}
 }

@@ -133,6 +133,11 @@ type stealScheduler struct {
 	attempts atomic.Int64
 	aborted  atomic.Bool
 
+	// perSteals splits steals by the thief. Slot w is written only from
+	// worker w's goroutine (steal runs on the thief), so no atomics are
+	// needed; readers wait for the workers to exit first.
+	perSteals []int
+
 	// met is the optional observability bundle (nil disables everything
 	// beyond the always-on steals/attempts counters above).
 	met *nativeMetrics
@@ -275,6 +280,9 @@ func (s *stealScheduler) steal(w int) (join.NodePair, bool) {
 		return join.NodePair{}, false // raced: the victim drained meanwhile
 	}
 	s.steals.Add(1)
+	if s.perSteals != nil {
+		s.perSteals[w]++
+	}
 	if s.met != nil {
 		s.met.stole(w, best, len(moved))
 	}

@@ -68,9 +68,33 @@ type Config struct {
 	// prefix (partitions joined, duplicates suppressed, per-worker pairs).
 	Metrics *metrics.Registry
 	// Timeline, when set, records one wall-clock cpu-sweep span per tile
-	// join. Size it with timeline.NewWallRecorder over the resolved worker
-	// count; each worker writes only its own track.
+	// join plus one phase span per worker per pipeline phase. Size it with
+	// timeline.NewWallRecorder over the resolved worker count; each worker
+	// writes only its own track.
 	Timeline *timeline.Recorder
+	// Introspect, when true, additionally fills Result.TopTiles and
+	// Result.Heat from the work-unit schedule (one O(units) scan). Off by
+	// default so the hot path stays free of the extra pass; the phase
+	// timings in Result.PhaseNS are cheap enough to be always on.
+	Introspect bool
+}
+
+// Introspection constants: the downsampled tile-cost heat grid is at most
+// HeatSide×HeatSide cells, and TopTileK work units are reported per join.
+const (
+	HeatSide = 16
+	TopTileK = 8
+)
+
+// TileCost is one work unit of the join schedule, reported (largest
+// estimated sweep cost first) in Result.TopTiles.
+type TileCost struct {
+	// TX, TY are the root tile coordinates of the unit.
+	TX, TY int
+	// Refined marks a refined leaf subtile (false = whole root tile).
+	Refined bool
+	// Cost is the unit's estimated sweep cost (rn*sn + rn + sn).
+	Cost int64
 }
 
 // Result of a partition-based join.
@@ -98,6 +122,19 @@ type Result struct {
 	// candidate pairs each worker emitted (view owned by the Joiner).
 	Workers   int
 	PerWorker []int
+	// PhaseNS is the wall time spent in each pipeline phase, indexed by the
+	// timeline.Phase* constants. Always filled — the cost is a handful of
+	// clock reads — and a phase the run skipped reads zero, so the steady
+	// state's fast path is visible as empty sort/partition buckets.
+	PhaseNS [timeline.NumPhases]int64
+	// TopTiles and Heat are filled only under Config.Introspect. TopTiles
+	// holds the TopTileK costliest work units of the schedule; Heat is the
+	// schedule's cost mass folded onto a row-major HeatW×HeatH grid
+	// (HeatW = min(GX, HeatSide)). Both are views owned by the Joiner.
+	TopTiles []TileCost
+	Heat     []int64
+	HeatW    int
+	HeatH    int
 }
 
 // Join buckets the two rectangle sets onto a uniform grid and returns all
@@ -110,6 +147,8 @@ func Join(r, s []rtree.Item, cfg Config) Result {
 	// The one-shot Joiner dies with this call; detach the result views.
 	res.Candidates = append([]join.Candidate(nil), res.Candidates...)
 	res.PerWorker = append([]int(nil), res.PerWorker...)
+	res.TopTiles = append([]TileCost(nil), res.TopTiles...)
+	res.Heat = append([]int64(nil), res.Heat...)
 	return res
 }
 
@@ -244,6 +283,10 @@ type Joiner struct {
 	met   *partMetrics
 	rec   *timeline.Recorder
 	epoch time.Time
+
+	phaseNS  [timeline.NumPhases]int64
+	topTiles []TileCost
+	heat     []int64
 }
 
 // Close releases the Joiner's worker pool. The Joiner may be reused after
@@ -291,6 +334,7 @@ func (j *Joiner) Join(r, s []rtree.Item, cfg Config) Result {
 		}
 		j.epoch = time.Now()
 	}
+	j.phaseNS = [timeline.NumPhases]int64{}
 
 	// Phase 1: bring the SoA mirrors (what the sweep kernel consumes) in
 	// sync with the items, as cheaply as the situation allows.
@@ -406,6 +450,15 @@ func (j *Joiner) Join(r, s []rtree.Item, cfg Config) Result {
 	// assignment and refinement are functions of the coordinates — while a
 	// patched or cold join rebuilds it.
 	if !(clean && j.unitsOK && j.cThr == cfg.RefineThreshold) {
+		// The refine bucket gets this whole block's wall time; runPhase
+		// accrues the inner refine-fill there too, so overwrite the bucket
+		// with the block total instead of double counting.
+		refBefore := j.phaseNS[timeline.PhaseRefine]
+		tRef := time.Now()
+		if j.rec != nil {
+			j.rec.BeginSpan(0, wallSince(j.epoch), timeline.KindPhase,
+				sim.SpanArgs{A: timeline.PhaseRefine})
+		}
 		tiles := j.gx * j.gy
 		j.tiles = j.tiles[:0]
 		j.cost = j.cost[:0]
@@ -421,6 +474,10 @@ func (j *Joiner) Join(r, s []rtree.Item, cfg Config) Result {
 		j.buildUnits(j.resolveThreshold(cfg.RefineThreshold))
 		j.unitsOK = true
 		j.cThr = cfg.RefineThreshold
+		if j.rec != nil {
+			j.rec.EndSpan(0, wallSince(j.epoch), sim.SpanArgs{}, false)
+		}
+		j.phaseNS[timeline.PhaseRefine] = refBefore + time.Since(tRef).Nanoseconds()
 	}
 
 	// Phase 5: join the work units over the pool, workers pulling from the
@@ -437,6 +494,11 @@ func (j *Joiner) Join(r, s []rtree.Item, cfg Config) Result {
 	// Assemble. With Sorted the workers already left their runs sorted
 	// (they sort before leaving the join phase), so only a k-way merge
 	// remains on this goroutine.
+	tMerge := time.Now()
+	var spanMerge sim.Time
+	if j.rec != nil {
+		spanMerge = wallSince(j.epoch)
+	}
 	j.perWorker = growInts(j.perWorker, workers)
 	total := 0
 	for w := range j.ws[:workers] {
@@ -467,18 +529,98 @@ func (j *Joiner) Join(r, s []rtree.Item, cfg Config) Result {
 	res.GX, res.GY = j.gx, j.gy
 	res.RefinedTiles, res.Subtiles = j.refinedTiles, j.subtiles
 	res.PerWorker = j.perWorker
+	j.phaseNS[timeline.PhaseMerge] += time.Since(tMerge).Nanoseconds()
+	if j.rec != nil {
+		j.rec.Complete(0, spanMerge, wallSince(j.epoch), timeline.KindPhase,
+			sim.SpanArgs{A: timeline.PhaseMerge})
+	}
+	res.PhaseNS = j.phaseNS
+	if cfg.Introspect {
+		j.fillIntrospection(&res)
+	}
 	j.met.finish(&res)
 	return res
 }
 
-// runPhase executes one parallel phase over the pool.
-func (j *Joiner) runPhase(phase int32) {
-	j.phase = phase
-	j.pool.Run(j)
+// fillIntrospection reports the schedule's cost structure under
+// Config.Introspect: the TopTileK costliest work units (the schedule is
+// already sorted largest-first, so the head of units is the answer) and
+// the unit cost mass folded onto an at-most HeatSide² heat grid. One
+// O(units) scan; the buffers live on the Joiner, so the steady state
+// stays allocation-free with introspection on.
+func (j *Joiner) fillIntrospection(res *Result) {
+	k := len(j.units)
+	if k > TopTileK {
+		k = TopTileK
+	}
+	j.topTiles = j.topTiles[:0]
+	for i := 0; i < k; i++ {
+		u := j.units[i]
+		j.topTiles = append(j.topTiles, TileCost{
+			TX: int(u.tile) % j.gx, TY: int(u.tile) / j.gx,
+			Refined: u.node >= 0, Cost: j.ucost[i],
+		})
+	}
+	res.TopTiles = j.topTiles
+
+	hw, hh := j.gx, j.gy
+	if hw > HeatSide {
+		hw = HeatSide
+	}
+	if hh > HeatSide {
+		hh = HeatSide
+	}
+	if cap(j.heat) < hw*hh {
+		j.heat = make([]int64, hw*hh, HeatSide*HeatSide)
+	} else {
+		j.heat = j.heat[:hw*hh]
+		clear(j.heat)
+	}
+	for i, u := range j.units {
+		t := int(u.tile)
+		hx := (t % j.gx) * hw / j.gx
+		hy := (t / j.gx) * hh / j.gy
+		j.heat[hy*hw+hx] += j.ucost[i]
+	}
+	res.Heat, res.HeatW, res.HeatH = j.heat, hw, hh
 }
 
-// RunWorker implements parnative.PoolTask: dispatch the current phase.
+// runPhase executes one parallel phase over the pool, accruing its wall
+// time into the matching pipeline-phase bucket of Result.PhaseNS.
+func (j *Joiner) runPhase(phase int32) {
+	j.phase = phase
+	t0 := time.Now()
+	j.pool.Run(j)
+	j.phaseNS[timelinePhase(phase)] += time.Since(t0).Nanoseconds()
+}
+
+// timelinePhase maps an internal phase id onto the canonical wall-join
+// phase enumeration shared with the timeline and the flight recorder.
+func timelinePhase(phase int32) int {
+	switch phase {
+	case phaseMirror, phaseMirrorCheck, phaseVerify:
+		return timeline.PhasePrep
+	case phaseSort:
+		return timeline.PhaseSort
+	case phaseCount, phaseScatter:
+		return timeline.PhasePartition
+	case phaseFill:
+		return timeline.PhaseFill
+	case phaseRefineFill:
+		return timeline.PhaseRefine
+	default:
+		return timeline.PhaseSweep
+	}
+}
+
+// RunWorker implements parnative.PoolTask: dispatch the current phase,
+// bracketing it with a per-worker phase span when a timeline is attached
+// (tile sweep spans then nest inside the join-phase span).
 func (j *Joiner) RunWorker(w int) {
+	if j.rec != nil {
+		j.rec.BeginSpan(w, wallSince(j.epoch), timeline.KindPhase,
+			sim.SpanArgs{A: int64(timelinePhase(j.phase))})
+	}
 	switch j.phase {
 	case phaseMirror:
 		j.mirrorChunk(w)
@@ -498,6 +640,9 @@ func (j *Joiner) RunWorker(w int) {
 		j.refineFillChunk(w)
 	case phaseJoin:
 		j.joinTiles(w)
+	}
+	if j.rec != nil {
+		j.rec.EndSpan(w, wallSince(j.epoch), sim.SpanArgs{}, false)
 	}
 }
 

@@ -303,16 +303,42 @@ func TestPartitionJoinTimeline(t *testing.T) {
 	res := Join(r, s, Config{Workers: workers, Grid: 5, Timeline: rec})
 
 	spans := 0
+	var phases [timeline.NumPhases]int
 	for _, proc := range rec.Procs() {
 		for _, sp := range proc.Spans {
-			if sp.Kind != timeline.KindCPUSweep {
+			switch sp.Kind {
+			case timeline.KindCPUSweep:
+				spans++
+			case timeline.KindPhase:
+				if sp.Args.A < 0 || sp.Args.A >= timeline.NumPhases {
+					t.Fatalf("phase span with out-of-range phase %d", sp.Args.A)
+				}
+				if sp.End < sp.Start {
+					t.Fatalf("phase span %s ends before it starts", timeline.PhaseName(int(sp.Args.A)))
+				}
+				phases[sp.Args.A]++
+			default:
 				t.Fatalf("unexpected span kind %v", sp.Kind)
 			}
-			spans++
 		}
 	}
 	if spans != res.Partitions {
 		t.Fatalf("%d cpu-sweep spans, want one per joined partition (%d)", spans, res.Partitions)
+	}
+	// Every worker contributes one sweep-phase span; a cold join also runs
+	// prep, partition and fill phases on every worker, and the owner adds
+	// the refine (schedule build) and merge spans on track 0.
+	if phases[timeline.PhaseSweep] != workers {
+		t.Errorf("%d sweep phase spans, want %d", phases[timeline.PhaseSweep], workers)
+	}
+	for _, p := range []int{timeline.PhasePrep, timeline.PhasePartition, timeline.PhaseFill} {
+		if phases[p] < workers {
+			t.Errorf("%d %s phase spans, want >= %d", phases[p], timeline.PhaseName(p), workers)
+		}
+	}
+	if phases[timeline.PhaseRefine] < 1 || phases[timeline.PhaseMerge] != 1 {
+		t.Errorf("refine=%d merge=%d owner phase spans, want >=1 and 1",
+			phases[timeline.PhaseRefine], phases[timeline.PhaseMerge])
 	}
 
 	defer func() {
@@ -321,4 +347,91 @@ func TestPartitionJoinTimeline(t *testing.T) {
 		}
 	}()
 	Join(r, s, Config{Workers: workers + 1, Timeline: rec})
+}
+
+// TestPartitionJoinPhaseTimings pins the always-on PhaseNS contract: the
+// sweep and merge buckets are filled on every run, a cold join also pays
+// sort/partition/fill, and a clean steady-state re-join skips them.
+func TestPartitionJoinPhaseTimings(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	r := items(randomRects(rng, 400, 100, 8), 0)
+	s := items(randomRects(rng, 400, 100, 8), 10000)
+	cfg := Config{Workers: 2, Grid: 6}
+	var j Joiner
+	defer j.Close()
+
+	cold := j.Join(r, s, cfg)
+	for _, p := range []int{timeline.PhasePrep, timeline.PhasePartition,
+		timeline.PhaseFill, timeline.PhaseSweep, timeline.PhaseMerge} {
+		if cold.PhaseNS[p] <= 0 {
+			t.Errorf("cold join: phase %s has no wall time", timeline.PhaseName(p))
+		}
+	}
+	warm := j.Join(r, s, cfg)
+	for _, p := range []int{timeline.PhaseSort, timeline.PhasePartition, timeline.PhaseFill} {
+		if warm.PhaseNS[p] != 0 {
+			t.Errorf("steady-state join: phase %s ran (%dns), want skipped",
+				timeline.PhaseName(p), warm.PhaseNS[p])
+		}
+	}
+	if warm.PhaseNS[timeline.PhaseSweep] <= 0 || warm.PhaseNS[timeline.PhasePrep] <= 0 {
+		t.Errorf("steady-state join: sweep/prep phases missing: %v", warm.PhaseNS)
+	}
+}
+
+// TestPartitionJoinIntrospection exercises the Config.Introspect extras:
+// the top-K work units come out cost-descending and the heat grid folds the
+// whole schedule's cost mass.
+func TestPartitionJoinIntrospection(t *testing.T) {
+	rng := rand.New(rand.NewSource(59))
+	r := items(randomRects(rng, 600, 100, 8), 0)
+	s := items(randomRects(rng, 600, 100, 8), 10000)
+
+	plain := Join(r, s, Config{Workers: 2, Grid: 7})
+	if plain.TopTiles != nil || plain.Heat != nil {
+		t.Fatal("introspection fields filled without Config.Introspect")
+	}
+
+	res := Join(r, s, Config{Workers: 2, Grid: 7, Introspect: true})
+	if len(res.TopTiles) == 0 || len(res.TopTiles) > TopTileK {
+		t.Fatalf("%d top tiles, want 1..%d", len(res.TopTiles), TopTileK)
+	}
+	var topSum int64
+	for i, tc := range res.TopTiles {
+		if i > 0 && tc.Cost > res.TopTiles[i-1].Cost {
+			t.Fatalf("top tiles not cost-descending at %d: %+v", i, res.TopTiles)
+		}
+		if tc.TX < 0 || tc.TX >= res.GX || tc.TY < 0 || tc.TY >= res.GY {
+			t.Fatalf("top tile %d out of grid: %+v", i, tc)
+		}
+		topSum += tc.Cost
+	}
+	if res.HeatW != 7 || res.HeatH != 7 || len(res.Heat) != 49 {
+		t.Fatalf("heat grid %dx%d (%d cells), want 7x7", res.HeatW, res.HeatH, len(res.Heat))
+	}
+	var heatSum int64
+	for _, h := range res.Heat {
+		if h < 0 {
+			t.Fatal("negative heat cell")
+		}
+		heatSum += h
+	}
+	if heatSum < topSum {
+		t.Fatalf("heat mass %d < top-tile mass %d", heatSum, topSum)
+	}
+
+	// A grid wider than HeatSide downsamples to HeatSide.
+	wide := Join(r, s, Config{Workers: 2, Grid: 24, Introspect: true})
+	if wide.HeatW != HeatSide || wide.HeatH != HeatSide {
+		t.Fatalf("wide grid heat %dx%d, want %dx%d", wide.HeatW, wide.HeatH, HeatSide, HeatSide)
+	}
+
+	// Introspection must not break the steady-state allocation contract.
+	cfg := Config{Workers: 2, Introspect: true}
+	var j Joiner
+	defer j.Close()
+	j.Join(r, s, cfg)
+	if allocs := testing.AllocsPerRun(20, func() { j.Join(r, s, cfg) }); allocs != 0 {
+		t.Errorf("introspecting steady-state join: %.1f allocs, want 0", allocs)
+	}
 }

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"math"
 
+	"spjoin/internal/estimate"
 	"spjoin/internal/partjoin"
 	"spjoin/internal/rtree"
 	"spjoin/internal/stats"
@@ -57,6 +58,11 @@ type Stats struct {
 	Skew   float64 // probe-tile occupancy skew: max/mean over all cells, both sides pooled
 	Rep    float64 // mean probe tiles overlapped per rectangle (replication factor)
 	Probe  int     // probe grid side the figures were measured on
+	// Selectivity is the estimated pair probability from the §3.4 model
+	// (internal/estimate): expected candidates ≈ NR·NS·Selectivity. It does
+	// not drive Decide yet, but is recorded with every captured plan so the
+	// flight recorder can show estimate-vs-actual drift.
+	Selectivity float64
 }
 
 // Analyze computes Stats with a single pass over both inputs: the joint
@@ -69,7 +75,9 @@ func Analyze(r, s []rtree.Item) Stats {
 	minX, minY := math.Inf(1), math.Inf(1)
 	maxX, maxY := math.Inf(-1), math.Inf(-1)
 	valid := 0
-	for _, side := range [2][]rtree.Item{r, s} {
+	var sides [2]estimate.SetStats
+	for k, side := range [2][]rtree.Item{r, s} {
+		sides[k] = estimate.AnalyzeSet(side)
 		for i := range side {
 			rc := &side[i].Rect
 			if !(rc.MinX <= rc.MaxX && rc.MinY <= rc.MaxY) {
@@ -82,6 +90,7 @@ func Analyze(r, s []rtree.Item) Stats {
 			maxY = math.Max(maxY, rc.MaxY)
 		}
 	}
+	st.Selectivity = estimate.Selectivity(sides[0], sides[1])
 	if valid == 0 {
 		st.Skew, st.Rep = 1, 1
 		return st

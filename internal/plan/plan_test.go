@@ -279,3 +279,20 @@ func TestAutoWithinFactorOfBest(t *testing.T) {
 		})
 	}
 }
+
+// TestAnalyzeSelectivity checks the §3.4 selectivity figure rides along in
+// the planner statistics: in (0, 1] for a real workload, 0 for unusable
+// input, never NaN.
+func TestAnalyzeSelectivity(t *testing.T) {
+	r, s := tiger.Maps(0.02, 42)
+	st := plan.Analyze(r, s)
+	if math.IsNaN(st.Selectivity) || st.Selectivity <= 0 || st.Selectivity > 1 {
+		t.Errorf("selectivity %g, want in (0, 1]", st.Selectivity)
+	}
+	if est := st.Selectivity * float64(st.NR) * float64(st.NS); est < 1 {
+		t.Errorf("expected pairs %g, want >= 1 on overlapping maps", est)
+	}
+	if st := plan.Analyze(nil, nil); st.Selectivity != 0 {
+		t.Errorf("empty input selectivity %g, want 0", st.Selectivity)
+	}
+}

@@ -1,0 +1,67 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// HeatmapSVG renders a w×h cell grid as a standalone SVG heatmap — the
+// graphical twin of the flight recorder's ASCII tile-cost heat. Cell (0,0)
+// is the bottom-left of the joined space (matching the partition grid's
+// tile numbering); intensity is linear in cell value relative to the
+// hottest cell, on a white→red ramp with zero cells left white. Like the
+// observatory charts it is byte-deterministic for a given input.
+func HeatmapSVG(title string, w, h int, cells []int64) (string, error) {
+	if w <= 0 || h <= 0 {
+		return "", fmt.Errorf("report: heatmap grid %dx%d", w, h)
+	}
+	if len(cells) < w*h {
+		return "", fmt.Errorf("report: heatmap needs %d cells, got %d", w*h, len(cells))
+	}
+	var maxC int64
+	for _, c := range cells[:w*h] {
+		if c > maxC {
+			maxC = c
+		}
+	}
+	// Square cells sized to the plot area; the grid is centered.
+	cell := (plotR - plotL) / float64(w)
+	if vc := (plotB - plotT) / float64(h); vc < cell {
+		cell = vc
+	}
+	gridW, gridH := cell*float64(w), cell*float64(h)
+	x0 := plotL + ((plotR-plotL)-gridW)/2
+	y0 := plotT + ((plotB-plotT)-gridH)/2
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, `<svg xmlns="http://www.w3.org/2000/svg" width="%g" height="%g" viewBox="0 0 %g %g" font-family="sans-serif" font-size="12">`+"\n", svgW, svgH, svgW, svgH)
+	fmt.Fprintf(&sb, `<rect width="%g" height="%g" fill="white"/>`+"\n", svgW, svgH)
+	fmt.Fprintf(&sb, `<text x="%s" y="20" text-anchor="middle" font-size="14">%s</text>`+"\n", fnum(svgW/2), title)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			c := cells[y*w+x]
+			// Row y=0 at the bottom, like the tile grid.
+			px := x0 + float64(x)*cell
+			py := y0 + float64(h-1-y)*cell
+			fmt.Fprintf(&sb, `<rect x="%s" y="%s" width="%s" height="%s" fill="%s" stroke="#ccc" stroke-width="0.5"/>`+"\n",
+				fnum(px), fnum(py), fnum(cell), fnum(cell), heatColor(c, maxC))
+		}
+	}
+	fmt.Fprintf(&sb, `<text x="%s" y="%s" text-anchor="middle" fill="#555">%dx%d cells, max %d</text>`+"\n",
+		fnum(svgW/2), fnum(svgH-8), w, h, maxC)
+	sb.WriteString("</svg>\n")
+	return sb.String(), nil
+}
+
+// heatColor maps a cell value to a white→red ramp; zero stays white so
+// untouched tiles read as absent rather than cold.
+func heatColor(c, maxC int64) string {
+	if c <= 0 || maxC <= 0 {
+		return "#ffffff"
+	}
+	t := float64(c) / float64(maxC)
+	// White (255,255,255) → red (200,24,24).
+	g := int(255 - t*(255-24))
+	r := int(255 - t*(255-200))
+	return fmt.Sprintf("#%02x%02x%02x", r, g, g)
+}

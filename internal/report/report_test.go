@@ -219,3 +219,35 @@ func TestRegen(t *testing.T) {
 		t.Fatalf("missing marker not reported: %v", err)
 	}
 }
+
+func TestHeatmapSVG(t *testing.T) {
+	cells := []int64{0, 1, 2, 3, 4, 5}
+	svg, err := HeatmapSVG("tile cost", 3, 2, cells)
+	if err != nil {
+		t.Fatalf("HeatmapSVG: %v", err)
+	}
+	if !strings.HasPrefix(svg, "<svg xmlns=") || !strings.HasSuffix(svg, "</svg>\n") {
+		t.Fatalf("not a standalone SVG document:\n%.120s", svg)
+	}
+	if got := strings.Count(svg, "<rect"); got != 1+6 {
+		t.Fatalf("rect count=%d, want background + 6 cells", got)
+	}
+	// Zero cell stays white; hottest cell is the full red.
+	if !strings.Contains(svg, `fill="#ffffff"`) || !strings.Contains(svg, `fill="#c81818"`) {
+		t.Fatalf("ramp endpoints missing:\n%s", svg)
+	}
+	if !strings.Contains(svg, "3x2 cells, max 5") {
+		t.Fatalf("caption missing:\n%s", svg)
+	}
+	// Deterministic.
+	svg2, _ := HeatmapSVG("tile cost", 3, 2, cells)
+	if svg2 != svg {
+		t.Fatalf("HeatmapSVG is not deterministic")
+	}
+	if _, err := HeatmapSVG("x", 0, 2, cells); err == nil {
+		t.Fatalf("accepted zero-width grid")
+	}
+	if _, err := HeatmapSVG("x", 4, 2, cells); err == nil {
+		t.Fatalf("accepted short cell slice")
+	}
+}

@@ -36,6 +36,7 @@ var argNames = [NumKinds][4]string{
 	KindReassign:     {"victim", "moved", "hl", "ns"},
 	KindRefineWait:   {"candidates", "", "", ""},
 	KindDiskService:  {"page", "data", "reader", ""},
+	KindPhase:        {"phase", "", "", ""},
 }
 
 // WritePerfetto writes the whole recorded timeline as trace-event JSON.
@@ -94,7 +95,15 @@ func (r *Recorder) WritePerfetto(w io.Writer) error {
 		for tid := range group.tracks {
 			for _, s := range group.tracks[tid].Spans {
 				buf = append(buf[:0], `{"name":"`...)
-				buf = append(buf, KindName(s.Kind)...)
+				if s.Kind == KindPhase {
+					// Phase spans carry their phase in arg A; naming the
+					// event after it gives Perfetto distinct slices per
+					// pipeline stage instead of one opaque "phase" name.
+					buf = append(buf, "phase:"...)
+					buf = append(buf, PhaseName(int(s.Args.A))...)
+				} else {
+					buf = append(buf, KindName(s.Kind)...)
+				}
 				buf = append(buf, `","cat":"span","ph":"X","ts":`...)
 				buf = appendTS(buf, s.Start)
 				buf = append(buf, `,"dur":`...)

@@ -69,9 +69,22 @@ const (
 	// (disk tracks only). Args: A=page, B=1 for a data page, C=reader.
 	KindDiskService
 
+	// KindPhase is one worker's share of a wall-clock engine phase
+	// (partition's mirror/sort/scatter/fill/refine/sweep pipeline, the
+	// native tree executor's prepare/taskgen). Wall recorders only — the
+	// simulator never emits it, which keeps the run store's flattened
+	// metric set (NumSimKinds) stable. Args: A=phase id (Phase*).
+	KindPhase
+
 	// NumKinds bounds the kind enumeration (analyzer array sizing).
 	NumKinds
 )
+
+// NumSimKinds bounds the kinds the deterministic simulator emits (the
+// original eight). The experiment run store flattens exactly these into
+// "timeline.<kind>_ms" metrics, so appending wall-only kinds after
+// KindDiskService does not change any recorded cell.
+const NumSimKinds = KindPhase
 
 // KindNames maps span kinds to their display/export names.
 var KindNames = [NumKinds]string{
@@ -83,12 +96,56 @@ var KindNames = [NumKinds]string{
 	"reassign",
 	"refine-wait",
 	"disk-service",
+	"phase",
 }
 
 // KindName returns the display name of k ("?" for unknown kinds).
 func KindName(k sim.SpanKind) string {
 	if int(k) < len(KindNames) {
 		return KindNames[k]
+	}
+	return "?"
+}
+
+// The canonical phases of a wall-clock join execution, shared by the
+// engines' Result.PhaseNS arrays, the KindPhase span arg and the flight
+// recorder's EXPLAIN waterfall. The partition engine uses all seven; the
+// native tree executor maps its pipeline onto the subset that applies
+// (prep = sweep-cache build, partition = task creation).
+const (
+	// PhasePrep is input synchronization: partjoin's SoA mirroring and
+	// mirror-check/verify passes, parnative's PrepareSweep.
+	PhasePrep = iota
+	// PhaseSort is the global sweep-order sort (cold or mutated inputs).
+	PhaseSort
+	// PhasePartition is work decomposition: the counting-sort count and
+	// scatter passes, or tree task creation.
+	PhasePartition
+	// PhaseFill fills the tile-segment coordinate planes.
+	PhaseFill
+	// PhaseRefine is adaptive tile refinement: hot-tile splitting plus the
+	// refinement-arena plane fill.
+	PhaseRefine
+	// PhaseSweep is the parallel join itself (tile sweeps / node-pair
+	// expansion).
+	PhaseSweep
+	// PhaseMerge is result assembly (concatenation or the sorted k-way
+	// merge) on the owner goroutine.
+	PhaseMerge
+
+	// NumPhases bounds the phase enumeration (PhaseNS array sizing).
+	NumPhases
+)
+
+// PhaseNames maps wall-join phases to their display/export names.
+var PhaseNames = [NumPhases]string{
+	"prep", "sort", "partition", "fill", "refine", "sweep", "merge",
+}
+
+// PhaseName returns the display name of phase p ("?" when out of range).
+func PhaseName(p int) string {
+	if p >= 0 && p < len(PhaseNames) {
+		return PhaseNames[p]
 	}
 	return "?"
 }

@@ -269,3 +269,43 @@ func TestWallRecorder(t *testing.T) {
 		t.Error("wall export lacks the native process label")
 	}
 }
+
+// TestPhaseSpansExport pins the wall-only KindPhase spans: the Perfetto
+// export names each slice "phase:<name>" after its arg, the trace passes
+// the schema check, and the simulator-facing NumSimKinds boundary excludes
+// the kind from the run store's flattened metric set.
+func TestPhaseSpansExport(t *testing.T) {
+	r := NewWallRecorder(2)
+	r.BeginSpan(0, 0, KindPhase, sim.SpanArgs{A: PhasePrep})
+	r.EndSpan(0, 2, sim.SpanArgs{}, false)
+	r.ProcSpan(0, 2, 9, KindPhase, sim.SpanArgs{A: PhaseSweep})
+	r.ProcSpan(0, 3, 8, KindCPUSweep, sim.SpanArgs{A: 1, B: 2})
+	r.ProcSpan(1, 2, 10, KindPhase, sim.SpanArgs{A: PhaseSweep})
+
+	var buf bytes.Buffer
+	if err := r.WritePerfetto(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateTraceEvents(buf.Bytes()); err != nil {
+		t.Fatalf("phase trace fails validation: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{`"phase:prep"`, `"phase:sweep"`, `"cpu-sweep"`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("export lacks %s", want)
+		}
+	}
+	if strings.Contains(out, `"phase:?"`) {
+		t.Error("export contains an unnamed phase")
+	}
+
+	if NumSimKinds != KindPhase {
+		t.Fatalf("NumSimKinds = %d no longer excludes exactly the wall-only kinds", NumSimKinds)
+	}
+	if got := KindName(KindPhase); got != "phase" {
+		t.Fatalf("KindName(KindPhase) = %q", got)
+	}
+	if got := PhaseName(NumPhases); got != "?" {
+		t.Fatalf("PhaseName out of range = %q", got)
+	}
+}
