@@ -306,6 +306,39 @@ func BenchmarkNativeTreeJoin(b *testing.B) {
 	}
 }
 
+// BenchmarkPartitionJoinColdSkewed is the cold path on clustered data at
+// 10x the refinement benchmarks' cardinality: every iteration disturbs
+// one rectangle's order so the pipelined build re-sorts, recounts and
+// re-scatters a workload whose tiles are heavily skewed — hot tiles route
+// through the in-pipeline refinement hand-off instead of the uniform
+// sweep. Gates the cold build against the regime where readiness matters
+// most (many tiles, a few huge ones). Declared after the other snapshot
+// benchmarks on purpose: its 240k-rect working set inflates the GC-paced
+// heap for the rest of the process, so it must run last in a
+// whole-snapshot `go test -bench` invocation to keep the smaller
+// benchmarks' figures comparable.
+func BenchmarkPartitionJoinColdSkewed(b *testing.B) {
+	r := tiger.GaussianClusters(120000, 4, 2, 0.05, 41, 42)
+	s := tiger.GaussianClusters(120000, 4, 2, 0.05, 41, 43)
+	var j partjoin.Joiner
+	defer j.Close()
+	cfg := partjoin.Config{}
+	j.Join(r, s, cfg) // warm buffers and pool
+	home := r[len(r)/2].Rect
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rc := home
+		if i%2 == 1 {
+			w := rc.MaxX - rc.MinX
+			rc.MinX = home.MinX * 0.5
+			rc.MaxX = rc.MinX + w
+		}
+		r[len(r)/2].Rect = rc
+		j.Join(r, s, cfg)
+	}
+}
+
 // --- ablation benches (DESIGN.md: design choices) ------------------------
 
 // BenchmarkAblationRestriction compares the sequential join with and

@@ -575,6 +575,7 @@ func runPartition(out io.Writer, r, s []rtree.Item, workers, grid int, refine in
 			GX:         res.GX, GY: res.GY, Partitions: res.Partitions,
 			RefinedTiles: res.RefinedTiles, Subtiles: res.Subtiles,
 			PhaseNS:     res.PhaseNS,
+			PipelineNS:  res.PipelineNS,
 			WorkerPairs: toInt64s(res.PerWorker),
 			TopTiles:    res.TopTiles,
 			HeatW:       res.HeatW, HeatH: res.HeatH, Heat: res.Heat,

@@ -24,6 +24,90 @@ func checkSortOrder(t *testing.T, rects []Rect, order []int32) {
 	}
 }
 
+// checkSortOrderScratch mirrors checkSortOrder for the scratch-buffer
+// repair variant, alternating nil and reused scratch buffers.
+func checkSortOrderScratch(t *testing.T, rects []Rect, order []int32, scratch []int32) []int32 {
+	t.Helper()
+	got := append([]int32(nil), order...)
+	scratch = SortOrderByMinXScratch(rects, got, scratch)
+	want := append([]int32(nil), order...)
+	sort.Slice(want, func(i, j int) bool {
+		return rectLess(rects[want[i]], rects[want[j]], int(want[i]), int(want[j]))
+	})
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("n=%d: position %d: got index %d, want %d", len(order), i, got[i], want[i])
+		}
+	}
+	return scratch
+}
+
+func TestSortOrderByMinXScratch(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var scratch []int32
+	for _, n := range []int{0, 1, 2, 47, 48, 49, 100, 1000, 5000} {
+		rects := make([]Rect, n)
+		order := make([]int32, n)
+		for i := range rects {
+			rects[i] = randomRect(rng)
+			order[i] = int32(i)
+		}
+		// Random permutation (likely the quicksort fallback for large n).
+		scratch = checkSortOrderScratch(t, rects, order, scratch)
+
+		// Sorted baseline, then sparse disturbances of growing size: the
+		// repair path must produce the same unique total order.
+		sorted := append([]int32(nil), order...)
+		SortOrderByMinX(rects, sorted)
+		scratch = checkSortOrderScratch(t, rects, sorted, scratch)
+		for _, k := range []int{1, 3, n / 8} {
+			if k <= 0 || n < 2 {
+				continue
+			}
+			dist := append([]int32(nil), sorted...)
+			for j := 0; j < k; j++ {
+				a, b := rng.Intn(n), rng.Intn(n)
+				dist[a], dist[b] = dist[b], dist[a]
+			}
+			scratch = checkSortOrderScratch(t, rects, dist, scratch)
+		}
+
+		// Reverse order forces the heavy-disorder fallback.
+		rev := make([]int32, n)
+		for i := range rev {
+			rev[i] = sorted[n-1-i]
+		}
+		scratch = checkSortOrderScratch(t, rects, rev, scratch)
+
+		// Heavy MinX ties exercise the tiebreak through the repair merge.
+		tied := make([]Rect, n)
+		for i := range tied {
+			tied[i] = NewRect(1, float64(i%7), 2, 10)
+		}
+		scratch = checkSortOrderScratch(t, tied, order, scratch)
+	}
+}
+
+func TestSortOrderByMinXScratchZeroAlloc(t *testing.T) {
+	const n = 4096
+	rng := rand.New(rand.NewSource(13))
+	rects := make([]Rect, n)
+	order := make([]int32, n)
+	for i := range rects {
+		rects[i] = randomRect(rng)
+		order[i] = int32(i)
+	}
+	SortOrderByMinX(rects, order)
+	scratch := make([]int32, n)
+	allocs := testing.AllocsPerRun(20, func() {
+		order[10], order[2000] = order[2000], order[10]
+		scratch = SortOrderByMinXScratch(rects, order, scratch)
+	})
+	if allocs != 0 {
+		t.Fatalf("repair sort allocated %.1f times per run, want 0", allocs)
+	}
+}
+
 func TestSortOrderByMinXLarge(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
 	for _, n := range []int{0, 1, 2, 47, 48, 49, 100, 1000, 5000} {

@@ -67,6 +67,79 @@ func SortOrderByMinX(rects []Rect, order []int32) {
 // beats quicksort partitioning (node-sized lists sit below it).
 const orderSortCutoff = 48
 
+// repairMaxFrac bounds the repair path of SortOrderByMinXScratch: with more
+// than 1/repairMaxFrac of the elements displaced the extract-and-merge
+// repair loses to a straight quicksort, so the function falls back.
+const repairMaxFrac = 4
+
+// SortOrderByMinXScratch is SortOrderByMinX with a caller-provided scratch
+// buffer that enables a repair strategy for nearly-sorted inputs: one scan
+// compacts the leading ascending run in place and extracts the displaced
+// elements into scratch; the (few) displaced elements are sorted on their
+// own and merged back from the tail, so a k-element disturbance of an
+// n-element order costs O(n + k log k) instead of a full O(n log n) sort.
+// This is the partition join's order-maintenance workhorse — a mutated
+// input typically displaces a handful of rectangles out of an otherwise
+// intact sweep order. Inputs with more than a quarter of their elements
+// displaced fall back to quicksort. Returns the (possibly grown) scratch
+// buffer for reuse; passing nil scratch is allowed.
+func SortOrderByMinXScratch(rects []Rect, order []int32, scratch []int32) []int32 {
+	n := len(order)
+	if n <= orderSortCutoff {
+		insertionSortOrder(rects, order)
+		return scratch
+	}
+	if cap(scratch) < n {
+		scratch = make([]int32, n)
+	}
+	scratch = scratch[:n]
+	// Split scan: order[:k] accumulates the kept ascending subsequence,
+	// scratch[:d] the elements that broke it. Reads stay ahead of writes
+	// (k+d == i), so the compaction is safe in place.
+	k, d := 0, 0
+	for i := 0; i < n; i++ {
+		v := order[i]
+		if k > 0 {
+			p := order[k-1]
+			if rectLess(rects[v], rects[p], int(v), int(p)) {
+				scratch[d] = v
+				d++
+				continue
+			}
+		}
+		order[k] = v
+		k++
+	}
+	if d == 0 {
+		return scratch // already sorted
+	}
+	if d > n/repairMaxFrac {
+		// Heavily disordered: restore the permutation and sort outright.
+		copy(order[k:], scratch[:d])
+		quickSortOrder(rects, order)
+		return scratch
+	}
+	if d <= orderSortCutoff {
+		insertionSortOrder(rects, scratch[:d])
+	} else {
+		quickSortOrder(rects, scratch[:d])
+	}
+	// Backward merge of order[:k] and scratch[:d] into order[:n]: writing
+	// from the tail never clobbers an unread kept element because the write
+	// position stays at least d slots ahead of the read position.
+	i, jd := k-1, d-1
+	for pos := n - 1; jd >= 0; pos-- {
+		if i >= 0 && rectLess(rects[scratch[jd]], rects[order[i]], int(scratch[jd]), int(order[i])) {
+			order[pos] = order[i]
+			i--
+		} else {
+			order[pos] = scratch[jd]
+			jd--
+		}
+	}
+	return scratch
+}
+
 // insertionSortOrder is a binary-insertion sort over the order slice.
 func insertionSortOrder(rects []Rect, order []int32) {
 	for i := 1; i < len(order); i++ {

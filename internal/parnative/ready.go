@@ -1,0 +1,61 @@
+package parnative
+
+import "sync/atomic"
+
+// Claim states for ReadyQueue slots.
+const (
+	claimFree     int32 = 0  // available for TryClaim
+	claimTaken    int32 = 1  // claimed by a worker
+	claimDeferred int32 = -1 // withheld from claiming (Release to free)
+)
+
+// ReadyQueue is a claim table that feeds a Pool phase alongside (or
+// instead of) a shared cursor: instead of handing out work items in a
+// fixed sequence, workers scan for items whose preconditions have been
+// met and claim them with a CAS. The queue itself tracks only claim
+// state — readiness is the caller's predicate — so producers can keep
+// publishing completions while consumers drain, which is what lets a
+// pipelined build start sweeping tiles before the last scatter lands.
+//
+// A slot moves Free → Taken via TryClaim (exactly one winner), and can be
+// parked as Deferred (e.g. a tile routed to the refinement scheduler)
+// until Release returns it to Free. All transitions are lock-free.
+type ReadyQueue struct {
+	claims []atomic.Int32
+}
+
+// Reset sizes the queue to n slots, all Free. Not safe concurrently with
+// claiming; call it between phases.
+func (q *ReadyQueue) Reset(n int) {
+	if cap(q.claims) < n {
+		q.claims = make([]atomic.Int32, n)
+	}
+	q.claims = q.claims[:n]
+	for i := range q.claims {
+		q.claims[i].Store(claimFree)
+	}
+}
+
+// Len returns the number of slots.
+func (q *ReadyQueue) Len() int { return len(q.claims) }
+
+// TryClaim attempts to move slot i from Free to Taken; exactly one caller
+// wins per Release cycle.
+func (q *ReadyQueue) TryClaim(i int) bool {
+	return q.claims[i].CompareAndSwap(claimFree, claimTaken)
+}
+
+// Defer parks slot i so TryClaim cannot take it until Release.
+func (q *ReadyQueue) Defer(i int) { q.claims[i].Store(claimDeferred) }
+
+// Release returns slot i to the Free state.
+func (q *ReadyQueue) Release(i int) { q.claims[i].Store(claimFree) }
+
+// Free reports whether slot i is currently claimable.
+func (q *ReadyQueue) Free(i int) bool { return q.claims[i].Load() == claimFree }
+
+// Deferred reports whether slot i is parked.
+func (q *ReadyQueue) Deferred(i int) bool { return q.claims[i].Load() == claimDeferred }
+
+// Taken reports whether slot i has been claimed.
+func (q *ReadyQueue) Taken(i int) bool { return q.claims[i].Load() == claimTaken }

@@ -1,0 +1,73 @@
+package parnative
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestReadyQueueStates(t *testing.T) {
+	var q ReadyQueue
+	q.Reset(4)
+	if q.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", q.Len())
+	}
+	for i := 0; i < 4; i++ {
+		if !q.Free(i) {
+			t.Fatalf("slot %d not free after Reset", i)
+		}
+	}
+	if !q.TryClaim(1) {
+		t.Fatal("first TryClaim failed")
+	}
+	if q.TryClaim(1) {
+		t.Fatal("second TryClaim succeeded on a taken slot")
+	}
+	if !q.Taken(1) || q.Free(1) {
+		t.Fatal("slot 1 should be taken")
+	}
+	q.Defer(2)
+	if q.TryClaim(2) {
+		t.Fatal("TryClaim succeeded on a deferred slot")
+	}
+	if !q.Deferred(2) {
+		t.Fatal("slot 2 should be deferred")
+	}
+	q.Release(2)
+	if !q.TryClaim(2) {
+		t.Fatal("TryClaim failed after Release")
+	}
+	// Reset reuses the backing array and frees everything.
+	q.Reset(2)
+	if q.Len() != 2 || !q.Free(0) || !q.Free(1) {
+		t.Fatal("Reset(2) did not free slots")
+	}
+}
+
+// TestReadyQueueExclusive hammers TryClaim from many goroutines and checks
+// every slot is won exactly once. Run under -race this also validates the
+// lock-free transitions.
+func TestReadyQueueExclusive(t *testing.T) {
+	const slots, claimers = 256, 8
+	var q ReadyQueue
+	q.Reset(slots)
+	var wins [slots]atomic.Int32
+	var wg sync.WaitGroup
+	for g := 0; g < claimers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < slots; i++ {
+				if q.TryClaim(i) {
+					wins[i].Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for i := range wins {
+		if n := wins[i].Load(); n != 1 {
+			t.Fatalf("slot %d claimed %d times, want 1", i, n)
+		}
+	}
+}

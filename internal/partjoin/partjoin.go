@@ -58,6 +58,12 @@ type Config struct {
 	// Sorted returns the candidates sorted by (R, S) id so results are
 	// deterministic regardless of scheduling.
 	Sorted bool
+	// Barrier forces the pre-pipeline cold-path build: scatter, fill and
+	// sweep run as separate full pool barriers instead of the fused
+	// pipelined phase. The results are bit-identical either way — the flag
+	// exists as the reference engine for the pipelined path's equivalence
+	// tests and as an escape hatch.
+	Barrier bool
 	// RefineThreshold controls adaptive tile refinement (see refine.go):
 	// 0 derives a threshold from the tile cost distribution (the default —
 	// refinement engages only when the grid is skewed), RefineDisabled
@@ -127,6 +133,13 @@ type Result struct {
 	// clock reads — and a phase the run skipped reads zero, so the steady
 	// state's fast path is visible as empty sort/partition buckets.
 	PhaseNS [timeline.NumPhases]int64
+	// PipelineNS is the wall time of the fused scatter+fill+sweep pipeline
+	// phase on a cold pipelined build, and zero on warm (fast-path) or
+	// Barrier joins. When set, the partition/fill/sweep/refine buckets of
+	// PhaseNS hold per-worker busy time summed across workers rather than
+	// phase wall time — the phases overlap inside the pipeline, so wall
+	// attribution per phase no longer exists.
+	PipelineNS int64
 	// TopTiles and Heat are filled only under Config.Introspect. TopTiles
 	// holds the TopTileK costliest work units of the schedule; Heat is the
 	// schedule's cost mass folded onto a row-major HeatW×HeatH grid
@@ -164,6 +177,7 @@ const (
 	phaseVerify             // re-verify sweep order and tile codes in place
 	phaseRefineFill         // fill the refinement-arena coordinate planes
 	phaseJoin               // sweep the work units, largest first
+	phasePipeline           // fused scatter+fill+sweep+refine (see pipeline.go)
 )
 
 // batchMax is the small-side threshold below which a tile skips the
@@ -177,6 +191,7 @@ type gridSide struct {
 	starts   []int32 // tiles+1 segment boundaries into idx
 	idx      []int32 // rect indices grouped by tile
 	disorder []uint8 // per-worker flag: chunk out of order or codes stale
+	mono     []uint8 // per-worker flag: chunk's tile columns ascend (see pipeline.go)
 
 	// planes is the coordinate-plane copy of the tile segments, in segment
 	// position space: planes rectangle p is rects[idx[p]]. Replicating the
@@ -216,6 +231,10 @@ type workerState struct {
 	candSorter join.CandidateSorter
 
 	pairs, dups, comps, parts int64
+
+	// phaseNS is the worker's busy time per phase inside the fused pipeline
+	// phase, summed into Result.PhaseNS after the run (idle spin excluded).
+	phaseNS [timeline.NumPhases]int64
 }
 
 // Joiner holds the reusable state of the partition-based join: SoA mirrors
@@ -233,6 +252,17 @@ type Joiner struct {
 	rIDs, sIDs     []rtree.EntryID
 	rOrd, sOrd     []int32 // global sweep orders, persisted across joins
 	rTile, sTile   []int64 // per-sweep-position packed tile ranges
+	rScr, sScr     []int32 // repair-sort scratch (geom.SortOrderByMinXScratch)
+
+	// Count-phase controls: countMask selects the sides phaseCount walks
+	// (bit 1 = R, bit 2 = S) and countVerify whether the pass doubles as the
+	// sweep-order verification. The recount after a sort covers only the
+	// sides whose order actually broke (redoR/redoS), with verification off
+	// — the order is freshly sorted, so every rect must be counted even if
+	// a NaN key leaves residual comparison oddities.
+	countMask    uint8
+	countVerify  bool
+	redoR, redoS bool
 
 	gx, gy     int
 	minX, minY float64
@@ -273,6 +303,16 @@ type Joiner struct {
 
 	order  tileOrder // reusable sorter over units/ucost
 	cursor atomic.Int64
+
+	// Pipelined-build state (see pipeline.go): the cost-descending root
+	// schedule (pOrder indexes j.tiles), its claim table, the per-worker
+	// scatter frontiers and the refinement hand-off.
+	pOrder                 []int32
+	pipeOrd                pipeOrder
+	ready                  parnative.ReadyQueue
+	pipe                   pipeState
+	pipeTrigger, pipeRecur int64
+	pipelineNS             int64
 
 	ws   []workerState
 	runs [][]join.Candidate // per-worker run views for the sorted merge
@@ -369,7 +409,8 @@ func (j *Joiner) Join(r, s []rtree.Item, cfg Config) Result {
 	}
 	fast := j.cacheOK && j.cGX == g && j.cWk == workers &&
 		j.cRLen == len(r) && j.cSLen == len(s)
-	clean := false // fast with bit-identical coordinates: schedule reusable
+	clean := false     // fast with bit-identical coordinates: schedule reusable
+	pipelined := false // cold build fused into the pipelined phase
 	if fast {
 		j.mdirty = growFlags(j.mdirty, workers)
 		j.runPhase(phaseMirrorCheck)
@@ -424,32 +465,64 @@ func (j *Joiner) Join(r, s []rtree.Item, cfg Config) Result {
 		j.sTile = growCodes(j.sTile, len(s))
 		j.rPart.reset(workers, tiles)
 		j.sPart.reset(workers, tiles)
+		j.countMask, j.countVerify = 3, true
 		j.runPhase(phaseCount)
-		if j.rPart.unsorted(workers) || j.sPart.unsorted(workers) {
+		j.redoR = j.rPart.unsorted(workers)
+		j.redoS = j.sPart.unsorted(workers)
+		if j.redoR || j.redoS {
 			// An order array is stale (first join, or the inputs
-			// changed): sort the flagged sides and recount. The
-			// abandoned first count is the cold-path price for the
+			// changed): sort the broken sides and recount them — and only
+			// them; an intact side keeps its first-pass counts and codes.
+			// The abandoned partial count is the cold-path price for the
 			// steady state's free check.
 			j.runPhase(phaseSort)
-			j.rPart.reset(workers, tiles)
-			j.sPart.reset(workers, tiles)
+			mask := uint8(0)
+			if j.redoR {
+				j.rPart.reset(workers, tiles)
+				mask |= 1
+			}
+			if j.redoS {
+				j.sPart.reset(workers, tiles)
+				mask |= 2
+			}
+			j.countMask, j.countVerify = mask, false
 			j.runPhase(phaseCount)
 		}
 		j.rPart.prefixSum(workers, tiles)
 		j.sPart.prefixSum(workers, tiles)
-		j.runPhase(phaseScatter)
-		j.runPhase(phaseFill)
+		if cfg.Barrier {
+			j.runPhase(phaseScatter)
+			j.runPhase(phaseFill)
+		} else {
+			pipelined = true
+		}
 		j.cacheOK = true
 		j.cGX, j.cWk = g, workers
 		j.cRLen, j.cSLen = len(r), len(s)
 	}
-	// Work-unit schedule: non-empty tiles largest-first, hot tiles refined
-	// into leaf subtiles (see refine.go) so one dense cluster cannot turn
-	// into a single straggling sweep. A clean fast-path join over
-	// bit-identical coordinates reuses the previous schedule outright —
-	// assignment and refinement are functions of the coordinates — while a
-	// patched or cold join rebuilds it.
-	if !(clean && j.unitsOK && j.cThr == cfg.RefineThreshold) {
+	// Phase 5: schedule and sweep. The per-worker result state resets first
+	// — the pipelined build sweeps inside its fused phase.
+	j.ws = growStates(j.ws, workers)
+	for w := range j.ws[:workers] {
+		ws := &j.ws[w]
+		ws.cands = ws.cands[:0]
+		ws.pairs, ws.dups, ws.comps, ws.parts = 0, 0, 0, 0
+		ws.phaseNS = [timeline.NumPhases]int64{}
+	}
+	j.pipelineNS = 0
+	if pipelined {
+		// Cold pipelined build: scatter, fill, refinement and the sweeps
+		// run overlapped in one pool phase; the canonical work-unit
+		// schedule is reconstructed afterwards so the reuse tiers see the
+		// exact state a barrier build would have left.
+		j.pipelineRun(cfg)
+	} else if !(clean && j.unitsOK && j.cThr == cfg.RefineThreshold) {
+		// Work-unit schedule: non-empty tiles largest-first, hot tiles
+		// refined into leaf subtiles (see refine.go) so one dense cluster
+		// cannot turn into a single straggling sweep. A clean fast-path
+		// join over bit-identical coordinates reuses the previous schedule
+		// outright — assignment and refinement are functions of the
+		// coordinates — while a patched join rebuilds it.
 		// The refine bucket gets this whole block's wall time; runPhase
 		// accrues the inner refine-fill there too, so overwrite the bucket
 		// with the block total instead of double counting.
@@ -479,17 +552,12 @@ func (j *Joiner) Join(r, s []rtree.Item, cfg Config) Result {
 		}
 		j.phaseNS[timeline.PhaseRefine] = refBefore + time.Since(tRef).Nanoseconds()
 	}
-
-	// Phase 5: join the work units over the pool, workers pulling from the
-	// shared cursor.
-	j.ws = growStates(j.ws, workers)
-	for w := range j.ws[:workers] {
-		ws := &j.ws[w]
-		ws.cands = ws.cands[:0]
-		ws.pairs, ws.dups, ws.comps, ws.parts = 0, 0, 0, 0
+	if !pipelined {
+		// Join the work units over the pool, workers pulling from the
+		// shared cursor (the pipelined build already swept everything).
+		j.cursor.Store(0)
+		j.runPhase(phaseJoin)
 	}
-	j.cursor.Store(0)
-	j.runPhase(phaseJoin)
 
 	// Assemble. With Sorted the workers already left their runs sorted
 	// (they sort before leaving the join phase), so only a k-way merge
@@ -535,6 +603,7 @@ func (j *Joiner) Join(r, s []rtree.Item, cfg Config) Result {
 			sim.SpanArgs{A: timeline.PhaseMerge})
 	}
 	res.PhaseNS = j.phaseNS
+	res.PipelineNS = j.pipelineNS
 	if cfg.Introspect {
 		j.fillIntrospection(&res)
 	}
@@ -640,6 +709,8 @@ func (j *Joiner) RunWorker(w int) {
 		j.refineFillChunk(w)
 	case phaseJoin:
 		j.joinTiles(w)
+	case phasePipeline:
+		j.pipeWorker(w)
 	}
 	if j.rec != nil {
 		j.rec.EndSpan(w, wallSince(j.epoch), sim.SpanArgs{}, false)
@@ -692,26 +763,26 @@ func unionFast(m geom.Rect, r geom.Rect) geom.Rect {
 }
 
 // sortSides brings the out-of-order sides (per the count pass's disorder
-// flags) into sweep order. With two or more workers the sides sort
+// flags, latched into redoR/redoS) into sweep order, using the repair sort
+// so a lightly disturbed persisted order costs a scan plus a small merge
+// rather than a full quicksort. With two or more workers the sides sort
 // concurrently (the other workers idle — the phase is bounded by the
 // larger side either way).
 func (j *Joiner) sortSides(w int) {
-	doR := j.rPart.unsorted(j.workers)
-	doS := j.sPart.unsorted(j.workers)
 	if j.workers >= 2 {
-		if w == 0 && doR {
-			geom.SortOrderByMinX(j.rRects[:len(j.rItems)], j.rOrd)
+		if w == 0 && j.redoR {
+			j.rScr = geom.SortOrderByMinXScratch(j.rRects[:len(j.rItems)], j.rOrd, j.rScr)
 		}
-		if w == 1 && doS {
-			geom.SortOrderByMinX(j.sRects[:len(j.sItems)], j.sOrd)
+		if w == 1 && j.redoS {
+			j.sScr = geom.SortOrderByMinXScratch(j.sRects[:len(j.sItems)], j.sOrd, j.sScr)
 		}
 		return
 	}
-	if doR {
-		geom.SortOrderByMinX(j.rRects[:len(j.rItems)], j.rOrd)
+	if j.redoR {
+		j.rScr = geom.SortOrderByMinXScratch(j.rRects[:len(j.rItems)], j.rOrd, j.rScr)
 	}
-	if doS {
-		geom.SortOrderByMinX(j.sRects[:len(j.sItems)], j.sOrd)
+	if j.redoS {
+		j.sScr = geom.SortOrderByMinXScratch(j.sRects[:len(j.sItems)], j.sOrd, j.sScr)
 	}
 }
 
@@ -735,37 +806,57 @@ func (j *Joiner) bucketChunk(w int, scatter bool) {
 		{&j.rPart, j.rRects, j.rOrd, j.rTile},
 		{&j.sPart, j.sRects, j.sOrd, j.sTile},
 	}
-	for _, side := range sides {
+	for si, side := range sides {
+		if !scatter && j.countMask&(1<<si) == 0 {
+			continue // side kept its previous (completed) count and codes
+		}
 		cur := side.part.counts[w*tiles : (w+1)*tiles]
 		lo, hi := j.chunkRange(len(side.ord), w)
 		if !scatter {
 			if lo == hi {
 				continue
 			}
-			// The count pass doubles as the sweep-order verification: it
-			// already gathers every rect in sweep order, so carrying the
-			// previous rect makes the sortedness check free and spares a
-			// dedicated scan phase in the steady state. Position lo with
-			// lo == 0 self-compares, which trivially passes (the index
-			// tiebreak is strict). On the first violation the chunk's
-			// counts are abandoned — Join re-sorts and recounts.
+			// With countVerify the count pass doubles as the sweep-order
+			// verification: it already gathers every rect in sweep order,
+			// so carrying the previous rect makes the sortedness check free
+			// and spares a dedicated scan phase in the steady state.
+			// Position lo with lo == 0 self-compares, which trivially
+			// passes (the index tiebreak is strict). On the first violation
+			// the chunk's counts are abandoned — Join re-sorts and recounts
+			// the side with verification off, so the recount is total even
+			// when NaN keys leave residual comparison oddities after the
+			// sort.
+			verify := j.countVerify
 			pi := side.ord[lo]
 			if lo > 0 {
 				pi = side.ord[lo-1]
 			}
 			prev := &side.rects[pi]
+			lastX0 := 0
 			for pos := lo; pos < hi; pos++ {
 				ci := side.ord[pos]
 				r := &side.rects[ci]
-				if r.MinX < prev.MinX ||
-					(r.MinX == prev.MinX &&
-						(r.MinY < prev.MinY || (r.MinY == prev.MinY && ci < pi))) {
-					side.part.disorder[w] = 1
-					break
+				if verify {
+					if r.MinX < prev.MinX ||
+						(r.MinX == prev.MinX &&
+							(r.MinY < prev.MinY || (r.MinY == prev.MinY && ci < pi))) {
+						side.part.disorder[w] = 1
+						break
+					}
+					prev, pi = r, ci
 				}
-				prev, pi = r, ci
 				x0, y0 := j.tileOf(r.MinX, r.MinY)
 				x1, y1 := j.tileOf(r.MaxX, r.MaxY)
+				// The pipelined scatter's per-tile readiness relies on tile
+				// columns ascending along the chunk; a sorted order
+				// guarantees that except under NaN coordinates (which
+				// compare as ordered but clamp to column 0), so the count
+				// detects violations here and the pipeline falls back to
+				// whole-scatter readiness.
+				if x0 < lastX0 {
+					side.part.mono[w] = 0
+				}
+				lastX0 = x0
 				side.codes[pos] = packTiles(x0, y0, x1, y1)
 				if x0 == x1 && y0 == y1 { // the common single-tile rect
 					cur[y0*j.gx+x0]++
@@ -1105,6 +1196,32 @@ func AutoGrid(n, workers int) int {
 	return autoGrid(n, workers)
 }
 
+// AutoGridSkewed is AutoGrid with an occupancy-skew correction for the
+// cold path. Clustered inputs pack most rectangles into few tiles, so the
+// ~160-per-tile default leaves the hot tiles far over budget on the very
+// first join — before the refinement pass has any cost feedback. A
+// modestly finer grid splits those hot tiles up front and gives the
+// pipelined build more ready tiles to overlap with the trailing scatter.
+// skew is the probe-grid occupancy skew (plan.Stats.Skew, max/mean over
+// cells); values at or below 2.5 — the uniform regime, matching the
+// planner's refinement threshold — leave the grid unchanged, and the
+// boost is logarithmic and capped at 1.5x so a pathological probe cannot
+// push the grid off its sweet spot.
+func AutoGridSkewed(n, workers int, skew float64) int {
+	g := AutoGrid(n, workers)
+	if skew > 2.5 {
+		boost := 1 + math.Log2(skew/2.5)/6
+		if boost > 1.5 {
+			boost = 1.5
+		}
+		g = int(float64(g)*boost + 0.5)
+		if g > 1024 {
+			g = 1024
+		}
+	}
+	return g
+}
+
 // autoGrid picks the default grid side: about 160 rects per tile keeps the
 // per-tile sweeps in their sweet spot — finer grids buy little pruning but
 // pay linearly in bucketing and duplicate suppression (see BenchmarkJoinGrid
@@ -1145,6 +1262,25 @@ func (g *gridSide) reset(workers, tiles int) {
 		g.disorder = g.disorder[:workers]
 		clear(g.disorder)
 	}
+	if cap(g.mono) < workers {
+		g.mono = make([]uint8, workers)
+	} else {
+		g.mono = g.mono[:workers]
+	}
+	for i := range g.mono {
+		g.mono[i] = 1
+	}
+}
+
+// monotone reports whether every worker's chunk had ascending tile columns
+// in the last completed count (the pipelined readiness precondition).
+func (g *gridSide) monotone(workers int) bool {
+	for _, m := range g.mono[:workers] {
+		if m == 0 {
+			return false
+		}
+	}
+	return true
 }
 
 // prefixSum turns the count matrix into scatter cursors and fills the tile

@@ -325,16 +325,21 @@ func TestPartitionJoinTimeline(t *testing.T) {
 	if spans != res.Partitions {
 		t.Fatalf("%d cpu-sweep spans, want one per joined partition (%d)", spans, res.Partitions)
 	}
-	// Every worker contributes one sweep-phase span; a cold join also runs
-	// prep, partition and fill phases on every worker, and the owner adds
-	// the refine (schedule build) and merge spans on track 0.
+	// Every worker contributes one sweep-phase span (the fused pipeline
+	// phase reports as sweep); a cold join also runs prep and partition
+	// phases on every worker — the fill is fused into the pipelined
+	// scatter, so no standalone fill span exists — and the owner adds the
+	// refine (schedule build) and merge spans on track 0.
 	if phases[timeline.PhaseSweep] != workers {
 		t.Errorf("%d sweep phase spans, want %d", phases[timeline.PhaseSweep], workers)
 	}
-	for _, p := range []int{timeline.PhasePrep, timeline.PhasePartition, timeline.PhaseFill} {
+	for _, p := range []int{timeline.PhasePrep, timeline.PhasePartition} {
 		if phases[p] < workers {
 			t.Errorf("%d %s phase spans, want >= %d", phases[p], timeline.PhaseName(p), workers)
 		}
+	}
+	if phases[timeline.PhaseFill] != 0 {
+		t.Errorf("%d fill phase spans on a pipelined cold join, want 0", phases[timeline.PhaseFill])
 	}
 	if phases[timeline.PhaseRefine] < 1 || phases[timeline.PhaseMerge] != 1 {
 		t.Errorf("refine=%d merge=%d owner phase spans, want >=1 and 1",
@@ -362,10 +367,27 @@ func TestPartitionJoinPhaseTimings(t *testing.T) {
 
 	cold := j.Join(r, s, cfg)
 	for _, p := range []int{timeline.PhasePrep, timeline.PhasePartition,
-		timeline.PhaseFill, timeline.PhaseSweep, timeline.PhaseMerge} {
+		timeline.PhaseSweep, timeline.PhaseMerge} {
 		if cold.PhaseNS[p] <= 0 {
-			t.Errorf("cold join: phase %s has no wall time", timeline.PhaseName(p))
+			t.Errorf("cold join: phase %s has no time", timeline.PhaseName(p))
 		}
+	}
+	// The pipelined cold build fuses the fill into the scatter and reports
+	// the fused phase's wall time separately.
+	if cold.PhaseNS[timeline.PhaseFill] != 0 {
+		t.Errorf("cold join: fill bucket has %dns, want 0 (fused into scatter)",
+			cold.PhaseNS[timeline.PhaseFill])
+	}
+	if cold.PipelineNS <= 0 {
+		t.Errorf("cold join: PipelineNS = %d, want > 0", cold.PipelineNS)
+	}
+	// The Barrier reference engine keeps the pre-pipeline phase structure.
+	var jb Joiner
+	defer jb.Close()
+	barrier := jb.Join(r, s, Config{Workers: 2, Grid: 6, Barrier: true})
+	if barrier.PhaseNS[timeline.PhaseFill] <= 0 || barrier.PipelineNS != 0 {
+		t.Errorf("barrier join: fill=%dns pipeline=%dns, want fill > 0 and pipeline 0",
+			barrier.PhaseNS[timeline.PhaseFill], barrier.PipelineNS)
 	}
 	warm := j.Join(r, s, cfg)
 	for _, p := range []int{timeline.PhaseSort, timeline.PhasePartition, timeline.PhaseFill} {
@@ -376,6 +398,9 @@ func TestPartitionJoinPhaseTimings(t *testing.T) {
 	}
 	if warm.PhaseNS[timeline.PhaseSweep] <= 0 || warm.PhaseNS[timeline.PhasePrep] <= 0 {
 		t.Errorf("steady-state join: sweep/prep phases missing: %v", warm.PhaseNS)
+	}
+	if warm.PipelineNS != 0 {
+		t.Errorf("steady-state join: PipelineNS = %d, want 0", warm.PipelineNS)
 	}
 }
 

@@ -1,0 +1,134 @@
+package partjoin
+
+import (
+	"math/rand"
+	"testing"
+
+	"spjoin/internal/geom"
+)
+
+// TestPipelinedMatchesBarrier drives repeated cold joins through the
+// pipelined build across worker counts and grid sizes, pinning the exact
+// sorted pair sequence and schedule counters against the barrier engine on
+// every round. Each round mutates the inputs so the rebuild exercises the
+// per-side repair sort (one side's order broken), full disorder (both
+// sides), and clean re-joins in between. Run under -race this is the
+// pipeline's concurrency stress: the per-tile readiness frontiers, the
+// claim table and the refinement hand-off all operate with real worker
+// parallelism.
+func TestPipelinedMatchesBarrier(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for _, workers := range []int{1, 2, 3, 4, 8} {
+		for _, grid := range []int{0, 1, 5, 23} {
+			r := items(randomRects(rng, 900, 200, 12), 0)
+			s := items(randomRects(rng, 900, 200, 12), 10000)
+			cfg := Config{Workers: workers, Grid: grid, Sorted: true}
+			bcfg := cfg
+			bcfg.Barrier = true
+			var jp, jb Joiner
+
+			compare := func(stage string) {
+				t.Helper()
+				res := jp.Join(r, s, cfg)
+				want := jb.Join(r, s, bcfg)
+				if len(res.Candidates) != len(want.Candidates) {
+					t.Fatalf("w=%d g=%d %s: pipelined %d pairs, barrier %d",
+						workers, grid, stage, len(res.Candidates), len(want.Candidates))
+				}
+				for i := range want.Candidates {
+					if res.Candidates[i].R != want.Candidates[i].R ||
+						res.Candidates[i].S != want.Candidates[i].S {
+						t.Fatalf("w=%d g=%d %s: pair %d differs", workers, grid, stage, i)
+					}
+				}
+				if res.Partitions != want.Partitions ||
+					res.RefinedTiles != want.RefinedTiles ||
+					res.Subtiles != want.Subtiles ||
+					res.Duplicates != want.Duplicates {
+					t.Fatalf("w=%d g=%d %s: counters differ: parts %d/%d refined %d/%d subs %d/%d dups %d/%d",
+						workers, grid, stage,
+						res.Partitions, want.Partitions,
+						res.RefinedTiles, want.RefinedTiles,
+						res.Subtiles, want.Subtiles,
+						res.Duplicates, want.Duplicates)
+				}
+			}
+
+			compare("cold")
+			compare("clean-rejoin")
+			// Break one side's order: only R re-sorts and recounts.
+			r[len(r)/3].Rect.MinX -= 150
+			compare("r-order-broken")
+			// Break both sides at once.
+			r[len(r)/2].Rect.MinX -= 75
+			s[len(s)/4].Rect.MinX -= 125
+			compare("both-broken")
+			// In-place growth (cross-tile): segments rebuilt, order intact.
+			s[len(s)/2].Rect.MaxX += 90
+			s[len(s)/2].Rect.MaxY += 90
+			compare("s-grown")
+			jp.Close()
+			jb.Close()
+		}
+	}
+}
+
+// TestPipelinedRefinementStress forces deep refinement through the
+// pipelined build on a clustered workload and checks the refinement tiers
+// compose with the pipeline: subtiles appear, the clean fast path reuses
+// the reconstructed schedule allocation-free, and the pair sequence stays
+// pinned to the barrier engine.
+func TestPipelinedRefinementStress(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	// A dense cluster in one corner plus background noise.
+	var rects []geom.Rect
+	for i := 0; i < 1200; i++ {
+		x := rng.Float64() * 10
+		y := rng.Float64() * 10
+		rects = append(rects, geom.NewRect(x, y, x+0.5, y+0.5))
+	}
+	for i := 0; i < 300; i++ {
+		x := rng.Float64() * 200
+		y := rng.Float64() * 200
+		rects = append(rects, geom.NewRect(x, y, x+2, y+2))
+	}
+	r := items(rects[:700], 0)
+	s := items(rects[700:], 10000)
+
+	for _, workers := range []int{1, 3} {
+		cfg := Config{Workers: workers, Grid: 8, Sorted: true, RefineThreshold: 64}
+		bcfg := cfg
+		bcfg.Barrier = true
+		var jp, jb Joiner
+		res := jp.Join(r, s, cfg)
+		want := jb.Join(r, s, bcfg)
+		if res.Subtiles == 0 {
+			t.Fatalf("w=%d: clustered workload did not refine under the pipeline", workers)
+		}
+		if res.Subtiles != want.Subtiles || res.RefinedTiles != want.RefinedTiles {
+			t.Fatalf("w=%d: refinement differs: %d/%d tiles, %d/%d subtiles",
+				workers, res.RefinedTiles, want.RefinedTiles, res.Subtiles, want.Subtiles)
+		}
+		if len(res.Candidates) != len(want.Candidates) {
+			t.Fatalf("w=%d: pipelined %d pairs, barrier %d",
+				workers, len(res.Candidates), len(want.Candidates))
+		}
+		for i := range want.Candidates {
+			if res.Candidates[i].R != want.Candidates[i].R ||
+				res.Candidates[i].S != want.Candidates[i].S {
+				t.Fatalf("w=%d: pair %d differs", workers, i)
+			}
+		}
+		// The reconstructed schedule must serve the clean fast path with
+		// zero allocations, exactly like a barrier-built one.
+		jp.Join(r, s, cfg)
+		if avg := testing.AllocsPerRun(10, func() {
+			jp.Join(r, s, cfg)
+		}); avg != 0 {
+			t.Errorf("w=%d: steady state after pipelined build allocates %.1f/run, want 0",
+				workers, avg)
+		}
+		jp.Close()
+		jb.Close()
+	}
+}

@@ -187,9 +187,13 @@ func Decide(st Stats, maxWorkers int) Decision {
 	if st.Rep > treeRep {
 		return Decision{Engine: EngineTree, Workers: workers}
 	}
+	// The grid choice is skew-aware: the planner runs before the first
+	// (cold, pipelined) join, where a clustered workload would otherwise
+	// start from the uniform-data grid and lean entirely on refinement to
+	// recover. Uniform probes (skew ≤ 2.5) resolve to plain AutoGrid.
 	d := Decision{
 		Engine:          EnginePartition,
-		Grid:            partjoin.AutoGrid(n, workers),
+		Grid:            partjoin.AutoGridSkewed(n, workers, st.Skew),
 		RefineThreshold: partjoin.RefineDisabled,
 		Workers:         workers,
 	}

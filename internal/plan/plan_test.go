@@ -149,7 +149,7 @@ func TestDecideRules(t *testing.T) {
 			"skewed-large",
 			plan.Stats{NR: 50000, NS: 50000, Skew: 20, Rep: 1.1, Probe: 16},
 			8,
-			plan.Decision{Engine: plan.EnginePartition, Grid: partjoin.AutoGrid(100000, 6), RefineThreshold: 0, Workers: 6},
+			plan.Decision{Engine: plan.EnginePartition, Grid: partjoin.AutoGridSkewed(100000, 6, 20), RefineThreshold: 0, Workers: 6},
 		},
 		{
 			"replicated",

@@ -66,4 +66,4 @@ snapshot BENCH_kernel.json \
     . '^(BenchmarkKernelExpand|BenchmarkSequentialJoin$)' \
     ./internal/geom/ '^(BenchmarkIntersectBatchPlanes(Quant)?$|BenchmarkSweepPairsPlanes(Dense)?$)'
 snapshot BENCH_partjoin.json \
-    . '^(BenchmarkPartitionJoin(Cold|Skewed|SkewedRefined)?$|BenchmarkNativeTreeJoin$)'
+    . '^(BenchmarkPartitionJoin(Cold|ColdSkewed|Skewed|SkewedRefined)?$|BenchmarkNativeTreeJoin$)'
