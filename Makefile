@@ -2,7 +2,7 @@
 # (see README.md): full build, vet, race tests on the concurrent executors,
 # then the whole test suite.
 
-.PHONY: check test bench bench-snapshot bench-diff cover fuzz timeline-smoke timeline-diff introspect-smoke observatory experiments-regen
+.PHONY: check test bench bench-snapshot bench-diff bench-history cover fuzz timeline-smoke timeline-diff introspect-smoke health-smoke observatory experiments-regen
 
 check:
 	./scripts/check.sh
@@ -22,6 +22,11 @@ bench-snapshot:
 bench-diff:
 	./scripts/bench_diff.sh $(or $(TOLERANCE),10)
 
+# Pretty-print the benchmark history trail (docs/bench_history.jsonl).
+# FILTER narrows to benchmarks whose name contains the substring.
+bench-history:
+	./scripts/bench_history.sh $(or $(FILTER),)
+
 # Test with coverage and enforce the floor used by CI.
 cover:
 	./scripts/cover.sh
@@ -38,6 +43,12 @@ timeline-smoke:
 # reports, wall-clock Perfetto traces validated with tracecheck, heatmap SVG.
 introspect-smoke:
 	./scripts/introspect_smoke.sh
+
+# Runtime-health smoke (CI): run the skewed cold join with health sampling
+# and poll /debug/joins/live while it repeats; assert a well-formed
+# "runtime health" EXPLAIN section and live-progress JSON (to artifacts/).
+health-smoke:
+	./scripts/health_smoke.sh
 
 # Compare the seed critical-path attribution against the committed snapshot;
 # fails on shifts beyond TOLERANCE percentage points (default 2).

@@ -11,6 +11,7 @@ package spjoin
 import (
 	"io"
 	"testing"
+	"time"
 
 	"path/filepath"
 	"spjoin/internal/exp"
@@ -22,6 +23,7 @@ import (
 	"spjoin/internal/parnative"
 	"spjoin/internal/partjoin"
 	"spjoin/internal/rtree"
+	"spjoin/internal/runtimeobs"
 	"spjoin/internal/tiger"
 	"spjoin/internal/zorder"
 )
@@ -214,6 +216,47 @@ func BenchmarkPartitionJoinIntrospected(b *testing.B) {
 		flights.Add(&rec)
 	}
 	record() // warm buffers, pool and ring slots
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		record()
+	}
+}
+
+// BenchmarkPartitionJoinHealth is BenchmarkPartitionJoinIntrospected with
+// the runtime health observatory on top: a runtimeobs.Sampler window
+// bracketing each join (two runtime/metrics reads reduced to scalars), a
+// live-progress slot receiving every work unit, and the Health window
+// stored in the flight record. The delta against Introspected is the
+// sampler+progress overhead: ~3µs fixed per window (two runtime/metrics
+// reads, see BenchmarkSamplerWindow) plus two contended atomic adds per
+// work unit — a few percent at this toy scale (~64µs joins, hundreds of
+// units), vanishing on realistic joins. Steady state stays 0 allocs/op.
+func BenchmarkPartitionJoinHealth(b *testing.B) {
+	streets, mixed := tiger.Maps(benchScale, 42)
+	var j partjoin.Joiner
+	defer j.Close()
+	live := runtimeobs.NewLive()
+	cfg := partjoin.Config{Introspect: true, Progress: live.NewProgress("partition")}
+	flights := flight.NewRecorder(16)
+	sampler := runtimeobs.NewSampler()
+	record := func() {
+		t0 := time.Now()
+		sampler.Begin()
+		res := j.Join(streets, mixed, cfg)
+		rec := flight.Record{
+			Engine: "partition",
+			NR:     len(streets), NS: len(mixed),
+			Candidates: len(res.Candidates), Comparisons: res.Comparisons,
+			GX: res.GX, GY: res.GY, Partitions: res.Partitions,
+			PhaseNS:  res.PhaseNS,
+			TopTiles: res.TopTiles,
+			HeatW:    res.HeatW, HeatH: res.HeatH, Heat: res.Heat,
+			Health:   sampler.End(time.Since(t0).Nanoseconds(), res.Workers),
+		}
+		flights.Add(&rec)
+	}
+	record() // warm buffers, pool, ring slots and the sampler
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

@@ -1,0 +1,203 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"spjoin/internal/flight"
+	"spjoin/internal/metrics"
+	"spjoin/internal/runtimeobs"
+	"spjoin/internal/tiger"
+)
+
+// TestDebugMux is the regression for the old http.DefaultServeMux wiring:
+// the debug endpoints live on a dedicated mux, so constructing it twice
+// cannot double-register, and every endpoint answers 200 with the right
+// shape.
+func TestDebugMux(t *testing.T) {
+	reg := metrics.NewRegistry()
+	reg.Counter("partjoin.partitions").Add(3)
+	flights := flight.NewRecorder(4)
+	live := runtimeobs.NewLive()
+
+	// Double construction must not panic (http.Handle on the global mux
+	// panicked on the second registration).
+	mux := newDebugMux(reg, flights, live)
+	_ = newDebugMux(reg, flights, live)
+
+	for path, wantBody := range map[string]string{
+		"/debug/pprof/":     "profiles",
+		"/debug/vars":       "cmdline",
+		"/metrics":          "partjoin_partitions_total 3",
+		"/debug/joins":      "[]",
+		"/debug/joins/live": "[]",
+	} {
+		req := httptest.NewRequest(http.MethodGet, path, nil)
+		rec := httptest.NewRecorder()
+		mux.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			t.Errorf("%s -> %d", path, rec.Code)
+		}
+		if !strings.Contains(rec.Body.String(), wantBody) {
+			t.Errorf("%s body missing %q:\n%.200s", path, wantBody, rec.Body.String())
+		}
+	}
+
+	// The global mux must have stayed clean: the default mux serving our
+	// paths would mean a stray http.Handle survived the refactor.
+	req := httptest.NewRequest(http.MethodGet, "/debug/joins", nil)
+	rec := httptest.NewRecorder()
+	http.DefaultServeMux.ServeHTTP(rec, req)
+	if rec.Code == http.StatusOK && strings.HasPrefix(rec.Body.String(), "[") {
+		t.Error("/debug/joins answered on http.DefaultServeMux; handlers leaked to the global mux")
+	}
+}
+
+// TestJoinsLiveEndpoint pins /debug/joins/live: an in-flight slot shows
+// with its counters, a finished one disappears, and the idle answer is
+// [] (not null).
+func TestJoinsLiveEndpoint(t *testing.T) {
+	live := runtimeobs.NewLive()
+	mux := newDebugMux(metrics.NewRegistry(), flight.NewRecorder(4), live)
+	get := func() []runtimeobs.Status {
+		t.Helper()
+		req := httptest.NewRequest(http.MethodGet, "/debug/joins/live", nil)
+		rec := httptest.NewRecorder()
+		mux.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("live endpoint -> %d", rec.Code)
+		}
+		var out []runtimeobs.Status
+		if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+			t.Fatalf("live endpoint not JSON: %v\n%s", err, rec.Body.String())
+		}
+		return out
+	}
+
+	if got := get(); len(got) != 0 {
+		t.Fatalf("idle live snapshot: %+v", got)
+	}
+	p := live.NewProgress("partition")
+	p.Start()
+	p.SetTotal(10, 100)
+	p.UnitDone(40)
+	got := get()
+	if len(got) != 1 || got[0].Engine != "partition" {
+		t.Fatalf("in-flight join missing: %+v", got)
+	}
+	if got[0].UnitsDone != 1 || got[0].UnitsTotal != 10 || got[0].CostDone != 40 {
+		t.Fatalf("live counters wrong: %+v", got[0])
+	}
+	p.Finish()
+	if got := get(); len(got) != 0 {
+		t.Fatalf("finished join still live: %+v", got)
+	}
+}
+
+// TestDebugEndpointsConcurrent hammers /debug/joins and /debug/joins/live
+// while real partition joins run; under -race this pins that the flight
+// ring's snapshot deep-copies and the live registry never race with the
+// recorder's slot reuse or the engines' hot-path publishing.
+func TestDebugEndpointsConcurrent(t *testing.T) {
+	streets, mixed := tiger.Maps(0.01, 42)
+	flights := flight.NewRecorder(2) // tiny ring -> slot reuse under load
+	live := runtimeobs.NewLive()
+	mux := newDebugMux(metrics.NewRegistry(), flights, live)
+
+	intro := &introspection{
+		flights:  flights,
+		health:   runtimeobs.NewSampler(),
+		progress: live.NewProgress("partition"),
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for _, path := range []string{"/debug/joins", "/debug/joins/live"} {
+					req := httptest.NewRequest(http.MethodGet, path, nil)
+					rec := httptest.NewRecorder()
+					mux.ServeHTTP(rec, req)
+					if rec.Code != http.StatusOK {
+						t.Errorf("%s -> %d", path, rec.Code)
+						return
+					}
+				}
+			}
+		}()
+	}
+	for i := 0; i < 6; i++ {
+		runPartition(io.Discard, streets, mixed, 4, 0, 0, &observability{}, nil, intro)
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestPartitionExplainHealthSection pins the acceptance criterion: a
+// sampled partition join's EXPLAIN report carries the "runtime health"
+// section with the four attribution rows, and the flight record stores
+// the window.
+func TestPartitionExplainHealthSection(t *testing.T) {
+	streets, mixed := tiger.Maps(0.01, 42)
+	intro := &introspection{
+		flights:  flight.NewRecorder(4),
+		explain:  true,
+		health:   runtimeobs.NewSampler(),
+		progress: runtimeobs.NewProgress("partition"),
+	}
+	var out bytes.Buffer
+	runPartition(&out, streets, mixed, 4, 0, 0, &observability{}, nil, intro)
+	text := out.String()
+	for _, want := range []string{
+		"runtime health (",
+		"work", "gc-pause", "sched-delay", "contention",
+		"goroutines:",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("explain output missing %q:\n%s", want, text)
+		}
+	}
+	last, ok := intro.flights.Last()
+	if !ok || !last.Health.Sampled {
+		t.Fatalf("flight record lost the health window: ok=%v %+v", ok, last.Health)
+	}
+	if got := last.Health.WorkNS + last.Health.GCNS + last.Health.SchedNS +
+		last.Health.ContentionNS; got != last.Health.WallNS {
+		t.Fatalf("recorded attribution does not tile the wall: %d != %d", got, last.Health.WallNS)
+	}
+}
+
+// TestGenerateDistributions pins the -dist workload shapes.
+func TestGenerateDistributions(t *testing.T) {
+	for _, dist := range []string{"uniform", "gauss", "diag"} {
+		r, s, err := generate(dist, 0.01, 42)
+		if err != nil {
+			t.Fatalf("%s: %v", dist, err)
+		}
+		if len(r) == 0 || len(s) == 0 {
+			t.Fatalf("%s: empty relations %d/%d", dist, len(r), len(s))
+		}
+	}
+	if _, _, err := generate("bogus", 0.01, 42); err == nil {
+		t.Fatal("unknown distribution accepted")
+	}
+	// The skewed shapes must actually be skewed (that is their point).
+	g, _, _ := generate("gauss", 0.1, 42)
+	u, _, _ := generate("uniform", 0.1, 42)
+	if gs, us := tiger.OccupancySkew(g, 16), tiger.OccupancySkew(u, 16); gs <= us {
+		t.Fatalf("gauss skew %.2f not above uniform %.2f", gs, us)
+	}
+}

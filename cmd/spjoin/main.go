@@ -4,11 +4,11 @@
 //
 // Usage:
 //
-//	spjoin [-scale 0.1] [-seed 42]
+//	spjoin [-scale 0.1] [-seed 42] [-dist uniform|gauss|diag]
 //	       [-procs 8] [-disks 8] [-buffer 800]
 //	       [-engine tree|partition|auto] [-grid 0] [-refine 0]
 //	       [-variant gd|gsrr|lsr|sn|est] [-reassign none|root|all]
-//	       [-victim loaded|random] [-native]
+//	       [-victim loaded|random] [-native] [-repeat 1]
 //	       [-kernel auto|purego] [-printkernel]
 //	       [-metrics out.json] [-trace out.jsonl]
 //	       [-timeline out.json] [-report] [-pprof :6060]
@@ -31,11 +31,16 @@
 // duration of the run.
 //
 // Every native join (partition or -native tree) lands in an always-on
-// flight recorder (internal/flight). -explain prints the EXPLAIN ANALYZE
-// report for the run; -slowlog prints it only when the join's wall time
-// exceeds the given threshold; -explain-svg additionally writes the
-// tile-cost heatmap as SVG. With -pprof, /debug/joins serves the recorded
-// executions as JSON.
+// flight recorder (internal/flight) and is bracketed by a runtime health
+// window (internal/runtimeobs): the EXPLAIN report attributes the join's
+// wall time across work, GC pauses, scheduler delay and lock contention.
+// -explain prints the EXPLAIN ANALYZE report for the run; -slowlog prints
+// it only when the join's wall time exceeds the given threshold;
+// -explain-svg additionally writes the tile-cost heatmap as SVG. With
+// -pprof, /debug/joins serves the recorded executions as JSON and
+// /debug/joins/live the progress (done/total work units, ETA) of joins
+// currently in flight — useful with -repeat, which re-runs the native
+// join N times so there is something in flight to watch.
 package main
 
 import (
@@ -46,7 +51,7 @@ import (
 	"io"
 	"net"
 	"net/http"
-	_ "net/http/pprof"
+	"net/http/pprof"
 	"os"
 	"runtime"
 	"sort"
@@ -63,6 +68,7 @@ import (
 	"spjoin/internal/plan"
 	"spjoin/internal/report"
 	"spjoin/internal/rtree"
+	"spjoin/internal/runtimeobs"
 	"spjoin/internal/sim"
 	"spjoin/internal/stats"
 	"spjoin/internal/tiger"
@@ -187,6 +193,13 @@ type introspection struct {
 	explain bool          // always print the EXPLAIN report
 	slowlog time.Duration // print it when wall time exceeds this (>0)
 	svgPath string        // write the tile-cost heatmap SVG here
+
+	// Runtime health: health brackets each join with a runtime/metrics
+	// window (nil = no sampling, as in the zero value), and progress is
+	// the live-progress slot the engine publishes to (served by
+	// /debug/joins/live when -pprof mounted the registry).
+	health   *runtimeobs.Sampler
+	progress *runtimeobs.Progress
 }
 
 // wantIntrospect reports whether the engine should spend the (bounded)
@@ -236,6 +249,42 @@ func joinsHandler(flights *flight.Recorder) http.Handler {
 	})
 }
 
+// liveHandler serves the in-flight joins (runtimeobs live-progress
+// snapshot) as JSON, mounted as /debug/joins/live. An idle process
+// serves [], never null, so pollers can range unconditionally.
+func liveHandler(live *runtimeobs.Live) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		snap := live.Snapshot()
+		if snap == nil {
+			snap = []runtimeobs.Status{}
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(snap); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+}
+
+// newDebugMux assembles the -pprof endpoint set on a dedicated mux:
+// net/http/pprof, expvar, OpenMetrics, and the flight-recorder views.
+// A dedicated mux (instead of http.DefaultServeMux) keeps the handlers
+// testable and makes double registration impossible by construction.
+func newDebugMux(reg *metrics.Registry, flights *flight.Recorder, live *runtimeobs.Live) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.Handle("/metrics", metricsHandler(reg))
+	mux.Handle("/debug/joins", joinsHandler(flights))
+	mux.Handle("/debug/joins/live", liveHandler(live))
+	return mux
+}
+
 func main() {
 	scale := flag.Float64("scale", 0.1, "workload scale (1.0 = paper cardinalities)")
 	seed := flag.Int64("seed", 42, "workload generator seed")
@@ -261,6 +310,8 @@ func main() {
 	explainSVG := flag.String("explain-svg", "", "write the tile-cost heatmap SVG to this file (implies introspection)")
 	loadR := flag.String("loadR", "", "CSV file for relation R (default: generated streets)")
 	loadS := flag.String("loadS", "", "CSV file for relation S (default: generated mixed features)")
+	dist := flag.String("dist", "uniform", "generated workload shape: uniform (TIGER-like maps) | gauss (clustered hotspots) | diag (diagonal band)")
+	repeat := flag.Int("repeat", 1, "run the native join this many times (reports the last; earlier iterations feed /debug/joins and /debug/joins/live)")
 	flag.Parse()
 
 	if err := geom.SetKernel(*kernel); err != nil {
@@ -277,11 +328,13 @@ func main() {
 		fmt.Fprintf(os.Stderr, "spjoin: %v\n", err)
 		os.Exit(1)
 	}
+	live := runtimeobs.NewLive()
 	intro := &introspection{
 		flights: flight.NewRecorder(16),
 		explain: *explain,
 		slowlog: *slowlog,
 		svgPath: *explainSVG,
+		health:  runtimeobs.NewSampler(),
 	}
 
 	if *pprofAddr != "" {
@@ -290,15 +343,14 @@ func main() {
 		}
 		reg := obs.reg
 		expvar.Publish("spjoin.metrics", expvar.Func(func() interface{} { return reg.Snapshot() }))
-		http.Handle("/metrics", metricsHandler(reg))
-		http.Handle("/debug/joins", joinsHandler(intro.flights))
+		mux := newDebugMux(reg, intro.flights, live)
 		ln, err := net.Listen("tcp", *pprofAddr)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "spjoin: -pprof: %v\n", err)
 			os.Exit(1)
 		}
-		fmt.Printf("pprof/expvar on http://%s/debug/pprof/, OpenMetrics on /metrics, flight recorder on /debug/joins\n", ln.Addr())
-		go http.Serve(ln, nil)
+		fmt.Printf("pprof/expvar on http://%s/debug/pprof/, OpenMetrics on /metrics, flight recorder on /debug/joins, live progress on /debug/joins/live\n", ln.Addr())
+		go http.Serve(ln, mux)
 	}
 
 	var streets, mixed []rtree.Item
@@ -318,8 +370,12 @@ func main() {
 		}
 		fmt.Printf("loaded %d + %d objects from %s, %s\n", len(streets), len(mixed), *loadR, *loadS)
 	} else {
-		fmt.Printf("generating maps at scale %g (seed %d)...\n", *scale, *seed)
-		streets, mixed = tiger.Maps(*scale, *seed)
+		fmt.Printf("generating %s maps at scale %g (seed %d)...\n", *dist, *scale, *seed)
+		var err error
+		if streets, mixed, err = generate(*dist, *scale, *seed); err != nil {
+			fmt.Fprintf(os.Stderr, "spjoin: %v\n", err)
+			os.Exit(2)
+		}
 	}
 	if *engine == "auto" {
 		// The planner probes the raw inputs and rewrites the engine flags
@@ -365,6 +421,14 @@ func main() {
 		if *timelineOut != "" || *reportFlag {
 			rec = timeline.NewWallRecorder(workers)
 		}
+		intro.progress = live.NewProgress("partition")
+		for i := repeatCount(*repeat); i > 1; i-- {
+			// Warm-up / soak iterations: full executions feeding the flight
+			// recorder and the live endpoint, with the human reports muted.
+			quiet := *intro
+			quiet.explain, quiet.slowlog, quiet.svgPath = false, 0, ""
+			runPartition(io.Discard, streets, mixed, workers, *grid, *refine, obs, nil, &quiet)
+		}
 		runPartition(os.Stdout, streets, mixed, workers, *grid, *refine, obs, rec, intro)
 		if rec != nil {
 			if err := finishTimeline(rec, *timelineOut, *reportFlag, rec.MaxEnd()); err != nil {
@@ -402,7 +466,13 @@ func main() {
 		if *timelineOut != "" || *reportFlag {
 			rec = timeline.NewWallRecorder(workers)
 		}
-		runNative(r, s, workers, obs, rec, intro)
+		intro.progress = live.NewProgress("tree")
+		for i := repeatCount(*repeat); i > 1; i-- {
+			quiet := *intro
+			quiet.explain, quiet.slowlog, quiet.svgPath = false, 0, ""
+			runNative(io.Discard, r, s, workers, obs, nil, &quiet)
+		}
+		runNative(os.Stdout, r, s, workers, obs, rec, intro)
 		if rec != nil {
 			// No simulated response time: the wall response is the latest
 			// recorded span end.
@@ -531,6 +601,39 @@ func metricsHandler(reg *metrics.Registry) http.Handler {
 	})
 }
 
+// repeatCount clamps -repeat to at least one execution.
+func repeatCount(n int) int {
+	if n < 1 {
+		return 1
+	}
+	return n
+}
+
+// generate builds the two input relations for the requested distribution.
+// uniform is the TIGER-like map pair the paper scales; gauss piles both
+// sides into the same gaussian hotspots (the skewed workload the refined
+// partition engine and the runtime-health smoke test exercise); diag
+// lays both sides along a jittered diagonal band.
+func generate(dist string, scale float64, seed int64) (streets, mixed []rtree.Item, err error) {
+	n := int(120000 * scale)
+	if n < 1000 {
+		n = 1000
+	}
+	switch dist {
+	case "uniform":
+		streets, mixed = tiger.Maps(scale, seed)
+	case "gauss":
+		streets = tiger.GaussianClusters(n, 4, 2, 0.05, 41, seed)
+		mixed = tiger.GaussianClusters(n, 4, 2, 0.05, 41, seed+1)
+	case "diag":
+		streets = tiger.DiagonalLine(n, 3, 0.3, seed)
+		mixed = tiger.DiagonalLine(n, 3, 0.3, seed+1)
+	default:
+		return nil, nil, fmt.Errorf("unknown -dist %q (uniform | gauss | diag)", dist)
+	}
+	return streets, mixed, nil
+}
+
 func loadCSV(path string) ([]rtree.Item, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -541,15 +644,20 @@ func loadCSV(path string) ([]rtree.Item, error) {
 }
 
 func runPartition(out io.Writer, r, s []rtree.Item, workers, grid int, refine int64, obs *observability, rec *timeline.Recorder, intro *introspection) {
-	t0 := time.Now()
-	res := partjoin.Join(r, s, partjoin.Config{
+	cfg := partjoin.Config{
 		Workers:         workers,
 		Grid:            grid,
 		RefineThreshold: refine,
 		Metrics:         obs.reg,
 		Timeline:        rec,
 		Introspect:      intro != nil && intro.wantIntrospect(),
-	})
+	}
+	if intro != nil {
+		cfg.Progress = intro.progress
+		intro.health.Begin()
+	}
+	t0 := time.Now()
+	res := partjoin.Join(r, s, cfg)
 	wall := time.Since(t0)
 	fmt.Fprintf(out, "partition join with %d goroutines\n", res.Workers)
 	fmt.Fprintf(out, "grid:         %dx%d (%d work units)\n", res.GX, res.GY, res.Partitions)
@@ -579,6 +687,7 @@ func runPartition(out io.Writer, r, s []rtree.Item, workers, grid int, refine in
 			WorkerPairs: toInt64s(res.PerWorker),
 			TopTiles:    res.TopTiles,
 			HeatW:       res.HeatW, HeatH: res.HeatH, Heat: res.Heat,
+			Health:      intro.health.End(wall.Nanoseconds(), res.Workers),
 		}
 		intro.record(out, obs.reg, &frec)
 	}
@@ -642,21 +751,26 @@ func renderPartitionSummary(out io.Writer, snap metrics.Snapshot, intro *introsp
 	t.Render(out)
 }
 
-func runNative(r, s *rtree.Tree, workers int, obs *observability, rec *timeline.Recorder, intro *introspection) {
-	t0 := time.Now()
-	res := parnative.Join(r, s, parnative.Config{
+func runNative(out io.Writer, r, s *rtree.Tree, workers int, obs *observability, rec *timeline.Recorder, intro *introspection) {
+	cfg := parnative.Config{
 		Workers:  workers,
 		Metrics:  obs.reg,
 		Trace:    obs.trace(),
 		Timeline: rec,
-	})
+	}
+	if intro != nil {
+		cfg.Progress = intro.progress
+		intro.health.Begin()
+	}
+	t0 := time.Now()
+	res := parnative.Join(r, s, cfg)
 	wall := time.Since(t0)
-	fmt.Printf("native parallel join with %d goroutines\n", res.Workers)
-	fmt.Printf("tasks (m):    %d\n", res.Tasks)
-	fmt.Printf("candidates:   %d\n", len(res.Candidates))
-	fmt.Printf("wall time:    %v\n", wall.Round(time.Microsecond))
-	fmt.Printf("pairs/worker: %v\n", res.PerWorker)
-	fmt.Printf("steals:       %d\n", res.Steals)
+	fmt.Fprintf(out, "native parallel join with %d goroutines\n", res.Workers)
+	fmt.Fprintf(out, "tasks (m):    %d\n", res.Tasks)
+	fmt.Fprintf(out, "candidates:   %d\n", len(res.Candidates))
+	fmt.Fprintf(out, "wall time:    %v\n", wall.Round(time.Microsecond))
+	fmt.Fprintf(out, "pairs/worker: %v\n", res.PerWorker)
+	fmt.Fprintf(out, "steals:       %d\n", res.Steals)
 	if intro != nil {
 		frec := flight.Record{
 			WallNS: wall.Nanoseconds(),
@@ -667,7 +781,8 @@ func runNative(r, s *rtree.Tree, workers int, obs *observability, rec *timeline.
 			PhaseNS:      res.PhaseNS,
 			WorkerPairs:  toInt64s(res.PerWorker),
 			WorkerSteals: toInt64s(res.PerWorkerSteals),
+			Health:       intro.health.End(wall.Nanoseconds(), res.Workers),
 		}
-		intro.record(os.Stdout, obs.reg, &frec)
+		intro.record(out, obs.reg, &frec)
 	}
 }

@@ -21,6 +21,7 @@ func Explain(w io.Writer, rec *Record) {
 	explainPlan(w, rec)
 	explainShape(w, rec)
 	explainPhases(w, rec)
+	explainHealth(w, rec)
 	explainWorkers(w, rec)
 	explainTiles(w, rec)
 	explainHeat(w, rec)
@@ -127,6 +128,54 @@ func explainPipelinedPhases(w io.Writer, rec *Record, busy int64) {
 		fmt.Fprintf(w, " (%.2fx overlap)", float64(fused)/float64(rec.PipelineNS))
 	}
 	fmt.Fprintf(w, "\n")
+}
+
+// explainHealth renders the runtime health window (runtimeobs.Sampler)
+// the driver bracketed around the join: the wall clock attributed across
+// useful work, GC stop-the-world pauses, scheduler run-queue delay and
+// lock contention, plus the raw runtime deltas and any anomaly flags.
+func explainHealth(w io.Writer, rec *Record) {
+	h := &rec.Health
+	if !h.Sampled {
+		return
+	}
+	fmt.Fprintf(w, "runtime health (%s wall, %d workers):\n",
+		fmtDur(h.WallNS), h.Workers)
+	work, gc, sched, cont := h.Shares()
+	rows := []struct {
+		name  string
+		ns    int64
+		share float64
+	}{
+		{"work", h.WorkNS, work},
+		{"gc-pause", h.GCNS, gc},
+		{"sched-delay", h.SchedNS, sched},
+		{"contention", h.ContentionNS, cont},
+	}
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %-11s %10s %5.1f%% %s\n",
+			r.name, fmtDur(r.ns), r.share*100, bar(r.share, 30))
+	}
+	fmt.Fprintf(w, "  gc: %d cycle(s), %s cpu, %s pause; alloc %s, heap %s\n",
+		h.GCCycles, fmtDur(h.GCCPUNS), fmtDur(h.GCPauseNS),
+		fmtBytes(h.AllocBytes), fmtBytes(h.HeapBytes))
+	fmt.Fprintf(w, "  goroutines: %d -> %d\n", h.GoroutinesStart, h.GoroutinesEnd)
+	if a := h.Anomalies(); len(a) > 0 {
+		fmt.Fprintf(w, "  anomalies: %s\n", strings.Join(a, "; "))
+	}
+}
+
+// fmtBytes renders a byte count at a human scale.
+func fmtBytes(b int64) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%.2fGiB", float64(b)/(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.2fMiB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(b)/(1<<10))
+	}
+	return fmt.Sprintf("%dB", b)
 }
 
 func explainWorkers(w io.Writer, rec *Record) {

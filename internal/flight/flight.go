@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"spjoin/internal/partjoin"
+	"spjoin/internal/runtimeobs"
 	"spjoin/internal/timeline"
 )
 
@@ -113,6 +114,12 @@ type Record struct {
 	HeatW    int                 `json:"heat_w,omitempty"`
 	HeatH    int                 `json:"heat_h,omitempty"`
 	Heat     []int64             `json:"heat,omitempty"`
+
+	// Health is the runtime health window the driver sampled around the
+	// join (runtimeobs.Sampler); Health.Sampled false means no sampler
+	// was attached. A value type, so the ring's slot reuse copies it for
+	// free alongside the scalars.
+	Health runtimeobs.Health `json:"health"`
 }
 
 // Workers returns the worker count the execution used (from the per-worker

@@ -1,0 +1,126 @@
+package flight
+
+import (
+	"strings"
+	"testing"
+
+	"spjoin/internal/metrics"
+	"spjoin/internal/runtimeobs"
+)
+
+// sampleHealth fabricates a sampled window: 10ms wall across 4 workers
+// with visible GC, scheduler and contention shares — the gc-pause share
+// (8%) trips its 5% anomaly threshold.
+func sampleHealth() runtimeobs.Health {
+	h := runtimeobs.Health{
+		Sampled:         true,
+		WallNS:          10_000_000,
+		Workers:         4,
+		GCPauseNS:       800_000,   // 8% of wall -> anomaly
+		SchedDelayNS:    2_000_000, // /4 workers = 5% of wall
+		MutexWaitNS:     400_000,   // /4 workers = 1% of wall
+		GCCPUNS:         1_500_000,
+		AllocBytes:      3 << 20,
+		HeapBytes:       64 << 20,
+		GCCycles:        2,
+		GoroutinesStart: 9,
+		GoroutinesEnd:   9,
+	}
+	h.Attribute()
+	return h
+}
+
+// TestExplainHealthSection pins the EXPLAIN "runtime health" section: the
+// four attribution rows, the raw GC/goroutine detail, and the anomaly line.
+func TestExplainHealthSection(t *testing.T) {
+	rec := sampleRecord(0)
+	rec.Health = sampleHealth()
+	var sb strings.Builder
+	Explain(&sb, &rec)
+	out := sb.String()
+	for _, want := range []string{
+		"runtime health (10.00ms wall, 4 workers):",
+		"work", "gc-pause", "sched-delay", "contention",
+		"gc-pause       800.0µs   8.0%",
+		"sched-delay    500.0µs   5.0%",
+		"contention     100.0µs   1.0%",
+		"work            8.60ms  86.0%",
+		"gc: 2 cycle(s), 1.50ms cpu, 800.0µs pause; alloc 3.00MiB, heap 64.00MiB",
+		"goroutines: 9 -> 9",
+		"anomalies: gc-pause share 8.0% > 5.0%",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("health section missing %q\n%s", want, out)
+		}
+	}
+}
+
+// TestExplainHealthAbsent pins that an unsampled record renders no
+// health section at all.
+func TestExplainHealthAbsent(t *testing.T) {
+	rec := sampleRecord(0)
+	var sb strings.Builder
+	Explain(&sb, &rec)
+	if strings.Contains(sb.String(), "runtime health") {
+		t.Fatalf("unsampled record rendered a health section\n%s", sb.String())
+	}
+}
+
+// TestObserveExportsHealth pins the runtimeobs.* OpenMetrics export.
+func TestObserveExportsHealth(t *testing.T) {
+	reg := metrics.NewRegistry()
+	rec := sampleRecord(0)
+	rec.Health = sampleHealth()
+	Observe(reg, &rec)
+	if got := reg.Counter("runtimeobs.windows").Load(); got != 1 {
+		t.Fatalf("runtimeobs.windows=%d, want 1", got)
+	}
+	if got := reg.Counter("runtimeobs.anomalies").Load(); got != 1 {
+		t.Fatalf("runtimeobs.anomalies=%d, want 1", got)
+	}
+	if got := reg.Gauge("runtimeobs.gc_pause_share").Load(); got != 0.08 {
+		t.Fatalf("gc_pause_share=%v, want 0.08", got)
+	}
+	if got := reg.Gauge("runtimeobs.work_share").Load(); got != 0.86 {
+		t.Fatalf("work_share=%v, want 0.86", got)
+	}
+	if got := reg.Gauge("runtimeobs.goroutines").Load(); got != 9 {
+		t.Fatalf("goroutines=%v", got)
+	}
+	if got := reg.Gauge("runtimeobs.heap_bytes").Load(); got != float64(64<<20) {
+		t.Fatalf("heap_bytes=%v", got)
+	}
+
+	// An unsampled record must leave the health metrics untouched.
+	rec2 := sampleRecord(1)
+	Observe(reg, &rec2)
+	if got := reg.Counter("runtimeobs.windows").Load(); got != 1 {
+		t.Fatalf("unsampled record bumped runtimeobs.windows to %d", got)
+	}
+
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	for _, want := range []string{"runtimeobs_windows", "runtimeobs_gc_pause_share"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("prometheus output missing %q", want)
+		}
+	}
+}
+
+// TestRecordHealthRoundTrip pins that the ring's slot reuse copies the
+// value-typed Health with the record and that deep snapshots carry it.
+func TestRecordHealthRoundTrip(t *testing.T) {
+	r := NewRecorder(2)
+	rec := sampleRecord(0)
+	rec.Health = sampleHealth()
+	r.Add(&rec)
+	got := r.Snapshot()
+	if len(got) != 1 || !got[0].Health.Sampled {
+		t.Fatalf("snapshot lost the health window: %+v", got)
+	}
+	if got[0].Health != rec.Health {
+		t.Fatalf("health differs after ring round trip:\n%+v\n%+v", got[0].Health, rec.Health)
+	}
+}

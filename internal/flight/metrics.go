@@ -25,6 +25,23 @@ func Observe(reg *metrics.Registry, rec *Record) {
 			reg.Histogram("flight.phase_us."+timeline.PhaseName(p), phaseBounds).Observe(ns / 1000)
 		}
 	}
+	if h := &rec.Health; h.Sampled {
+		reg.Counter("runtimeobs.windows").Inc()
+		if n := h.AnomalyCount(); n > 0 {
+			reg.Counter("runtimeobs.anomalies").Add(int64(n))
+		}
+		work, gc, sched, cont := h.Shares()
+		reg.Gauge("runtimeobs.work_share").Set(work)
+		reg.Gauge("runtimeobs.gc_pause_share").Set(gc)
+		reg.Gauge("runtimeobs.sched_delay_share").Set(sched)
+		reg.Gauge("runtimeobs.contention_share").Set(cont)
+		reg.Gauge("runtimeobs.gc_pause_ns").Set(float64(h.GCPauseNS))
+		reg.Gauge("runtimeobs.sched_delay_ns").Set(float64(h.SchedDelayNS))
+		reg.Gauge("runtimeobs.mutex_wait_ns").Set(float64(h.MutexWaitNS))
+		reg.Gauge("runtimeobs.alloc_bytes").Set(float64(h.AllocBytes))
+		reg.Gauge("runtimeobs.heap_bytes").Set(float64(h.HeapBytes))
+		reg.Gauge("runtimeobs.goroutines").Set(float64(h.GoroutinesEnd))
+	}
 	if rec.Plan.Engine == "" {
 		return
 	}

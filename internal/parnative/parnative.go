@@ -19,6 +19,7 @@ import (
 	"spjoin/internal/metrics"
 	"spjoin/internal/parjoin"
 	"spjoin/internal/rtree"
+	"spjoin/internal/runtimeobs"
 	"spjoin/internal/sim"
 	"spjoin/internal/timeline"
 )
@@ -54,6 +55,12 @@ type Config struct {
 	// timeline.NewWallRecorder over the resolved worker count; each worker
 	// writes only its own track, so recording needs no locks.
 	Timeline *timeline.Recorder
+	// Progress, when set, receives live progress: the initial task count
+	// is published when the schedule exists, every expanded node pair
+	// reports one unit done, and children entering the deques grow the
+	// total — so done converges on total exactly as the join drains.
+	// Observation-only: a nil slot costs one nil-check per expansion.
+	Progress *runtimeobs.Progress
 }
 
 // Result of a native parallel join.
@@ -125,7 +132,14 @@ func Join(r, s *rtree.Tree, cfg Config) Result {
 	}
 	res.PhaseNS[timeline.PhasePrep] = t1.Sub(t0).Nanoseconds()
 	res.PhaseNS[timeline.PhasePartition] = t2.Sub(t1).Nanoseconds()
+	// Live progress: the unit is one expanded node pair at unit cost (the
+	// tree walk has no per-pair cost estimate); children entering the
+	// deques grow the total, so done meets total exactly at the drain.
+	prog := cfg.Progress
+	prog.Start()
+	prog.SetTotal(int64(len(tasks)), int64(len(tasks)))
 	if len(tasks) == 0 {
+		prog.Finish()
 		return res
 	}
 
@@ -199,6 +213,10 @@ func Join(r, s *rtree.Tree, cfg Config) Result {
 						perWorker[w] = append(perWorker[w], cands...)
 					}
 				}
+				if n := len(children); n > 0 {
+					prog.AddTotal(int64(n), int64(n))
+				}
+				prog.UnitDone(1)
 				sched.complete(w, children)
 			}
 			if cfg.Sorted {
@@ -240,6 +258,7 @@ func Join(r, s *rtree.Tree, cfg Config) Result {
 			sim.SpanArgs{A: timeline.PhaseMerge})
 	}
 	met.finish(&res)
+	prog.Finish()
 	return res
 }
 

@@ -44,6 +44,7 @@ import (
 	"spjoin/internal/metrics"
 	"spjoin/internal/parnative"
 	"spjoin/internal/rtree"
+	"spjoin/internal/runtimeobs"
 	"spjoin/internal/sim"
 	"spjoin/internal/timeline"
 )
@@ -83,6 +84,12 @@ type Config struct {
 	// default so the hot path stays free of the extra pass; the phase
 	// timings in Result.PhaseNS are cheap enough to be always on.
 	Introspect bool
+	// Progress, when set, receives live progress for the join: the slot is
+	// Started when the join begins, the work-unit schedule (units and
+	// summed sweep cost) is published once built — adjusted if refinement
+	// reshapes it — and every completed unit is reported as it finishes.
+	// Observation-only: a nil slot costs one nil-check per unit.
+	Progress *runtimeobs.Progress
 }
 
 // Introspection constants: the downsampled tile-cost heat grid is at most
@@ -303,6 +310,7 @@ type Joiner struct {
 
 	order  tileOrder // reusable sorter over units/ucost
 	cursor atomic.Int64
+	prog   *runtimeobs.Progress // live-progress slot of the current join (may be nil)
 
 	// Pipelined-build state (see pipeline.go): the cost-descending root
 	// schedule (pOrder indexes j.tiles), its claim table, the per-worker
@@ -363,6 +371,8 @@ func (j *Joiner) Join(r, s []rtree.Item, cfg Config) Result {
 		j.workers = workers
 	}
 	j.rItems, j.sItems = r, s
+	j.prog = cfg.Progress
+	j.prog.Start()
 	j.met = nil
 	if cfg.Metrics != nil {
 		j.met = newPartMetrics(cfg.Metrics, workers)
@@ -555,6 +565,7 @@ func (j *Joiner) Join(r, s []rtree.Item, cfg Config) Result {
 	if !pipelined {
 		// Join the work units over the pool, workers pulling from the
 		// shared cursor (the pipelined build already swept everything).
+		j.prog.SetTotal(int64(len(j.units)), sumCost(j.ucost))
 		j.cursor.Store(0)
 		j.runPhase(phaseJoin)
 	}
@@ -608,7 +619,17 @@ func (j *Joiner) Join(r, s []rtree.Item, cfg Config) Result {
 		j.fillIntrospection(&res)
 	}
 	j.met.finish(&res)
+	j.prog.Finish()
 	return res
+}
+
+// sumCost totals a cost slice for the progress layer's schedule size.
+func sumCost(cost []int64) int64 {
+	var sum int64
+	for _, c := range cost {
+		sum += c
+	}
+	return sum
 }
 
 // fillIntrospection reports the schedule's cost structure under
@@ -1039,6 +1060,7 @@ func (j *Joiner) joinTiles(w int) {
 			comps = j.joinSub(ws, u.node)
 		}
 		ws.parts++
+		j.prog.UnitDone(j.ucost[k])
 		if j.rec != nil {
 			j.rec.Complete(w, t0, wallSince(j.epoch), timeline.KindCPUSweep, sim.SpanArgs{
 				A: int64(t % j.gx), B: int64(t / j.gx),

@@ -167,6 +167,10 @@ func (j *Joiner) pipelineRun(cfg Config) {
 	}
 	j.phaseNS[timeline.PhaseRefine] = refBefore + time.Since(tRef).Nanoseconds()
 
+	// Publish the root schedule as the live-progress total; the in-phase
+	// refinement adjusts it (pipeRefine) when hot roots become subtiles.
+	j.prog.SetTotal(int64(len(j.tiles)), sumCost(j.cost))
+
 	// The fused phase. Its wall time is reported as Result.PipelineNS;
 	// the per-phase buckets receive each worker's busy time instead (the
 	// phases overlap, so per-phase wall no longer exists).
@@ -347,7 +351,7 @@ func (j *Joiner) pipeSweepRoots(ws *workerState, w int) bool {
 		if !j.ready.TryClaim(i) {
 			continue
 		}
-		j.pipeJoinUnit(ws, w, t, -1)
+		j.pipeJoinUnit(ws, w, t, -1, j.cost[i])
 		swept = true
 	}
 	return swept
@@ -366,6 +370,7 @@ func (j *Joiner) pipeRefine(ws *workerState, w int) {
 		j.rec.BeginSpan(w, wallSince(j.epoch), timeline.KindPhase,
 			sim.SpanArgs{A: timeline.PhaseRefine})
 	}
+	var committed, committedCost int64
 	for i, t := range j.tiles {
 		if !j.ready.Deferred(i) {
 			continue
@@ -374,6 +379,8 @@ func (j *Joiner) pipeRefine(ws *workerState, w int) {
 		if j.refineRoot(t, j.pipeRecur) {
 			j.refinedTiles++
 			j.subtiles += len(j.units) - before
+			committed++
+			committedCost += j.cost[i]
 		} else {
 			j.ready.Release(i)
 		}
@@ -387,6 +394,10 @@ func (j *Joiner) pipeRefine(ws *workerState, w int) {
 		j.refSPlanes.SetRect(pos, j.sRects[si])
 	}
 	j.pipe.subCount = int32(len(j.units))
+	// Reshape the live-progress total: each committed root leaves the
+	// schedule and its subtile leaves (possibly zero, when the split
+	// proved every rect dead) enter it.
+	j.prog.AddTotal(int64(len(j.units))-committed, sumCost(j.ucost)-committedCost)
 	j.pipe.refineDone.Store(1) // release: units/nodes/planes final
 	if j.rec != nil {
 		j.rec.EndSpan(w, wallSince(j.epoch), sim.SpanArgs{}, false)
@@ -410,15 +421,16 @@ func (j *Joiner) pipeSweepSubs(ws *workerState, w int) bool {
 			break
 		}
 		u := j.units[k]
-		j.pipeJoinUnit(ws, w, int(u.tile), u.node)
+		j.pipeJoinUnit(ws, w, int(u.tile), u.node, j.ucost[k])
 		swept = true
 	}
 	return swept
 }
 
 // pipeJoinUnit sweeps one claimed work unit, with the same per-unit
-// timeline span the barrier join phase emits.
-func (j *Joiner) pipeJoinUnit(ws *workerState, w, t int, node int32) {
+// timeline span the barrier join phase emits; cost is the unit's
+// scheduled estimate, reported to the live-progress slot.
+func (j *Joiner) pipeJoinUnit(ws *workerState, w, t int, node int32, cost int64) {
 	tU := time.Now()
 	var t0 sim.Time
 	if j.rec != nil {
@@ -432,6 +444,7 @@ func (j *Joiner) pipeJoinUnit(ws *workerState, w, t int, node int32) {
 		comps = j.joinSub(ws, node)
 	}
 	ws.parts++
+	j.prog.UnitDone(cost)
 	if j.rec != nil {
 		j.rec.Complete(w, t0, wallSince(j.epoch), timeline.KindCPUSweep, sim.SpanArgs{
 			A: int64(t % j.gx), B: int64(t / j.gx),

@@ -1,0 +1,34 @@
+package runtimeobs
+
+import "testing"
+
+// BenchmarkSamplerWindow prices one Begin/End health window in isolation:
+// two runtime/metrics reads reduced to scalars (~3µs on the reference
+// machine), 0 allocs steady state. This is the fixed per-join cost the
+// engine-level BenchmarkPartitionJoinHealth adds on top of its progress
+// publishing.
+func BenchmarkSamplerWindow(b *testing.B) {
+	s := NewSampler()
+	s.Begin()
+	s.End(1000, 4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Begin()
+		s.End(1000, 4)
+	}
+}
+
+// BenchmarkProgressUnitDone prices the engines' hot-path call: one
+// nil-check and two atomic adds (uncontended here; the engine benchmarks
+// price the contended case).
+func BenchmarkProgressUnitDone(b *testing.B) {
+	p := NewProgress("bench")
+	p.Start()
+	p.SetTotal(int64(b.N), int64(b.N))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.UnitDone(1)
+	}
+}

@@ -1,0 +1,372 @@
+// Package runtimeobs is the join-scoped runtime health observatory: it
+// answers whether a slow join was slow because of the join (work, skew) or
+// because of the Go runtime underneath it (GC pauses, scheduler delay,
+// lock contention). Two independent layers:
+//
+//   - Sampler snapshots runtime/metrics around a join window — GC pause
+//     and scheduler-latency histogram deltas, mutex wait, alloc/heap and
+//     goroutine counts — and reduces the deltas to a Health record that
+//     attributes the window's wall time across work / GC / sched-delay /
+//     contention and flags anomalies (e.g. GC pause share over 5%).
+//   - Progress (progress.go) is the always-on live-progress layer: atomic
+//     units-done/units-total counters the engines publish per work unit,
+//     with an ETA derived from the cost-descending schedule.
+//
+// Both layers are observation-only by construction: they read runtime
+// counters and engine-published atomics, never influence scheduling, and a
+// nil *Sampler or *Progress is a no-op so call sites need no guards. After
+// a warm-up read the Sampler performs zero heap allocations per window
+// (runtime/metrics reuses histogram buckets across reads), which is what
+// lets the 0-alloc join benchmarks run fully sampled.
+//
+// The package deliberately imports nothing from the engines — partjoin,
+// parnative and flight import it, not the other way around.
+package runtimeobs
+
+import (
+	"math"
+	"runtime/metrics"
+)
+
+// The runtime/metrics series one health window consumes. Names missing
+// from the running toolchain read as KindBad and are skipped, so the
+// sampler degrades gracefully instead of panicking on older runtimes.
+const (
+	gcPausesName  = "/sched/pauses/total/gc:seconds"    // histogram: GC stop-the-world pauses
+	schedLatName  = "/sched/latencies:seconds"          // histogram: runnable-goroutine wait
+	mutexWaitName = "/sync/mutex/wait/total:seconds"    // total time blocked on mutexes
+	gcCPUName     = "/cpu/classes/gc/total:cpu-seconds" // CPU seconds spent in the GC
+	heapAllocName = "/gc/heap/allocs:bytes"             // cumulative allocated bytes
+	heapObjName   = "/memory/classes/heap/objects:bytes"
+	gcCycleName   = "/gc/cycles/total:gc-cycles"
+	goroutineName = "/sched/goroutines:goroutines"
+)
+
+// Anomaly thresholds: a window whose attributed share exceeds these is
+// flagged in Health.Anomalies (and counted by Health.AnomalyCount).
+const (
+	// GCAnomalyShare flags GC pauses eating more than 5% of the window.
+	GCAnomalyShare = 0.05
+	// SchedAnomalyShare flags per-worker scheduler delay above 10%.
+	SchedAnomalyShare = 0.10
+	// ContentionAnomalyShare flags per-worker mutex wait above 5%.
+	ContentionAnomalyShare = 0.05
+)
+
+// snap is one reduced reading of every sampled series: histogram series
+// are collapsed to scalar nanosecond totals at read time, because
+// runtime/metrics reuses the histogram bucket buffers across reads.
+type snap struct {
+	gcPauseNS  int64
+	schedNS    int64
+	mutexNS    int64
+	gcCPUNS    int64
+	allocBytes int64
+	heapBytes  int64
+	gcCycles   int64
+	goroutines int64
+}
+
+// Sampler snapshots the runtime metrics around one join window at a time.
+// Create with NewSampler (which pays the one allocating warm-up read);
+// Begin and End are then allocation-free. A Sampler serves one window at a
+// time — the same single-goroutine discipline as a partjoin.Joiner. A nil
+// *Sampler ignores Begin and returns an unsampled Health from End.
+type Sampler struct {
+	samples []metrics.Sample
+	begin   snap
+	began   bool
+}
+
+// NewSampler prepares a sampler: resolves the metric names against the
+// running toolchain and performs the warm-up read that sizes the reused
+// histogram buffers.
+func NewSampler() *Sampler {
+	s := &Sampler{samples: []metrics.Sample{
+		{Name: gcPausesName},
+		{Name: schedLatName},
+		{Name: mutexWaitName},
+		{Name: gcCPUName},
+		{Name: heapAllocName},
+		{Name: heapObjName},
+		{Name: gcCycleName},
+		{Name: goroutineName},
+	}}
+	metrics.Read(s.samples) // warm-up: allocates the histogram buffers once
+	s.read()
+	return s
+}
+
+// Begin snapshots the runtime state at the start of a join window.
+func (s *Sampler) Begin() {
+	if s == nil {
+		return
+	}
+	s.begin = s.read()
+	s.began = true
+}
+
+// End snapshots the runtime state at the end of the window and returns the
+// Health record for it: the raw deltas plus the wall-time attribution.
+// wallNS is the window's wall time as the caller measured it; workers the
+// parallelism degree (process-wide delay and wait totals are divided by it
+// to approximate their per-wall impact). Nil-safe: a nil *Sampler — or an
+// End without a Begin — returns a zero Health with Sampled == false.
+func (s *Sampler) End(wallNS int64, workers int) Health {
+	if s == nil || !s.began {
+		return Health{}
+	}
+	s.began = false
+	end := s.read()
+	h := Health{
+		Sampled:         true,
+		WallNS:          wallNS,
+		Workers:         workers,
+		GCPauseNS:       end.gcPauseNS - s.begin.gcPauseNS,
+		SchedDelayNS:    end.schedNS - s.begin.schedNS,
+		MutexWaitNS:     end.mutexNS - s.begin.mutexNS,
+		GCCPUNS:         end.gcCPUNS - s.begin.gcCPUNS,
+		AllocBytes:      end.allocBytes - s.begin.allocBytes,
+		HeapBytes:       end.heapBytes,
+		GCCycles:        end.gcCycles - s.begin.gcCycles,
+		GoroutinesStart: s.begin.goroutines,
+		GoroutinesEnd:   end.goroutines,
+	}
+	h.Attribute()
+	return h
+}
+
+// read performs one metrics read and reduces it to scalars immediately
+// (the histogram buffers are owned by the samples slice and overwritten by
+// the next read).
+func (s *Sampler) read() snap {
+	metrics.Read(s.samples)
+	var out snap
+	for i := range s.samples {
+		sm := &s.samples[i]
+		switch sm.Name {
+		case gcPausesName:
+			out.gcPauseNS = histTotalNS(sm)
+		case schedLatName:
+			out.schedNS = histTotalNS(sm)
+		case mutexWaitName:
+			out.mutexNS = secondsNS(sm)
+		case gcCPUName:
+			out.gcCPUNS = secondsNS(sm)
+		case heapAllocName:
+			out.allocBytes = uintValue(sm)
+		case heapObjName:
+			out.heapBytes = uintValue(sm)
+		case gcCycleName:
+			out.gcCycles = uintValue(sm)
+		case goroutineName:
+			out.goroutines = uintValue(sm)
+		}
+	}
+	return out
+}
+
+// histTotalNS reduces a cumulative duration histogram to an approximate
+// total in nanoseconds: Σ count×midpoint per bucket, with the open-ended
+// edge buckets collapsed onto their finite boundary. The approximation is
+// monotone in the true total and exact enough for attribution shares.
+func histTotalNS(sm *metrics.Sample) int64 {
+	if sm.Value.Kind() != metrics.KindFloat64Histogram {
+		return 0
+	}
+	h := sm.Value.Float64Histogram()
+	if h == nil || len(h.Buckets) < 2 {
+		return 0
+	}
+	var total float64
+	for i, c := range h.Counts {
+		if c == 0 {
+			continue
+		}
+		lo, hi := h.Buckets[i], h.Buckets[i+1]
+		var mid float64
+		switch {
+		case math.IsInf(lo, -1):
+			mid = hi
+		case math.IsInf(hi, 1):
+			mid = lo
+		default:
+			mid = (lo + hi) / 2
+		}
+		total += float64(c) * mid
+	}
+	return int64(total * 1e9)
+}
+
+// secondsNS reads a float64 seconds series as nanoseconds.
+func secondsNS(sm *metrics.Sample) int64 {
+	if sm.Value.Kind() != metrics.KindFloat64 {
+		return 0
+	}
+	return int64(sm.Value.Float64() * 1e9)
+}
+
+// uintValue reads a uint64 series, saturating into int64.
+func uintValue(sm *metrics.Sample) int64 {
+	if sm.Value.Kind() != metrics.KindUint64 {
+		return 0
+	}
+	v := sm.Value.Uint64()
+	if v > math.MaxInt64 {
+		return math.MaxInt64
+	}
+	return int64(v)
+}
+
+// Health is one join window's runtime health record: the raw deltas the
+// Sampler observed and the wall-time attribution derived from them. All
+// fields are scalars (no slices), so the record embeds into reused ring
+// slots and deep copies by plain struct assignment.
+type Health struct {
+	// Sampled reports whether a sampler actually bracketed the window;
+	// false means every other field is zero.
+	Sampled bool `json:"sampled"`
+	// WallNS and Workers are the window the attribution tiles.
+	WallNS  int64 `json:"wall_ns,omitempty"`
+	Workers int   `json:"workers,omitempty"`
+
+	// Raw deltas over the window. SchedDelayNS and MutexWaitNS are summed
+	// across all goroutines of the process (runtime/metrics has no
+	// per-goroutine scope), so their per-wall impact is approximated by
+	// dividing by Workers in the attribution below.
+	GCPauseNS       int64 `json:"gc_pause_ns,omitempty"`
+	SchedDelayNS    int64 `json:"sched_delay_ns,omitempty"`
+	MutexWaitNS     int64 `json:"mutex_wait_ns,omitempty"`
+	GCCPUNS         int64 `json:"gc_cpu_ns,omitempty"`
+	AllocBytes      int64 `json:"alloc_bytes,omitempty"`
+	HeapBytes       int64 `json:"heap_bytes,omitempty"`
+	GCCycles        int64 `json:"gc_cycles,omitempty"`
+	GoroutinesStart int64 `json:"goroutines_start,omitempty"`
+	GoroutinesEnd   int64 `json:"goroutines_end,omitempty"`
+
+	// Wall-time attribution: WorkNS + GCNS + SchedNS + ContentionNS ==
+	// WallNS by construction (each interference class is clamped to what
+	// remains, work is the residue).
+	WorkNS       int64 `json:"work_ns,omitempty"`
+	GCNS         int64 `json:"gc_attr_ns,omitempty"`
+	SchedNS      int64 `json:"sched_attr_ns,omitempty"`
+	ContentionNS int64 `json:"contention_attr_ns,omitempty"`
+}
+
+// Attribute (re)derives the wall-time attribution from the raw deltas:
+// GC stop-the-world pauses stall every worker so they charge at full wall
+// value; scheduler delay and mutex wait are process-wide sums, charged at
+// their per-worker average; work is whatever wall time remains. Each class
+// is clamped to the remaining wall so the four always tile WallNS exactly.
+func (h *Health) Attribute() {
+	rem := h.WallNS
+	if rem < 0 {
+		rem = 0
+	}
+	w := int64(h.Workers)
+	if w < 1 {
+		w = 1
+	}
+	gc := clampNS(h.GCPauseNS, rem)
+	rem -= gc
+	sched := clampNS(h.SchedDelayNS/w, rem)
+	rem -= sched
+	cont := clampNS(h.MutexWaitNS/w, rem)
+	rem -= cont
+	h.GCNS, h.SchedNS, h.ContentionNS, h.WorkNS = gc, sched, cont, rem
+}
+
+func clampNS(v, lim int64) int64 {
+	if v < 0 {
+		return 0
+	}
+	if v > lim {
+		return lim
+	}
+	return v
+}
+
+// Shares returns the attribution as fractions of the window's wall time.
+func (h *Health) Shares() (work, gc, sched, contention float64) {
+	if h.WallNS <= 0 {
+		return 0, 0, 0, 0
+	}
+	w := float64(h.WallNS)
+	return float64(h.WorkNS) / w, float64(h.GCNS) / w,
+		float64(h.SchedNS) / w, float64(h.ContentionNS) / w
+}
+
+// AnomalyCount reports how many anomaly thresholds the window breached,
+// without allocating (the counting mirror of Anomalies).
+func (h *Health) AnomalyCount() int {
+	n := 0
+	_, gc, sched, cont := h.Shares()
+	if gc > GCAnomalyShare {
+		n++
+	}
+	if sched > SchedAnomalyShare {
+		n++
+	}
+	if cont > ContentionAnomalyShare {
+		n++
+	}
+	if h.goroutinesGrew() {
+		n++
+	}
+	return n
+}
+
+// Anomalies describes each breached threshold; empty for a clean window.
+// Allocates — report-path only.
+func (h *Health) Anomalies() []string {
+	var out []string
+	_, gc, sched, cont := h.Shares()
+	if gc > GCAnomalyShare {
+		out = append(out, pctAnomaly("gc-pause share", gc, GCAnomalyShare))
+	}
+	if sched > SchedAnomalyShare {
+		out = append(out, pctAnomaly("sched-delay share", sched, SchedAnomalyShare))
+	}
+	if cont > ContentionAnomalyShare {
+		out = append(out, pctAnomaly("contention share", cont, ContentionAnomalyShare))
+	}
+	if h.goroutinesGrew() {
+		out = append(out, "goroutines grew across the window")
+	}
+	return out
+}
+
+// goroutinesGrew flags a window that leaked more goroutines than the join
+// itself plausibly runs (its own workers plus slack for runtime helpers).
+func (h *Health) goroutinesGrew() bool {
+	if !h.Sampled {
+		return false
+	}
+	w := int64(h.Workers)
+	if w < 1 {
+		w = 1
+	}
+	return h.GoroutinesEnd > h.GoroutinesStart+w+4
+}
+
+func pctAnomaly(what string, share, limit float64) string {
+	return what + " " + pct(share) + " > " + pct(limit)
+}
+
+// pct formats a fraction as a percentage with one decimal, without fmt (so
+// the anomaly path stays cheap and dependency-free).
+func pct(f float64) string {
+	tenths := int64(f*1000 + 0.5)
+	whole, frac := tenths/10, tenths%10
+	buf := make([]byte, 0, 8)
+	buf = appendInt(buf, whole)
+	buf = append(buf, '.', byte('0'+frac), '%')
+	return string(buf)
+}
+
+func appendInt(buf []byte, v int64) []byte {
+	if v >= 10 {
+		buf = appendInt(buf, v/10)
+	}
+	return append(buf, byte('0'+v%10))
+}

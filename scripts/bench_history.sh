@@ -1,0 +1,59 @@
+#!/bin/sh
+# Pretty-prints the benchmark history trail (docs/bench_history.jsonl,
+# appended by scripts/bench_snapshot.sh): one table per benchmark showing
+# ns/op over time, so the perf trajectory across PRs is readable at a
+# glance.
+#
+# Usage: scripts/bench_history.sh [benchmark-name-substring]
+set -eu
+cd "$(dirname "$0")/.."
+
+HISTORY=docs/bench_history.jsonl
+[ -f "$HISTORY" ] || { echo "bench_history: no $HISTORY yet (run make bench-snapshot)" >&2; exit 1; }
+
+FILTER="${1:-}"
+
+awk -v filter="$FILTER" '
+    {
+        date = ""; kernel = ""
+        if (match($0, /"date": *"[^"]*"/)) {
+            date = substr($0, RSTART, RLENGTH); gsub(/"date": *"|"/, "", date)
+        }
+        if (match($0, /"kernel": *"[^"]*"/)) {
+            kernel = substr($0, RSTART, RLENGTH); gsub(/"kernel": *"|"/, "", kernel)
+        }
+        # Walk every "Benchmark...": N pair in the ns_per_op object.
+        line = $0
+        while (match(line, /"Benchmark[^"]*": *[0-9.]+/)) {
+            pair = substr(line, RSTART, RLENGTH)
+            line = substr(line, RSTART + RLENGTH)
+            name = pair; sub(/": .*/, "", name); sub(/^"/, "", name)
+            ns = pair; sub(/.*": */, "", ns)
+            if (filter != "" && index(name, filter) == 0) continue
+            if (!(name in seen)) { seen[name] = 1; names[nn++] = name }
+            key = name SUBSEP nrec[name]
+            dates[key] = date; kernels[key] = kernel; values[key] = ns
+            nrec[name]++
+        }
+    }
+    END {
+        if (nn == 0) {
+            print "bench_history: no matching benchmarks" > "/dev/stderr"
+            exit 1
+        }
+        for (i = 0; i < nn; i++) {
+            name = names[i]
+            printf "%s\n", name
+            prev = ""
+            for (r = 0; r < nrec[name]; r++) {
+                key = name SUBSEP r
+                delta = ""
+                if (prev != "" && prev + 0 > 0)
+                    delta = sprintf("  (%+.1f%%)", (values[key] - prev) * 100.0 / prev)
+                printf "  %-22s %-8s %12.0f ns/op%s\n", dates[key], kernels[key], values[key], delta
+                prev = values[key]
+            }
+            printf "\n"
+        }
+    }
+' "$HISTORY"

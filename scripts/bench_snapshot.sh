@@ -66,4 +66,33 @@ snapshot BENCH_kernel.json \
     . '^(BenchmarkKernelExpand|BenchmarkSequentialJoin$)' \
     ./internal/geom/ '^(BenchmarkIntersectBatchPlanes(Quant)?$|BenchmarkSweepPairsPlanes(Dense)?$)'
 snapshot BENCH_partjoin.json \
-    . '^(BenchmarkPartitionJoin(Cold|ColdSkewed|Skewed|SkewedRefined)?$|BenchmarkNativeTreeJoin$)'
+    . '^(BenchmarkPartitionJoin(Cold|ColdSkewed|Skewed|SkewedRefined|Introspected|Health)?$|BenchmarkNativeTreeJoin$)'
+
+# Append one dated record per snapshot run to the machine-readable bench
+# history (docs/bench_history.jsonl), so the perf trajectory across PRs
+# survives the snapshots' overwrites. One JSON object per line:
+# timestamp, host context, and name -> ns/op for every benchmark in both
+# snapshots. scripts/bench_history.sh pretty-prints the trail.
+mkdir -p docs
+GOOS_CPU=$(awk '
+    /"goos"/ { if (match($0, /"goos": *"[^"]*"/)) { s = substr($0, RSTART, RLENGTH); gsub(/"goos": *"|"/, "", s); goos = s } }
+    /"cpu"/  { if (match($0, /"cpu": *"[^"]*"/))  { s = substr($0, RSTART, RLENGTH); gsub(/"cpu": *"|"/, "", s); cpu = s } }
+    END { printf "\"goos\": \"%s\", \"cpu\": \"%s\"", goos, cpu }
+' BENCH_kernel.json)
+{
+    printf '{"date": "%s", %s, "kernel": "%s", "uname": "%s", "benchtime": "%s", "ns_per_op": {' \
+        "$(date -u +%Y-%m-%dT%H:%M:%SZ)" "$GOOS_CPU" "$KERNEL" "$(uname -sr)" "$BENCHTIME"
+    awk '
+        /"name"/ {
+            if (match($0, /"name": *"[^"]*"/)) {
+                name = substr($0, RSTART, RLENGTH); gsub(/"name": *"|"/, "", name)
+            }
+            if (match($0, /"ns_per_op": *[0-9.]+/)) {
+                ns = substr($0, RSTART+12, RLENGTH-12); gsub(/[: ]/, "", ns)
+                printf "%s\"%s\": %s", (n++ ? ", " : ""), name, ns
+            }
+        }
+    ' BENCH_kernel.json BENCH_partjoin.json
+    printf '}}\n'
+} >> docs/bench_history.jsonl
+echo "appended history record to docs/bench_history.jsonl ($(wc -l < docs/bench_history.jsonl) records)"

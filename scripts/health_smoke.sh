@@ -1,0 +1,96 @@
+#!/bin/sh
+# CI smoke for the runtime health observatory: run the clustered (skewed)
+# cold partition join with health sampling enabled, poll the live-progress
+# endpoint while the join repeats, and assert that
+#
+#   * the EXPLAIN report carries a well-formed "runtime health" section
+#     attributing wall time across work / gc-pause / sched-delay /
+#     contention,
+#   * /debug/joins/live served at least one in-flight progress snapshot
+#     with the unit counters populated,
+#   * /metrics exported the runtimeobs.* series once a sampled join was
+#     recorded.
+#
+# Artifacts (EXPLAIN report, live-progress captures, OpenMetrics dump,
+# metrics snapshot) are left in the output directory for upload.
+#
+# Usage: scripts/health_smoke.sh [outdir]   (default: artifacts)
+set -eux
+cd "$(dirname "$0")/.."
+
+OUT="${1:-artifacts}"
+mkdir -p "$OUT"
+
+BIN="$OUT/spjoin.smoke"
+go build -o "$BIN" ./cmd/spjoin
+
+# Skewed cold workload, repeated so the debug endpoints have an in-flight
+# join to report while we poll. -pprof on an ephemeral port; the chosen
+# address is printed on the first line of output.
+"$BIN" -dist gauss -engine partition -scale 0.3 -seed 7 -procs 4 \
+    -explain -repeat 40 -pprof 127.0.0.1:0 \
+    -metrics "$OUT/health_metrics.json" > "$OUT/health_explain.txt" 2>&1 &
+PID=$!
+trap 'kill "$PID" 2>/dev/null || true' EXIT
+
+# Wait for the debug server to announce its address.
+ADDR=""
+i=0
+while [ "$i" -lt 100 ]; do
+    ADDR=$(sed -n 's|^pprof/expvar on http://\([^/]*\)/.*|\1|p' "$OUT/health_explain.txt")
+    [ -n "$ADDR" ] && break
+    kill -0 "$PID" 2>/dev/null || { echo "health_smoke: spjoin exited before serving debug endpoints" >&2; cat "$OUT/health_explain.txt" >&2; exit 1; }
+    sleep 0.1
+    i=$((i + 1))
+done
+[ -n "$ADDR" ] || { echo "health_smoke: no -pprof address announced" >&2; exit 1; }
+
+# Poll the live endpoint until we catch an in-flight join, and the
+# OpenMetrics endpoint until the runtimeobs series appear (they export
+# after the first sampled join is recorded). Every live capture is
+# appended to the run log; the first non-empty one is kept as the
+# representative snapshot.
+: > "$OUT/health_live_run.txt"
+LIVE_OK=0
+METRICS_OK=0
+while kill -0 "$PID" 2>/dev/null; do
+    LIVE=$(curl -sf "http://$ADDR/debug/joins/live" || true)
+    if [ -n "$LIVE" ]; then
+        echo "$LIVE" >> "$OUT/health_live_run.txt"
+        if [ "$LIVE_OK" = 0 ] && [ "$LIVE" != "[]" ]; then
+            echo "$LIVE" > "$OUT/health_live.json"
+            LIVE_OK=1
+        fi
+    fi
+    if [ "$METRICS_OK" = 0 ]; then
+        if curl -sf "http://$ADDR/metrics" | tee "$OUT/health_openmetrics.txt" | grep -q '^runtimeobs_windows'; then
+            METRICS_OK=1
+        fi
+    fi
+    [ "$LIVE_OK" = 1 ] && [ "$METRICS_OK" = 1 ] && break
+    sleep 0.05
+done
+wait "$PID"
+trap - EXIT
+
+[ "$LIVE_OK" = 1 ] || { echo "health_smoke: never caught an in-flight join on /debug/joins/live" >&2; exit 1; }
+[ "$METRICS_OK" = 1 ] || { echo "health_smoke: runtimeobs.* series never appeared on /metrics" >&2; exit 1; }
+
+# The live snapshot must be a progress record with populated counters.
+grep -q '"engine": *"partition"' "$OUT/health_live.json"
+grep -q '"units_done"' "$OUT/health_live.json"
+grep -q '"cost_total"' "$OUT/health_live.json"
+
+# The EXPLAIN report must carry the full runtime-health section.
+grep 'runtime health (' "$OUT/health_explain.txt"
+grep '^  work ' "$OUT/health_explain.txt"
+grep '^  gc-pause ' "$OUT/health_explain.txt"
+grep '^  sched-delay ' "$OUT/health_explain.txt"
+grep '^  contention ' "$OUT/health_explain.txt"
+grep '^  goroutines: ' "$OUT/health_explain.txt"
+
+# And the exported gauges include the attribution shares.
+grep -q '^runtimeobs_work_share' "$OUT/health_openmetrics.txt"
+grep -q '^runtimeobs_gc_pause_share' "$OUT/health_openmetrics.txt"
+
+echo "health_smoke: OK (artifacts in $OUT)"
